@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: fill-unit latency sensitivity (paper §1/§4.6 claim: the
+ * fill pipeline is off the critical path, so even long latencies cost
+ * almost nothing). Sweeps 1..20 cycles with all optimizations on.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+
+int
+main()
+{
+    std::cout << "Ablation: fill-pipeline latency sweep "
+                 "(geo-mean IPC vs 1-cycle fill)\n\n";
+    const Cycle lats[] = {1, 2, 5, 10, 20};
+
+    // Reference: 1-cycle fill.
+    std::vector<double> ref;
+    for (const auto &w : workloads::suite())
+        ref.push_back(run(w, optConfig(FillOptimizations::all(), 1))
+                          .ipc());
+
+    TextTable t({"fill latency", "geo-mean IPC vs lat=1"});
+    for (Cycle lat : lats) {
+        double log_sum = 0.0;
+        std::size_t i = 0;
+        for (const auto &w : workloads::suite()) {
+            double ipc =
+                run(w, optConfig(FillOptimizations::all(), lat)).ipc();
+            log_sum += std::log(ipc / ref[i++]);
+        }
+        t.addRow({std::to_string(lat),
+                  pctGain(1.0, std::exp(log_sum /
+                                        static_cast<double>(i)))});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "bench/bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+
+namespace tcfill::bench
+{
+
+SimConfig
+baselineConfig()
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::none());
+    cfg.name = "baseline";
+    cfg.maxInsts = kRunInsts;
+    return cfg;
+}
+
+SimConfig
+optConfig(const FillOptimizations &opts, Cycle fill_latency)
+{
+    SimConfig cfg = SimConfig::withOpts(opts, fill_latency);
+    cfg.name = "optimized";
+    cfg.maxInsts = kRunInsts;
+    return cfg;
+}
+
+SimResult
+run(const workloads::Workload &w, SimConfig cfg)
+{
+    Program prog = w.build(kScale);
+    return simulate(prog, cfg);
+}
+
+std::string
+pctGain(double base_ipc, double opt_ipc)
+{
+    double pct = base_ipc > 0.0
+        ? (opt_ipc / base_ipc - 1.0) * 100.0
+        : 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+    return buf;
+}
+
+void
+compareSweep(const std::string &title, const SimConfig &variant,
+             double *geo_out)
+{
+    std::cout << "\n### " << title << "\n\n";
+    TextTable table({"benchmark", "base IPC", "opt IPC", "gain"});
+    double log_sum = 0.0;
+    unsigned n = 0;
+    for (const auto &w : workloads::suite()) {
+        SimResult base = run(w, baselineConfig());
+        SimResult opt = run(w, variant);
+        table.addRow({w.shortName, TextTable::num(base.ipc(), 3),
+                      TextTable::num(opt.ipc(), 3),
+                      pctGain(base.ipc(), opt.ipc())});
+        if (base.ipc() > 0 && opt.ipc() > 0) {
+            log_sum += std::log(opt.ipc() / base.ipc());
+            ++n;
+        }
+    }
+    double geo = n ? std::exp(log_sum / n) : 1.0;
+    table.addRow({"geo.mean", "", "", pctGain(1.0, geo)});
+    table.print(std::cout);
+    if (geo_out)
+        *geo_out = geo;
+}
+
+} // namespace tcfill::bench

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks: standard
+ * configurations, per-workload runs with caching of the baseline,
+ * and paper-style table printing.
+ */
+
+#ifndef TCFILL_BENCH_COMMON_HH
+#define TCFILL_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/processor.hh"
+#include "sim/result.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill::bench
+{
+
+/** Instruction budget per benchmark run (keeps sweeps tractable). */
+inline constexpr InstSeqNum kRunInsts = 220'000;
+
+/** Workload scale used by all paper benches. */
+inline constexpr unsigned kScale = 1;
+
+/** The paper's baseline machine (§3), no fill-unit optimizations. */
+SimConfig baselineConfig();
+
+/** Baseline plus the given optimization set (fill latency 5). */
+SimConfig optConfig(const FillOptimizations &opts,
+                    Cycle fill_latency = 5);
+
+/** Run one (workload, config) pair at the standard budget. */
+SimResult run(const workloads::Workload &w, SimConfig cfg);
+
+/** Percentage string for an IPC ratio, e.g. "+17.3%". */
+std::string pctGain(double base_ipc, double opt_ipc);
+
+/**
+ * Standard sweep: for each suite benchmark, run the baseline and one
+ * variant, printing IPCs and the percent improvement — the layout of
+ * the paper's figures 3-6 and 8.
+ *
+ * @param title printed header
+ * @param variant configuration to compare against the baseline
+ * @param geo_out optional: receives the geometric-mean IPC ratio
+ */
+void compareSweep(const std::string &title, const SimConfig &variant,
+                  double *geo_out = nullptr);
+
+} // namespace tcfill::bench
+
+#endif // TCFILL_BENCH_COMMON_HH

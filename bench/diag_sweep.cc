@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Development diagnostic: per-optimization IPC sweep over the suite
+ * (the union of figures 3, 4, 5, 6 and 8 in one run), with dynamic
+ * transformation rates. Used to tune the reproduction; the per-figure
+ * benches print the publication-layout tables.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+
+int
+main()
+{
+    TextTable table({"benchmark", "base", "+mov", "+rea", "+sca",
+                     "+plc", "all", "mov%", "rea%", "sca%", "byp0",
+                     "byp1", "tc%", "bp%"});
+
+    FillOptimizations mv;
+    mv.markMoves = true;
+    FillOptimizations re;
+    re.reassociate = true;
+    FillOptimizations sc;
+    sc.scaledAdds = true;
+    FillOptimizations pl;
+    pl.placement = true;
+
+    for (const auto &w : workloads::suite()) {
+        SimResult base = run(w, baselineConfig());
+        SimResult rmv = run(w, optConfig(mv));
+        SimResult rre = run(w, optConfig(re));
+        SimResult rsc = run(w, optConfig(sc));
+        SimResult rpl = run(w, optConfig(pl));
+        SimResult all = run(w, optConfig(FillOptimizations::all()));
+        table.addRow({w.shortName, TextTable::num(base.ipc(), 2),
+                      pctGain(base.ipc(), rmv.ipc()),
+                      pctGain(base.ipc(), rre.ipc()),
+                      pctGain(base.ipc(), rsc.ipc()),
+                      pctGain(base.ipc(), rpl.ipc()),
+                      pctGain(base.ipc(), all.ipc()),
+                      TextTable::pct(all.fracMoves(), 1),
+                      TextTable::pct(all.fracReassoc(), 1),
+                      TextTable::pct(all.fracScaled(), 1),
+                      TextTable::pct(base.fracBypassDelayed(), 0),
+                      TextTable::pct(rpl.fracBypassDelayed(), 0),
+                      TextTable::pct(base.tcHitRate(), 0),
+                      TextTable::pct(base.bpredAccuracy, 0)});
+        table.print(std::cout);
+        std::cout.flush();
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host-performance benchmark (google-benchmark): simulator throughput
+ * in simulated instructions per host second, per subsystem
+ * configuration. Not a paper figure — this guards the simulator's own
+ * usability.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+
+namespace
+{
+
+void
+runWorkload(benchmark::State &state, const char *name,
+            FillOptimizations opts)
+{
+    const auto &w = workloads::find(name);
+    Program prog = w.build(1);
+    SimConfig cfg = SimConfig::withOpts(opts);
+    cfg.maxInsts = 50'000;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        SimResult r = simulate(prog, cfg);
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Baseline(benchmark::State &state)
+{
+    runWorkload(state, "compress", FillOptimizations::none());
+}
+
+void
+BM_AllOpts(benchmark::State &state)
+{
+    runWorkload(state, "compress", FillOptimizations::all());
+}
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    runWorkload(state, "m88ksim", FillOptimizations::all());
+}
+
+void
+BM_PointerChase(benchmark::State &state)
+{
+    runWorkload(state, "li", FillOptimizations::all());
+}
+
+void
+BM_FunctionalOnly(benchmark::State &state)
+{
+    Program prog = workloads::build("compress", 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        insts += runFunctional(prog, 50'000);
+    }
+    state.counters["func_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_Baseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllOpts)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Interpreter)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PointerChase)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FunctionalOnly)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

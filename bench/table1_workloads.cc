@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 1 reproduction: the benchmark suite with its instruction
+ * counts and inputs (here: synthetic kernel parameters; see DESIGN.md
+ * §4 for the substitution rationale).
+ */
+
+#include <iostream>
+
+#include "arch/executor.hh"
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+
+int
+main()
+{
+    std::cout << "Table 1: benchmarks (paper: SPECint95 + UNIX apps, "
+                 "41M-500M insts;\nhere: like-named kernels at bench "
+                 "scale, dynamic counts below)\n\n";
+    TextTable t({"benchmark", "suite", "static", "dynamic",
+                 "kernel (stands in for the paper's input set)"});
+    for (const auto &w : workloads::suite()) {
+        Program p = w.build(kScale);
+        InstSeqNum dyn = runFunctional(p);
+        t.addRow({w.name, w.specint ? "SPECint95" : "UNIX",
+                  std::to_string(p.text.size()), std::to_string(dyn),
+                  w.traits});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-space exploration: how the value of the fill-unit
+ * optimizations shifts as the machine changes — cross-cluster bypass
+ * latency (placement's lever) and trace-cache capacity. The kind of
+ * what-if study the simulator exists for.
+ *
+ * Usage: design_space [workload]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/processor.hh"
+#include "workloads/suite.hh"
+
+using namespace tcfill;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "perl";
+    Program prog = workloads::build(name, 1);
+
+    std::cout << "design space study on '" << name << "'\n\n";
+
+    // ---- sweep 1: cross-cluster bypass latency --------------------
+    std::cout << "bypass latency sweep (placement's payoff grows "
+                 "with the penalty):\n";
+    std::printf("  %-8s %-10s %-10s %s\n", "delay", "base IPC",
+                "all-opt", "gain");
+    for (Cycle delay : {0u, 1u, 2u, 4u}) {
+        SimConfig base = SimConfig::withOpts(FillOptimizations::none());
+        base.core.crossClusterDelay = delay;
+        base.maxInsts = 150'000;
+        SimConfig opt = SimConfig::withOpts(FillOptimizations::all());
+        opt.core.crossClusterDelay = delay;
+        opt.maxInsts = 150'000;
+        double b = simulate(prog, base).ipc();
+        double o = simulate(prog, opt).ipc();
+        std::printf("  %-8llu %-10.3f %-10.3f %+5.1f%%\n",
+                    static_cast<unsigned long long>(delay), b, o,
+                    (o / b - 1.0) * 100.0);
+    }
+
+    // ---- sweep 2: trace cache capacity ------------------------------
+    std::cout << "\ntrace cache capacity sweep (all opts on):\n";
+    std::printf("  %-10s %-10s %-10s %s\n", "entries", "IPC",
+                "hit rate", "storage");
+    for (std::size_t entries : {128u, 512u, 2048u, 8192u}) {
+        SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+        cfg.tcache.entries = entries;
+        cfg.maxInsts = 150'000;
+        Processor proc(prog, cfg);
+        SimResult r = proc.run();
+        std::printf("  %-10zu %-10.3f %-10.3f %zu KB\n", entries,
+                    r.ipc(), r.tcHitRate(),
+                    proc.traceCache().storageBits() / 8 / 1024);
+    }
+    return 0;
+}

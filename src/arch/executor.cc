@@ -1,0 +1,195 @@
+#include "arch/executor.hh"
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+Executor::Executor(const Program &prog) : prog_(prog)
+{
+    // Load text.
+    for (std::size_t i = 0; i < prog.text.size(); ++i)
+        mem_.writeWord(prog.textBase + i * 4, prog.text[i]);
+    // Load initialized data.
+    for (const auto &seg : prog.data)
+        mem_.writeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+
+    state_.pc = prog.entry;
+    state_.write(kRegSP, static_cast<std::uint32_t>(prog.stackTop));
+}
+
+Instruction
+Executor::fetchDecode(Addr pc) const
+{
+    fatal_if(!prog_.containsPc(pc),
+             "%s: PC 0x%llx escaped the text segment",
+             prog_.name.c_str(), static_cast<unsigned long long>(pc));
+    return decode(mem_.readWord(pc));
+}
+
+ExecRecord
+Executor::step()
+{
+    panic_if(halted_, "Executor::step() after halt");
+
+    ExecRecord rec;
+    rec.seq = seq_++;
+    rec.pc = state_.pc;
+    rec.inst = fetchDecode(state_.pc);
+
+    const Instruction &in = rec.inst;
+    Addr next_pc = state_.pc + 4;
+
+    auto s1 = state_.read(in.src1 == Instruction::kNoReg ? kRegZero
+                                                         : in.src1);
+    auto s2 = state_.read(in.src2 == Instruction::kNoReg ? kRegZero
+                                                         : in.src2);
+    auto s3 = state_.read(in.src3 == Instruction::kNoReg ? kRegZero
+                                                         : in.src3);
+    auto imm = static_cast<std::uint32_t>(in.imm);
+
+    auto branch_to = [&](bool take) {
+        rec.taken = take;
+        if (take) {
+            next_pc = state_.pc + 4 +
+                (static_cast<Addr>(static_cast<std::int64_t>(in.imm)) << 2);
+        }
+    };
+
+    switch (in.op) {
+      case Op::ADD:  state_.write(in.dest, s1 + s2); break;
+      case Op::SUB:  state_.write(in.dest, s1 - s2); break;
+      case Op::AND:  state_.write(in.dest, s1 & s2); break;
+      case Op::OR:   state_.write(in.dest, s1 | s2); break;
+      case Op::XOR:  state_.write(in.dest, s1 ^ s2); break;
+      case Op::NOR:  state_.write(in.dest, ~(s1 | s2)); break;
+      case Op::SLT:
+        state_.write(in.dest, static_cast<std::int32_t>(s1) <
+                              static_cast<std::int32_t>(s2) ? 1 : 0);
+        break;
+      case Op::SLTU: state_.write(in.dest, s1 < s2 ? 1 : 0); break;
+      case Op::SLLV: state_.write(in.dest, s1 << (s2 & 31)); break;
+      case Op::SRLV: state_.write(in.dest, s1 >> (s2 & 31)); break;
+      case Op::SRAV:
+        state_.write(in.dest, static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(s1) >> (s2 & 31)));
+        break;
+      case Op::MUL:  state_.write(in.dest, s1 * s2); break;
+      case Op::DIV:
+        state_.write(in.dest, s2 == 0 ? 0 : static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(s1) /
+            static_cast<std::int32_t>(s2)));
+        break;
+
+      case Op::ADDI:  state_.write(in.dest, s1 + imm); break;
+      case Op::SLTI:
+        state_.write(in.dest, static_cast<std::int32_t>(s1) <
+                              in.imm ? 1 : 0);
+        break;
+      case Op::SLTIU: state_.write(in.dest, s1 < imm ? 1 : 0); break;
+      case Op::ANDI:  state_.write(in.dest, s1 & imm); break;
+      case Op::ORI:   state_.write(in.dest, s1 | imm); break;
+      case Op::XORI:  state_.write(in.dest, s1 ^ imm); break;
+      case Op::LUI:   state_.write(in.dest, imm << 16); break;
+      case Op::SLLI:  state_.write(in.dest, s1 << in.shamt); break;
+      case Op::SRLI:  state_.write(in.dest, s1 >> in.shamt); break;
+      case Op::SRAI:
+        state_.write(in.dest, static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(s1) >> in.shamt));
+        break;
+
+      case Op::LB:
+        rec.effAddr = s1 + imm;
+        state_.write(in.dest, static_cast<std::uint32_t>(
+            static_cast<std::int8_t>(mem_.readByte(rec.effAddr))));
+        break;
+      case Op::LBU:
+        rec.effAddr = s1 + imm;
+        state_.write(in.dest, mem_.readByte(rec.effAddr));
+        break;
+      case Op::LH:
+        rec.effAddr = s1 + imm;
+        state_.write(in.dest, static_cast<std::uint32_t>(
+            static_cast<std::int16_t>(mem_.readHalf(rec.effAddr))));
+        break;
+      case Op::LHU:
+        rec.effAddr = s1 + imm;
+        state_.write(in.dest, mem_.readHalf(rec.effAddr));
+        break;
+      case Op::LW:
+        rec.effAddr = s1 + imm;
+        state_.write(in.dest, mem_.readWord(rec.effAddr));
+        break;
+      case Op::LWX:
+        rec.effAddr = s1 + s2;
+        state_.write(in.dest, mem_.readWord(rec.effAddr));
+        break;
+      case Op::SB:
+        rec.effAddr = s1 + imm;
+        mem_.writeByte(rec.effAddr, static_cast<std::uint8_t>(s3));
+        break;
+      case Op::SH:
+        rec.effAddr = s1 + imm;
+        mem_.writeHalf(rec.effAddr, static_cast<std::uint16_t>(s3));
+        break;
+      case Op::SW:
+        rec.effAddr = s1 + imm;
+        mem_.writeWord(rec.effAddr, s3);
+        break;
+      case Op::SWX:
+        rec.effAddr = s1 + s2;
+        mem_.writeWord(rec.effAddr, s3);
+        break;
+
+      case Op::BEQ:  branch_to(s1 == s2); break;
+      case Op::BNE:  branch_to(s1 != s2); break;
+      case Op::BLEZ: branch_to(static_cast<std::int32_t>(s1) <= 0); break;
+      case Op::BGTZ: branch_to(static_cast<std::int32_t>(s1) > 0); break;
+      case Op::BLTZ: branch_to(static_cast<std::int32_t>(s1) < 0); break;
+      case Op::BGEZ: branch_to(static_cast<std::int32_t>(s1) >= 0); break;
+
+      case Op::J:
+        rec.taken = true;
+        next_pc = static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        break;
+      case Op::JAL:
+        rec.taken = true;
+        state_.write(kRegRA, static_cast<std::uint32_t>(state_.pc + 4));
+        next_pc = static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        break;
+      case Op::JR:
+        rec.taken = true;
+        next_pc = s1;
+        break;
+      case Op::JALR:
+        rec.taken = true;
+        state_.write(in.dest, static_cast<std::uint32_t>(state_.pc + 4));
+        next_pc = s1;
+        break;
+
+      case Op::NOP:
+      case Op::SYSCALL:
+        break;
+      case Op::HALT:
+        halted_ = true;
+        break;
+
+      default:
+        panic("executor: unhandled op %u", unsigned(in.op));
+    }
+
+    state_.pc = next_pc;
+    rec.nextPc = next_pc;
+    return rec;
+}
+
+InstSeqNum
+runFunctional(const Program &prog, InstSeqNum max_insts)
+{
+    Executor exec(prog);
+    while (!exec.halted() && exec.instCount() < max_insts)
+        exec.step();
+    return exec.instCount();
+}
+
+} // namespace tcfill

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Functional (architecturally exact) execution of tcfill programs.
+ * The Executor is the front of the execution-driven simulator: it
+ * produces the committed dynamic instruction stream the timing model
+ * consumes, and doubles as the reference for correctness tests.
+ */
+
+#ifndef TCFILL_ARCH_EXECUTOR_HH
+#define TCFILL_ARCH_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/memory.hh"
+#include "asm/program.hh"
+#include "isa/instruction.hh"
+
+namespace tcfill
+{
+
+/** Architectural register file + PC. R0 reads as zero always. */
+struct ArchState
+{
+    std::array<std::uint32_t, kNumArchRegs> regs{};
+    Addr pc = 0;
+
+    std::uint32_t
+    read(RegIndex r) const
+    {
+        return r == kRegZero ? 0 : regs[r];
+    }
+
+    void
+    write(RegIndex r, std::uint32_t v)
+    {
+        if (r != kRegZero)
+            regs[r] = v;
+    }
+};
+
+/**
+ * One committed dynamic instruction, as handed to the timing model.
+ * Carries everything the microarchitecture model needs: the decoded
+ * instruction, control-flow resolution, and the memory effective
+ * address.
+ */
+struct ExecRecord
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    Addr nextPc = 0;
+    Instruction inst;
+    /** Branch outcome (meaningful for conditional branches). */
+    bool taken = false;
+    /** Effective address for loads/stores, else kNoAddr. */
+    Addr effAddr = kNoAddr;
+};
+
+/**
+ * Steps a loaded program one instruction at a time. Execution is
+ * total: divide-by-zero yields 0, unknown encodings are NOPs, and a
+ * PC escaping the text segment is a fatal user error (wild jump).
+ */
+class Executor
+{
+  public:
+    explicit Executor(const Program &prog);
+
+    /** True once HALT has committed. */
+    bool halted() const { return halted_; }
+
+    /**
+     * Execute and commit one instruction; returns its record.
+     * Must not be called after halted().
+     */
+    ExecRecord step();
+
+    /** Committed instruction count so far. */
+    InstSeqNum instCount() const { return seq_; }
+
+    const ArchState &state() const { return state_; }
+    ArchState &state() { return state_; }
+    const Memory &memory() const { return mem_; }
+    Memory &memory() { return mem_; }
+    const Program &program() const { return prog_; }
+
+    /** Decode the instruction at @p pc from loaded text. */
+    Instruction fetchDecode(Addr pc) const;
+
+  private:
+    const Program &prog_;
+    ArchState state_;
+    Memory mem_;
+    InstSeqNum seq_ = 0;
+    bool halted_ = false;
+};
+
+/**
+ * Convenience: run @p prog functionally to completion (or @p maxInsts)
+ * and return the number of instructions committed. Used by tests.
+ */
+InstSeqNum runFunctional(const Program &prog,
+                         InstSeqNum max_insts = 100'000'000);
+
+} // namespace tcfill
+
+#endif // TCFILL_ARCH_EXECUTOR_HH

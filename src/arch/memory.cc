@@ -1,0 +1,88 @@
+#include "arch/memory.hh"
+
+namespace tcfill
+{
+
+const Memory::Page *
+Memory::findPage(Addr a) const
+{
+    auto it = pages_.find(a / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+Memory::Page &
+Memory::touchPage(Addr a)
+{
+    Page &p = pages_[a / kPageBytes];
+    if (p.empty())
+        p.resize(kPageBytes, 0);
+    return p;
+}
+
+std::uint8_t
+Memory::readByte(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? (*p)[a % kPageBytes] : 0;
+}
+
+std::uint16_t
+Memory::readHalf(Addr a) const
+{
+    return static_cast<std::uint16_t>(readByte(a)) |
+           static_cast<std::uint16_t>(readByte(a + 1)) << 8;
+}
+
+std::uint32_t
+Memory::readWord(Addr a) const
+{
+    // Fast path: whole word inside one page.
+    const Page *p = findPage(a);
+    std::size_t off = a % kPageBytes;
+    if (p && off + 4 <= kPageBytes) {
+        return static_cast<std::uint32_t>((*p)[off]) |
+               static_cast<std::uint32_t>((*p)[off + 1]) << 8 |
+               static_cast<std::uint32_t>((*p)[off + 2]) << 16 |
+               static_cast<std::uint32_t>((*p)[off + 3]) << 24;
+    }
+    return static_cast<std::uint32_t>(readHalf(a)) |
+           static_cast<std::uint32_t>(readHalf(a + 2)) << 16;
+}
+
+void
+Memory::writeByte(Addr a, std::uint8_t v)
+{
+    touchPage(a)[a % kPageBytes] = v;
+}
+
+void
+Memory::writeHalf(Addr a, std::uint16_t v)
+{
+    writeByte(a, static_cast<std::uint8_t>(v));
+    writeByte(a + 1, static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+Memory::writeWord(Addr a, std::uint32_t v)
+{
+    Page &p = touchPage(a);
+    std::size_t off = a % kPageBytes;
+    if (off + 4 <= kPageBytes) {
+        p[off] = static_cast<std::uint8_t>(v);
+        p[off + 1] = static_cast<std::uint8_t>(v >> 8);
+        p[off + 2] = static_cast<std::uint8_t>(v >> 16);
+        p[off + 3] = static_cast<std::uint8_t>(v >> 24);
+        return;
+    }
+    writeHalf(a, static_cast<std::uint16_t>(v));
+    writeHalf(a + 2, static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+Memory::writeBlock(Addr base, const std::uint8_t *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        writeByte(base + i, data[i]);
+}
+
+} // namespace tcfill

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sparse, paged functional memory for the simulated machine.
+ * Little-endian, byte-addressed; untouched memory reads as zero.
+ */
+
+#ifndef TCFILL_ARCH_MEMORY_HH
+#define TCFILL_ARCH_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcfill
+{
+
+/** Flat 2^32 byte space backed by 4 KiB pages allocated on demand. */
+class Memory
+{
+  public:
+    static constexpr std::size_t kPageBytes = 4096;
+
+    std::uint8_t readByte(Addr a) const;
+    std::uint16_t readHalf(Addr a) const;
+    std::uint32_t readWord(Addr a) const;
+
+    void writeByte(Addr a, std::uint8_t v);
+    void writeHalf(Addr a, std::uint16_t v);
+    void writeWord(Addr a, std::uint32_t v);
+
+    /** Bulk copy-in used by the program loader. */
+    void writeBlock(Addr base, const std::uint8_t *data, std::size_t n);
+
+    /** Number of pages currently materialized (for tests). */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(Addr a) const;
+    Page &touchPage(Addr a);
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_ARCH_MEMORY_HH

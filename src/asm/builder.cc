@@ -1,0 +1,485 @@
+#include "asm/builder.hh"
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    label_pos_.push_back(-1);
+    return Label(static_cast<std::uint32_t>(label_pos_.size() - 1));
+}
+
+std::uint32_t
+ProgramBuilder::labelId(Label l) const
+{
+    fatal_if(!l.valid_, "%s: use of default-constructed Label",
+             name_.c_str());
+    fatal_if(l.id_ >= label_pos_.size(), "%s: bad label id %u",
+             name_.c_str(), l.id_);
+    return l.id_;
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    std::uint32_t id = labelId(l);
+    fatal_if(label_pos_[id] >= 0, "%s: label %u bound twice",
+             name_.c_str(), id);
+    label_pos_[id] = static_cast<std::int64_t>(insts_.size());
+}
+
+Addr
+ProgramBuilder::here() const
+{
+    return kTextBase + insts_.size() * 4;
+}
+
+void
+ProgramBuilder::emit(const Instruction &inst)
+{
+    panic_if(finished_, "emit after finish()");
+    insts_.push_back(inst);
+}
+
+namespace
+{
+
+Instruction
+r3(Op op, RegIndex rd, RegIndex rs, RegIndex rt)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = rd;
+    in.src1 = rs;
+    in.src2 = rt;
+    return in;
+}
+
+Instruction
+i2(Op op, RegIndex rt, RegIndex rs, std::int32_t imm)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = rt;
+    in.src1 = rs;
+    in.imm = imm;
+    return in;
+}
+
+} // namespace
+
+void ProgramBuilder::add(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::ADD, rd, rs, rt)); }
+void ProgramBuilder::sub(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::SUB, rd, rs, rt)); }
+void ProgramBuilder::and_(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::AND, rd, rs, rt)); }
+void ProgramBuilder::or_(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::OR, rd, rs, rt)); }
+void ProgramBuilder::xor_(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::XOR, rd, rs, rt)); }
+void ProgramBuilder::nor(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::NOR, rd, rs, rt)); }
+void ProgramBuilder::slt(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::SLT, rd, rs, rt)); }
+void ProgramBuilder::sltu(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::SLTU, rd, rs, rt)); }
+void ProgramBuilder::sllv(RegIndex rd, RegIndex rval, RegIndex ramt)
+{ emit(r3(Op::SLLV, rd, rval, ramt)); }
+void ProgramBuilder::srlv(RegIndex rd, RegIndex rval, RegIndex ramt)
+{ emit(r3(Op::SRLV, rd, rval, ramt)); }
+void ProgramBuilder::srav(RegIndex rd, RegIndex rval, RegIndex ramt)
+{ emit(r3(Op::SRAV, rd, rval, ramt)); }
+void ProgramBuilder::mul(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::MUL, rd, rs, rt)); }
+void ProgramBuilder::div(RegIndex rd, RegIndex rs, RegIndex rt)
+{ emit(r3(Op::DIV, rd, rs, rt)); }
+
+void
+ProgramBuilder::addi(RegIndex rt, RegIndex rs, std::int32_t imm)
+{
+    fatal_if(imm < -32768 || imm > 32767, "%s: addi imm %d out of range",
+             name_.c_str(), imm);
+    emit(i2(Op::ADDI, rt, rs, imm));
+}
+
+void
+ProgramBuilder::slti(RegIndex rt, RegIndex rs, std::int32_t imm)
+{
+    emit(i2(Op::SLTI, rt, rs, imm));
+}
+
+void
+ProgramBuilder::sltiu(RegIndex rt, RegIndex rs, std::int32_t imm)
+{
+    emit(i2(Op::SLTIU, rt, rs, imm));
+}
+
+void
+ProgramBuilder::andi(RegIndex rt, RegIndex rs, std::uint32_t imm)
+{
+    fatal_if(imm > 0xffff, "%s: andi imm out of range", name_.c_str());
+    emit(i2(Op::ANDI, rt, rs, static_cast<std::int32_t>(imm)));
+}
+
+void
+ProgramBuilder::ori(RegIndex rt, RegIndex rs, std::uint32_t imm)
+{
+    fatal_if(imm > 0xffff, "%s: ori imm out of range", name_.c_str());
+    emit(i2(Op::ORI, rt, rs, static_cast<std::int32_t>(imm)));
+}
+
+void
+ProgramBuilder::xori(RegIndex rt, RegIndex rs, std::uint32_t imm)
+{
+    fatal_if(imm > 0xffff, "%s: xori imm out of range", name_.c_str());
+    emit(i2(Op::XORI, rt, rs, static_cast<std::int32_t>(imm)));
+}
+
+void
+ProgramBuilder::lui(RegIndex rt, std::uint32_t imm16)
+{
+    fatal_if(imm16 > 0xffff, "%s: lui imm out of range", name_.c_str());
+    Instruction in;
+    in.op = Op::LUI;
+    in.dest = rt;
+    in.imm = static_cast<std::int32_t>(imm16);
+    emit(in);
+}
+
+namespace
+{
+
+Instruction
+shiftImm(Op op, RegIndex rd, RegIndex rs, unsigned shamt)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = rd;
+    in.src1 = rs;
+    in.shamt = static_cast<std::uint8_t>(shamt & 31);
+    return in;
+}
+
+} // namespace
+
+void ProgramBuilder::slli(RegIndex rd, RegIndex rs, unsigned shamt)
+{ emit(shiftImm(Op::SLLI, rd, rs, shamt)); }
+void ProgramBuilder::srli(RegIndex rd, RegIndex rs, unsigned shamt)
+{ emit(shiftImm(Op::SRLI, rd, rs, shamt)); }
+void ProgramBuilder::srai(RegIndex rd, RegIndex rs, unsigned shamt)
+{ emit(shiftImm(Op::SRAI, rd, rs, shamt)); }
+
+namespace
+{
+
+Instruction
+loadOp(Op op, RegIndex rt, RegIndex base, std::int32_t disp)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = rt;
+    in.src1 = base;
+    in.imm = disp;
+    return in;
+}
+
+Instruction
+storeOp(Op op, RegIndex rdata, RegIndex base, std::int32_t disp)
+{
+    Instruction in;
+    in.op = op;
+    in.src1 = base;
+    in.src3 = rdata;
+    in.imm = disp;
+    return in;
+}
+
+} // namespace
+
+void ProgramBuilder::lb(RegIndex rt, RegIndex base, std::int32_t disp)
+{ emit(loadOp(Op::LB, rt, base, disp)); }
+void ProgramBuilder::lbu(RegIndex rt, RegIndex base, std::int32_t disp)
+{ emit(loadOp(Op::LBU, rt, base, disp)); }
+void ProgramBuilder::lh(RegIndex rt, RegIndex base, std::int32_t disp)
+{ emit(loadOp(Op::LH, rt, base, disp)); }
+void ProgramBuilder::lhu(RegIndex rt, RegIndex base, std::int32_t disp)
+{ emit(loadOp(Op::LHU, rt, base, disp)); }
+void ProgramBuilder::lw(RegIndex rt, RegIndex base, std::int32_t disp)
+{ emit(loadOp(Op::LW, rt, base, disp)); }
+void ProgramBuilder::sb(RegIndex rdata, RegIndex base, std::int32_t disp)
+{ emit(storeOp(Op::SB, rdata, base, disp)); }
+void ProgramBuilder::sh(RegIndex rdata, RegIndex base, std::int32_t disp)
+{ emit(storeOp(Op::SH, rdata, base, disp)); }
+void ProgramBuilder::sw(RegIndex rdata, RegIndex base, std::int32_t disp)
+{ emit(storeOp(Op::SW, rdata, base, disp)); }
+
+void
+ProgramBuilder::lwx(RegIndex rt, RegIndex base, RegIndex index)
+{
+    emit(r3(Op::LWX, rt, base, index));
+}
+
+void
+ProgramBuilder::swx(RegIndex rdata, RegIndex base, RegIndex index)
+{
+    Instruction in;
+    in.op = Op::SWX;
+    in.src1 = base;
+    in.src2 = index;
+    in.src3 = rdata;
+    emit(in);
+}
+
+namespace
+{
+
+Instruction
+condBranch(Op op, RegIndex rs, RegIndex rt)
+{
+    Instruction in;
+    in.op = op;
+    in.src1 = rs;
+    in.src2 = rt;
+    return in;
+}
+
+} // namespace
+
+void
+ProgramBuilder::beq(RegIndex rs, RegIndex rt, Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::BranchRel});
+    emit(condBranch(Op::BEQ, rs, rt));
+}
+
+void
+ProgramBuilder::bne(RegIndex rs, RegIndex rt, Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::BranchRel});
+    emit(condBranch(Op::BNE, rs, rt));
+}
+
+void
+ProgramBuilder::blez(RegIndex rs, Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::BranchRel});
+    emit(condBranch(Op::BLEZ, rs, Instruction::kNoReg));
+}
+
+void
+ProgramBuilder::bgtz(RegIndex rs, Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::BranchRel});
+    emit(condBranch(Op::BGTZ, rs, Instruction::kNoReg));
+}
+
+void
+ProgramBuilder::bltz(RegIndex rs, Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::BranchRel});
+    emit(condBranch(Op::BLTZ, rs, Instruction::kNoReg));
+}
+
+void
+ProgramBuilder::bgez(RegIndex rs, Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::BranchRel});
+    emit(condBranch(Op::BGEZ, rs, Instruction::kNoReg));
+}
+
+void
+ProgramBuilder::j(Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::JumpAbs});
+    Instruction in;
+    in.op = Op::J;
+    emit(in);
+}
+
+void
+ProgramBuilder::jal(Label target)
+{
+    fixups_.push_back({insts_.size(), labelId(target), FixKind::JumpAbs});
+    Instruction in;
+    in.op = Op::JAL;
+    in.dest = kRegRA;
+    emit(in);
+}
+
+void
+ProgramBuilder::jr(RegIndex rs)
+{
+    Instruction in;
+    in.op = Op::JR;
+    in.src1 = rs;
+    emit(in);
+}
+
+void
+ProgramBuilder::jalr(RegIndex rd, RegIndex rs)
+{
+    Instruction in;
+    in.op = Op::JALR;
+    in.dest = rd;
+    in.src1 = rs;
+    emit(in);
+}
+
+void
+ProgramBuilder::nop()
+{
+    Instruction in;
+    in.op = Op::NOP;
+    emit(in);
+}
+
+void
+ProgramBuilder::syscall_()
+{
+    Instruction in;
+    in.op = Op::SYSCALL;
+    emit(in);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Instruction in;
+    in.op = Op::HALT;
+    emit(in);
+}
+
+void
+ProgramBuilder::li(RegIndex rt, std::int32_t value)
+{
+    if (value >= -32768 && value <= 32767) {
+        addi(rt, kRegZero, value);
+        return;
+    }
+    auto uval = static_cast<std::uint32_t>(value);
+    lui(rt, uval >> 16);
+    if (uval & 0xffff)
+        ori(rt, rt, uval & 0xffff);
+}
+
+void
+ProgramBuilder::move(RegIndex rt, RegIndex rs)
+{
+    addi(rt, rs, 0);
+}
+
+void
+ProgramBuilder::la(RegIndex rt, Addr addr)
+{
+    fatal_if(addr > 0xffffffffull, "%s: la address out of 32-bit range",
+             name_.c_str());
+    li(rt, static_cast<std::int32_t>(static_cast<std::uint32_t>(addr)));
+}
+
+void
+ProgramBuilder::ret()
+{
+    jr(kRegRA);
+}
+
+Addr
+ProgramBuilder::allocData(std::size_t bytes, std::size_t align)
+{
+    fatal_if(align == 0 || (align & (align - 1)) != 0,
+             "%s: allocData alignment must be a power of two",
+             name_.c_str());
+    data_cursor_ = (data_cursor_ + align - 1) & ~(Addr(align) - 1);
+    Addr base = data_cursor_;
+    data_.push_back({base, std::vector<std::uint8_t>(bytes, 0)});
+    data_cursor_ += bytes;
+    return base;
+}
+
+Addr
+ProgramBuilder::dataWords(const std::vector<std::int32_t> &words)
+{
+    Addr base = allocData(words.size() * 4, 4);
+    auto &seg = data_.back();
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        auto v = static_cast<std::uint32_t>(words[i]);
+        seg.bytes[i * 4 + 0] = static_cast<std::uint8_t>(v);
+        seg.bytes[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+        seg.bytes[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+        seg.bytes[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+    return base;
+}
+
+Addr
+ProgramBuilder::dataBytes(const std::vector<std::uint8_t> &bytes)
+{
+    Addr base = allocData(bytes.size(), 1);
+    data_.back().bytes = bytes;
+    return base;
+}
+
+void
+ProgramBuilder::pokeWord(Addr addr, std::int32_t value)
+{
+    for (auto &seg : data_) {
+        if (addr >= seg.base && addr + 4 <= seg.base + seg.bytes.size()) {
+            auto off = static_cast<std::size_t>(addr - seg.base);
+            auto v = static_cast<std::uint32_t>(value);
+            seg.bytes[off + 0] = static_cast<std::uint8_t>(v);
+            seg.bytes[off + 1] = static_cast<std::uint8_t>(v >> 8);
+            seg.bytes[off + 2] = static_cast<std::uint8_t>(v >> 16);
+            seg.bytes[off + 3] = static_cast<std::uint8_t>(v >> 24);
+            return;
+        }
+    }
+    fatal("%s: pokeWord(0x%llx) outside any data segment",
+          name_.c_str(), static_cast<unsigned long long>(addr));
+}
+
+Program
+ProgramBuilder::finish()
+{
+    panic_if(finished_, "finish() called twice");
+    finished_ = true;
+
+    for (const auto &fix : fixups_) {
+        fatal_if(label_pos_[fix.label] < 0,
+                 "%s: unbound label %u referenced at inst %zu",
+                 name_.c_str(), fix.label, fix.index);
+        auto target = static_cast<std::int64_t>(label_pos_[fix.label]);
+        Instruction &in = insts_[fix.index];
+        if (fix.kind == FixKind::BranchRel) {
+            std::int64_t off =
+                target - (static_cast<std::int64_t>(fix.index) + 1);
+            fatal_if(off < -32768 || off > 32767,
+                     "%s: branch at inst %zu out of range (%lld words)",
+                     name_.c_str(), fix.index,
+                     static_cast<long long>(off));
+            in.imm = static_cast<std::int32_t>(off);
+        } else {
+            Addr abs = kTextBase + static_cast<Addr>(target) * 4;
+            in.imm = static_cast<std::int32_t>(abs / 4);
+        }
+    }
+
+    Program prog;
+    prog.name = name_;
+    prog.textBase = kTextBase;
+    prog.entry = kTextBase;
+    prog.stackTop = kStackTop;
+    prog.text.reserve(insts_.size());
+    for (const auto &in : insts_)
+        prog.text.push_back(encode(in));
+    prog.data = std::move(data_);
+    return prog;
+}
+
+} // namespace tcfill

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ProgramBuilder: an embedded (JIT-style) assembler for the tcfill
+ * ISA. Workload kernels and tests emit instructions through typed
+ * methods, use labels for control flow, and allocate/initialize data
+ * segments; finish() resolves all fixups and returns a Program.
+ */
+
+#ifndef TCFILL_ASM_BUILDER_HH
+#define TCFILL_ASM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/instruction.hh"
+
+namespace tcfill
+{
+
+/** An opaque control-flow label handle; create via newLabel(). */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(std::uint32_t id) : id_(id), valid_(true) {}
+    std::uint32_t id_ = 0;
+    bool valid_ = false;
+};
+
+/**
+ * Incrementally assembles a Program. All emit methods append one
+ * instruction; label-target control flow is fixed up at finish().
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // ---- labels -----------------------------------------------------
+    /** Create a fresh unbound label. */
+    Label newLabel();
+    /** Bind @p l to the current text position; each label binds once. */
+    void bind(Label l);
+    /** Address the next emitted instruction will occupy. */
+    Addr here() const;
+
+    // ---- R-type ALU -------------------------------------------------
+    void add(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sub(RegIndex rd, RegIndex rs, RegIndex rt);
+    void and_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void or_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void xor_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void nor(RegIndex rd, RegIndex rs, RegIndex rt);
+    void slt(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sltu(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sllv(RegIndex rd, RegIndex rval, RegIndex ramt);
+    void srlv(RegIndex rd, RegIndex rval, RegIndex ramt);
+    void srav(RegIndex rd, RegIndex rval, RegIndex ramt);
+    void mul(RegIndex rd, RegIndex rs, RegIndex rt);
+    void div(RegIndex rd, RegIndex rs, RegIndex rt);
+
+    // ---- immediates -------------------------------------------------
+    void addi(RegIndex rt, RegIndex rs, std::int32_t imm);
+    void slti(RegIndex rt, RegIndex rs, std::int32_t imm);
+    void sltiu(RegIndex rt, RegIndex rs, std::int32_t imm);
+    void andi(RegIndex rt, RegIndex rs, std::uint32_t imm);
+    void ori(RegIndex rt, RegIndex rs, std::uint32_t imm);
+    void xori(RegIndex rt, RegIndex rs, std::uint32_t imm);
+    void lui(RegIndex rt, std::uint32_t imm16);
+    void slli(RegIndex rd, RegIndex rs, unsigned shamt);
+    void srli(RegIndex rd, RegIndex rs, unsigned shamt);
+    void srai(RegIndex rd, RegIndex rs, unsigned shamt);
+
+    // ---- memory -----------------------------------------------------
+    void lb(RegIndex rt, RegIndex base, std::int32_t disp);
+    void lbu(RegIndex rt, RegIndex base, std::int32_t disp);
+    void lh(RegIndex rt, RegIndex base, std::int32_t disp);
+    void lhu(RegIndex rt, RegIndex base, std::int32_t disp);
+    void lw(RegIndex rt, RegIndex base, std::int32_t disp);
+    void sb(RegIndex rdata, RegIndex base, std::int32_t disp);
+    void sh(RegIndex rdata, RegIndex base, std::int32_t disp);
+    void sw(RegIndex rdata, RegIndex base, std::int32_t disp);
+    void lwx(RegIndex rt, RegIndex base, RegIndex index);
+    void swx(RegIndex rdata, RegIndex base, RegIndex index);
+
+    // ---- control ----------------------------------------------------
+    void beq(RegIndex rs, RegIndex rt, Label target);
+    void bne(RegIndex rs, RegIndex rt, Label target);
+    void blez(RegIndex rs, Label target);
+    void bgtz(RegIndex rs, Label target);
+    void bltz(RegIndex rs, Label target);
+    void bgez(RegIndex rs, Label target);
+    void j(Label target);
+    void jal(Label target);
+    void jr(RegIndex rs);
+    void jalr(RegIndex rd, RegIndex rs);
+
+    // ---- misc / pseudo-ops -------------------------------------------
+    void nop();
+    void syscall_();
+    void halt();
+    /** Load a full 32-bit constant (expands to 1-2 instructions). */
+    void li(RegIndex rt, std::int32_t value);
+    /** Canonical register move: addi rt, rs, 0. */
+    void move(RegIndex rt, RegIndex rs);
+    /** Load a data-segment address into a register (li on the addr). */
+    void la(RegIndex rt, Addr addr);
+    /** Return: jr through the link register. */
+    void ret();
+
+    // ---- data segments ----------------------------------------------
+    /**
+     * Reserve @p bytes of zero-initialized data with the given
+     * alignment; returns the allocated base address.
+     */
+    Addr allocData(std::size_t bytes, std::size_t align = 4);
+    /** Allocate and initialize an array of 32-bit words. */
+    Addr dataWords(const std::vector<std::int32_t> &words);
+    /** Allocate and initialize raw bytes. */
+    Addr dataBytes(const std::vector<std::uint8_t> &bytes);
+    /** Patch a previously allocated word. */
+    void pokeWord(Addr addr, std::int32_t value);
+
+    // ---- finalization -----------------------------------------------
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return insts_.size(); }
+
+    /**
+     * Resolve all label fixups and produce the linked Program.
+     * Fatals on unbound labels or out-of-range branch offsets.
+     */
+    Program finish();
+
+  private:
+    enum class FixKind { BranchRel, JumpAbs };
+
+    struct Fixup
+    {
+        std::size_t index;      // instruction slot to patch
+        std::uint32_t label;
+        FixKind kind;
+    };
+
+    void emit(const Instruction &inst);
+    std::uint32_t labelId(Label l) const;
+
+    std::string name_;
+    std::vector<Instruction> insts_;
+    std::vector<std::int64_t> label_pos_;   // -1 = unbound
+    std::vector<Fixup> fixups_;
+
+    Addr data_cursor_ = kDataBase;
+    std::vector<Program::DataSegment> data_;
+    bool finished_ = false;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_ASM_BUILDER_HH

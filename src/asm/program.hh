@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A fully linked program image: text, initialized data segments, an
+ * entry point and conventional stack placement. Produced by
+ * ProgramBuilder, consumed by the functional core's loader.
+ */
+
+#ifndef TCFILL_ASM_PROGRAM_HH
+#define TCFILL_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcfill
+{
+
+/** Default placement constants (flat 32-bit address space). */
+inline constexpr Addr kTextBase = 0x00400000;
+inline constexpr Addr kDataBase = 0x10000000;
+inline constexpr Addr kStackTop = 0x7ffffff0;
+
+/** A linked, loadable program image. */
+struct Program
+{
+    std::string name;
+
+    /** Base address of the text segment (4-byte aligned). */
+    Addr textBase = kTextBase;
+
+    /** Encoded instructions, textBase + 4*i each. */
+    std::vector<Word> text;
+
+    struct DataSegment
+    {
+        Addr base;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    /** Initialized data to copy into memory at load time. */
+    std::vector<DataSegment> data;
+
+    /** Initial PC. */
+    Addr entry = kTextBase;
+
+    /** Initial stack pointer (grows down). */
+    Addr stackTop = kStackTop;
+
+    /** Size of the text segment in bytes. */
+    Addr textSize() const { return text.size() * 4; }
+
+    /** True iff @p pc addresses an instruction of this image. */
+    bool
+    containsPc(Addr pc) const
+    {
+        return pc >= textBase && pc < textBase + textSize() &&
+               (pc & 3) == 0;
+    }
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_ASM_PROGRAM_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder, caches and
+ * branch predictors.
+ */
+
+#ifndef TCFILL_COMMON_BITFIELD_HH
+#define TCFILL_COMMON_BITFIELD_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace tcfill
+{
+
+/** A mask of the low @p nbits bits. nbits must be <= 64. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t(0)
+                       : (std::uint64_t(1) << nbits) - 1;
+}
+
+/** Extract bits [last:first] (inclusive, last >= first) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned last, unsigned first)
+{
+    return (value >> first) & mask(last - first + 1);
+}
+
+/** Extract the single bit @p pos of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/**
+ * Insert the low (last-first+1) bits of @p field into bits [last:first]
+ * of @p dest and return the result.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t dest, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    std::uint64_t m = mask(last - first + 1) << first;
+    return (dest & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p nbits bits of @p value to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t value, unsigned nbits)
+{
+    std::uint64_t sign_bit = std::uint64_t(1) << (nbits - 1);
+    std::uint64_t low = value & mask(nbits);
+    return static_cast<std::int64_t>((low ^ sign_bit) - sign_bit);
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace tcfill
+
+#endif // TCFILL_COMMON_BITFIELD_HH

@@ -1,0 +1,77 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tcfill
+{
+
+namespace
+{
+bool quiet_flag = false;
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+quietLogging()
+{
+    return quiet_flag;
+}
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+void
+terminatePanic(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+terminateFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    if (!quiet_flag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (!quiet_flag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace tcfill

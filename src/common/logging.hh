@@ -1,0 +1,75 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef TCFILL_COMMON_LOGGING_HH
+#define TCFILL_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tcfill
+{
+
+namespace detail
+{
+
+[[noreturn]] void terminatePanic(const char *file, int line,
+                                 const std::string &msg);
+[[noreturn]] void terminateFatal(const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace tcfill
+
+/**
+ * Report an internal simulator bug and abort. Use only for conditions
+ * that can never happen regardless of user input.
+ */
+#define panic(...)                                                      \
+    ::tcfill::detail::terminatePanic(__FILE__, __LINE__,               \
+        ::tcfill::detail::vformat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user-level error (bad configuration,
+ * malformed program) and exit(1).
+ */
+#define fatal(...)                                                      \
+    ::tcfill::detail::terminateFatal(::tcfill::detail::vformat(__VA_ARGS__))
+
+/** Abort with a panic if the invariant does not hold. */
+#define panic_if(cond, ...)                                             \
+    do {                                                                \
+        if (cond)                                                       \
+            panic(__VA_ARGS__);                                         \
+    } while (0)
+
+/** Exit with a fatal error if the condition holds. */
+#define fatal_if(cond, ...)                                             \
+    do {                                                                \
+        if (cond)                                                       \
+            fatal(__VA_ARGS__);                                         \
+    } while (0)
+
+/** Non-fatal warning to the user. */
+#define warn(...)                                                       \
+    ::tcfill::detail::emitWarn(::tcfill::detail::vformat(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...)                                                     \
+    ::tcfill::detail::emitInform(::tcfill::detail::vformat(__VA_ARGS__))
+
+#endif // TCFILL_COMMON_LOGGING_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small deterministic PRNG (xorshift128+) used by workload input
+ * generation so every simulation run is exactly reproducible.
+ */
+
+#ifndef TCFILL_COMMON_RANDOM_HH
+#define TCFILL_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+/**
+ * Deterministic xorshift128+ generator. Intentionally not
+ * std::mt19937: we want a tiny, header-only, stable-across-platforms
+ * stream.
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to avoid bad low-entropy states.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Random::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        panic_if(lo > hi, "Random::range(%lld, %lld)",
+                 static_cast<long long>(lo), static_cast<long long>(hi));
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw: true with probability @p percent / 100. */
+    bool
+    percent(unsigned p)
+    {
+        return below(100) < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_COMMON_RANDOM_HH

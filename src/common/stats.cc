@@ -1,0 +1,39 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace tcfill::stats
+{
+
+double
+Group::value(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return e.eval();
+    }
+    fatal("stat '%s.%s' not registered", name_.c_str(), name.c_str());
+}
+
+bool
+Group::has(const std::string &name) const
+{
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const Entry &e) { return e.name == name; });
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(40) << (name_ + "." + e.name)
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(4) << e.eval()
+           << "  # " << e.desc << "\n";
+    }
+}
+
+} // namespace tcfill::stats

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, ratios and
+ * histograms registered in groups, with text dumping. Modeled loosely
+ * on the SimpleScalar / gem5 stats packages the paper's simulator used.
+ */
+
+#ifndef TCFILL_COMMON_STATS_HH
+#define TCFILL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcfill::stats
+{
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, buckets); overflow goes to last. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 0) : counts_(buckets) {}
+
+    void
+    sample(std::size_t v, std::uint64_t n = 1)
+    {
+        if (counts_.empty())
+            return;
+        std::size_t idx = v < counts_.size() ? v : counts_.size() - 1;
+        counts_[idx] += n;
+        total_ += n;
+        sum_ += static_cast<std::uint64_t>(v) * n;
+    }
+
+    std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+    std::uint64_t total() const { return total_; }
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Mean of sampled values (0 when empty). */
+    double
+    mean() const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(total_);
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A named collection of stats. Components register their counters once
+ * at construction; Group::dump() prints "name value # description"
+ * lines like SimpleScalar's -dumpconfig output.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter by reference; the component keeps ownership. */
+    void
+    addCounter(const std::string &name, const Counter &c,
+               const std::string &desc)
+    {
+        entries_.push_back({name, desc,
+            [&c]() { return static_cast<double>(c.value()); }});
+    }
+
+    /** Register a derived value computed on demand (e.g. IPC). */
+    void
+    addFormula(const std::string &name, std::function<double()> fn,
+               const std::string &desc)
+    {
+        entries_.push_back({name, desc, std::move(fn)});
+    }
+
+    /** Look up a registered value by name; fatals if missing. */
+    double value(const std::string &name) const;
+
+    /** True iff a stat of that name was registered. */
+    bool has(const std::string &name) const;
+
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> eval;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace tcfill::stats
+
+#endif // TCFILL_COMMON_STATS_HH

@@ -1,0 +1,77 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    fatal_if(header_.empty(), "TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    fatal_if(row.size() != header_.size(),
+             "TextTable row has %zu cells, header has %zu",
+             row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first (name) column, right-align numbers.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << "\n";
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace tcfill

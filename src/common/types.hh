@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every tcfill module.
+ */
+
+#ifndef TCFILL_COMMON_TYPES_HH
+#define TCFILL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace tcfill
+{
+
+/** Byte address in the simulated machine's flat address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction sequence number (monotonic over a run). */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural register index (0..numArchRegs-1). */
+using RegIndex = std::uint8_t;
+
+/** Physical register / operand tag in the renamed machine. */
+using PhysRegIndex = std::uint32_t;
+
+/** 32-bit machine word: the ISA is a 32-bit RISC. */
+using Word = std::uint32_t;
+using SWord = std::int32_t;
+
+/** Sentinel for "no cycle assigned yet". */
+inline constexpr Cycle kNoCycle = ~Cycle(0);
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = ~Addr(0);
+
+} // namespace tcfill
+
+#endif // TCFILL_COMMON_TYPES_HH

@@ -1,0 +1,186 @@
+#include "fill/fill_unit.hh"
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+FillUnit::FillUnit(const FillUnitConfig &config, TraceCache &tcache,
+                   BiasTable &bias)
+    : config_(config), tcache_(tcache), bias_(bias)
+{
+    fatal_if(config.maxInsts == 0 || config.maxInsts > kSegmentMaxInsts,
+             "fill unit: maxInsts must be in [1,%u]", kSegmentMaxInsts);
+    fatal_if(config.maxCondBranches > kSegmentMaxCondBranches,
+             "fill unit: maxCondBranches must be <= %u",
+             kSegmentMaxCondBranches);
+}
+
+void
+FillUnit::retire(const ExecRecord &rec, Cycle now, bool miss_target)
+{
+    const Instruction &inst = rec.inst;
+
+    // Boundary convergence: start a fresh segment at addresses the
+    // fetch stream demanded from the instruction cache.
+    if (miss_target && config_.restartAtMissTargets &&
+        !pending_.empty()) {
+        finalize(now);
+    }
+
+    // Train the bias table with every retired conditional branch so
+    // promotion state is current before we decide how to record it.
+    bool is_cond = inst.isCondBranch();
+    bool promoted = false;
+    if (is_cond && config_.promoteBranches) {
+        bias_.observe(rec.pc, rec.taken);
+        // A branch may only be recorded promoted if its bias direction
+        // matches this occurrence (it always does right after observe:
+        // a flip resets the run to this direction and demotes).
+        promoted = bias_.isPromoted(rec.pc);
+    }
+
+    // Finalize-before rules: the incoming instruction does not fit.
+    if (!pending_.empty()) {
+        bool full = pending_.size() >= config_.maxInsts;
+        bool too_many_branches =
+            is_cond && !promoted &&
+            pending_cond_branches_ >= config_.maxCondBranches;
+        if (full || too_many_branches)
+            finalize(now);
+    }
+
+    if (pending_.empty()) {
+        pending_.startPc = rec.pc;
+        pending_cond_branches_ = 0;
+        pending_blocks_ = 1;
+        pending_cf_region_ = 0;
+    }
+
+    TraceInst ti;
+    ti.inst = inst;
+    ti.pc = rec.pc;
+    ti.nextPc = rec.nextPc;
+    ti.taken = rec.taken;
+    ti.origIdx = static_cast<std::uint8_t>(pending_.size());
+    ti.slot = ti.origIdx & 15;
+    ti.blockNum = static_cast<std::uint8_t>(pending_blocks_ - 1);
+    ti.cfRegion = static_cast<std::uint8_t>(pending_cf_region_);
+    if (inst.isControl())
+        ++pending_cf_region_;
+    if (is_cond && promoted) {
+        ti.promoted = true;
+        ti.promotedDir = rec.taken;
+        ++promoted_branches_;
+    }
+    pending_.insts.push_back(ti);
+    pending_.nextPc = rec.nextPc;
+
+    if (is_cond && !promoted) {
+        pending_.predSlots.push_back(
+            static_cast<std::uint8_t>(pending_.size() - 1));
+        ++pending_cond_branches_;
+        ++pending_blocks_;
+    }
+
+    // Finalize-after rules (paper §3): returns, indirect branches and
+    // serializing instructions terminate the segment; subroutine calls
+    // and unconditional direct branches do not.
+    bool terminates = inst.isIndirect() || inst.isSerializing();
+    // Loop-head alignment: a taken backward transfer ends the segment
+    // so the next one starts at the loop head (see config note).
+    if (config_.alignLoopHeads && rec.taken && !inst.isCall() &&
+        rec.nextPc < rec.pc) {
+        terminates = true;
+    }
+    // Without trace packing, a segment ends at its natural block
+    // boundary once the conditional-branch budget is consumed.
+    bool packed_out = !config_.packTraces && is_cond && !promoted &&
+                      pending_cond_branches_ >= config_.maxCondBranches;
+    if (terminates || packed_out || pending_.size() >= config_.maxInsts)
+        finalize(now);
+}
+
+void
+FillUnit::finalize(Cycle now)
+{
+    if (pending_.empty())
+        return;
+
+    TraceSegment seg = std::move(pending_);
+    pending_ = TraceSegment{};
+    pending_cond_branches_ = 0;
+    pending_blocks_ = 1;
+    pending_cf_region_ = 0;
+
+    seg.numBlocks = seg.insts.empty()
+        ? 1
+        : static_cast<unsigned>(seg.insts.back().blockNum) + 1;
+
+    // The optimization pipeline (paper §4). Dependency pre-decode is
+    // part of the baseline fill unit.
+    markDependencies(seg);
+    if (config_.opts.markMoves)
+        moves_ += markMoves(seg);
+    if (config_.opts.reassociate)
+        reassoc_ += reassociate(seg, config_.opts.reassocOptions);
+    if (config_.opts.scaledAdds)
+        scaled_ += createScaledAdds(seg);
+    if (config_.opts.deadCodeElim)
+        dce_ += eliminateDeadWrites(seg);
+    if (config_.opts.placement)
+        placeInstructions(seg, kSegmentMaxInsts, 4, &placement_hints_);
+    else
+        placeIdentity(seg);
+
+    ++segments_;
+    insts_ += seg.size();
+    seg_length_.sample(seg.size());
+
+    fill_pipe_.push_back({now + config_.latency, std::move(seg)});
+}
+
+void
+FillUnit::tick(Cycle now)
+{
+    while (!fill_pipe_.empty() && fill_pipe_.front().readyCycle <= now) {
+        tcache_.install(std::move(fill_pipe_.front().seg));
+        fill_pipe_.pop_front();
+    }
+}
+
+void
+FillUnit::flushPending(Cycle now)
+{
+    finalize(now);
+    tick(now + config_.latency);
+}
+
+double
+FillUnit::avgSegmentLength() const
+{
+    return seg_length_.mean();
+}
+
+void
+FillUnit::regStats(stats::Group &group)
+{
+    group.addCounter("fill.segments", segments_, "trace segments built");
+    group.addCounter("fill.insts", insts_,
+                     "instructions collected into segments");
+    group.addCounter("fill.moves_marked", moves_,
+                     "register moves marked (static, per segment build)");
+    group.addCounter("fill.reassociations", reassoc_,
+                     "instructions reassociated (static)");
+    group.addCounter("fill.scaled_adds", scaled_,
+                     "scaled operands created (static)");
+    group.addCounter("fill.dead_elided", dce_,
+                     "dead writes elided (static, extension)");
+    group.addCounter("fill.promoted_branches", promoted_branches_,
+                     "conditional branches recorded promoted");
+    group.addFormula("fill.avg_segment_length",
+        [this]() { return avgSegmentLength(); },
+        "mean instructions per segment");
+}
+
+} // namespace tcfill

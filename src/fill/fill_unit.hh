@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The fill unit (paper §3, §4.1): collects retired instructions into
+ * multi-block trace segments, applies branch promotion and the four
+ * dynamic trace optimizations, and installs finished segments into
+ * the trace cache after a configurable fill-pipeline latency.
+ */
+
+#ifndef TCFILL_FILL_FILL_UNIT_HH
+#define TCFILL_FILL_FILL_UNIT_HH
+
+#include <deque>
+#include <vector>
+
+#include "arch/executor.hh"
+#include "bpred/predictor.hh"
+#include "common/stats.hh"
+#include "fill/passes.hh"
+#include "trace/segment.hh"
+#include "trace/tcache.hh"
+
+namespace tcfill
+{
+
+/** Which dynamic trace optimizations the fill unit performs. */
+struct FillOptimizations
+{
+    bool markMoves = false;
+    bool reassociate = false;
+    bool scaledAdds = false;
+    bool placement = false;
+    /**
+     * Extension (paper §5 future work): same-region dead-write
+     * elision. Not part of the paper's evaluated configuration, so
+     * not included in all().
+     */
+    bool deadCodeElim = false;
+    ReassocOptions reassocOptions{};
+
+    /** The paper's four evaluated optimizations. */
+    static FillOptimizations
+    all()
+    {
+        return {true, true, true, true, false, {}};
+    }
+
+    /** The four paper optimizations plus dead-write elision. */
+    static FillOptimizations
+    extended()
+    {
+        return {true, true, true, true, true, {}};
+    }
+
+    static FillOptimizations none() { return {}; }
+};
+
+/** Fill unit configuration (paper defaults). */
+struct FillUnitConfig
+{
+    /** Latency through the fill pipeline, in cycles (paper: 1/5/10). */
+    Cycle latency = 5;
+    /** Pack past block boundaries up to the 16-instruction limit. */
+    bool packTraces = true;
+    /**
+     * Terminate segments after taken backward control transfers
+     * (loop bottoms), pinning segment starts to loop heads. Stops
+     * boundary drift but also forbids multi-iteration packing;
+     * kept as an ablation knob (bench/abl_fill_policy).
+     */
+    bool alignLoopHeads = false;
+    /**
+     * Restart the pending segment at instructions whose fetch missed
+     * the trace cache (the default boundary-convergence mechanism):
+     * the fill unit then builds exactly the segments the fetch stream
+     * asks for, while still packing freely across iterations once
+     * fetch is hitting.
+     */
+    bool restartAtMissTargets = true;
+    /** Promote strongly biased branches via the bias table. */
+    bool promoteBranches = true;
+    unsigned maxInsts = kSegmentMaxInsts;
+    unsigned maxCondBranches = kSegmentMaxCondBranches;
+    FillOptimizations opts{};
+};
+
+/**
+ * The fill unit. Call retire() for every committed instruction in
+ * order; call tick() each cycle (or at fetch time) to install
+ * segments whose fill latency has elapsed.
+ */
+class FillUnit
+{
+  public:
+    FillUnit(const FillUnitConfig &config, TraceCache &tcache,
+             BiasTable &bias);
+
+    /**
+     * Collect one retired instruction at cycle @p now.
+     * @param miss_target the instruction's fetch missed the trace
+     *        cache and started an instruction-cache line — a future
+     *        fetch address the trace cache should serve.
+     */
+    void retire(const ExecRecord &rec, Cycle now,
+                bool miss_target = false);
+
+    /** Install all segments whose readyCycle <= @p now. */
+    void tick(Cycle now);
+
+    /** Force the pending partial segment to finalize (tests). */
+    void flushPending(Cycle now);
+
+    const FillUnitConfig &config() const { return config_; }
+
+    // ---- statistics ---------------------------------------------------
+    std::uint64_t segmentsBuilt() const { return segments_.value(); }
+    std::uint64_t instsCollected() const { return insts_.value(); }
+    std::uint64_t movesMarked() const { return moves_.value(); }
+    std::uint64_t reassociations() const { return reassoc_.value(); }
+    std::uint64_t scaledAddsCreated() const { return scaled_.value(); }
+    std::uint64_t deadWritesElided() const { return dce_.value(); }
+
+    /** Mean instructions per finalized segment. */
+    double avgSegmentLength() const;
+
+    void regStats(stats::Group &group);
+
+  private:
+    void finalize(Cycle now);
+
+    FillUnitConfig config_;
+    TraceCache &tcache_;
+    BiasTable &bias_;
+
+    TraceSegment pending_;
+    unsigned pending_cond_branches_ = 0;
+    unsigned pending_blocks_ = 1;
+    unsigned pending_cf_region_ = 0;
+    PlacementHints placement_hints_;
+
+    struct InFlight
+    {
+        Cycle readyCycle;
+        TraceSegment seg;
+    };
+    std::deque<InFlight> fill_pipe_;
+
+    stats::Counter segments_;
+    stats::Counter insts_;
+    stats::Counter moves_;
+    stats::Counter reassoc_;
+    stats::Counter scaled_;
+    stats::Counter dce_;
+    stats::Counter promoted_branches_;
+    stats::Histogram seg_length_{kSegmentMaxInsts + 1};
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_FILL_FILL_UNIT_HH

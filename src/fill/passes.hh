@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The fill unit's trace transformation passes (paper §4). Each pass
+ * operates on a finalized TraceSegment in place. Passes must run in
+ * the order: markDependencies, markMoves, reassociate,
+ * createScaledAdds, placeInstructions — later passes consume the
+ * dependency indices earlier passes maintain.
+ */
+
+#ifndef TCFILL_FILL_PASSES_HH
+#define TCFILL_FILL_PASSES_HH
+
+#include <cstdint>
+
+#include "trace/segment.hh"
+
+namespace tcfill
+{
+
+/** Counts of transformations applied to one segment (for Table 2). */
+struct PassCounts
+{
+    unsigned movesMarked = 0;
+    unsigned reassociations = 0;
+    unsigned scaledAdds = 0;
+};
+
+/** Options controlling the reassociation pass. */
+struct ReassocOptions
+{
+    /**
+     * Only reassociate pairs that cross a control-flow (block)
+     * boundary — the paper's reported configuration, which isolates
+     * the gain a static compiler cannot obtain (§4.3).
+     */
+    bool crossBlockOnly = true;
+
+    /**
+     * Also fold a producing ADDI into the displacement of a dependent
+     * load/store (same 16-bit immediate format constraint).
+     */
+    bool foldMemDisplacement = true;
+};
+
+/**
+ * Baseline dependency pre-decode (paper §4.1): computes srcDep[] /
+ * liveOut for every instruction by scanning the segment in order.
+ * Must be called first and re-establishes a consistent state.
+ */
+void markDependencies(TraceSegment &seg);
+
+/**
+ * Register-move marking (§4.2): flags move idioms and rewires
+ * intra-segment consumers to depend on the move's source.
+ * @return number of instructions marked.
+ */
+unsigned markMoves(TraceSegment &seg);
+
+/**
+ * Reassociation (§4.3): combines immediates of dependent ADDI pairs
+ * (and optionally ADDI -> load/store displacements), removing one
+ * step from the dependency chain. Skips combinations whose result
+ * does not fit the 16-bit immediate field.
+ * @return number of instructions rewritten.
+ */
+unsigned reassociate(TraceSegment &seg, const ReassocOptions &opts = {});
+
+/**
+ * Scaled-add creation (§4.4): collapses a short (1..3 bit) immediate
+ * shift feeding an add or a memory operation into a scaled operand on
+ * the consumer. The shift instruction remains in the segment.
+ * @return number of consumers scaled.
+ */
+unsigned createScaledAdds(TraceSegment &seg);
+
+/**
+ * Persistent placement state: the cluster each architectural
+ * register's most recent producer was steered to, carried across
+ * segments by the fill unit so loop-carried (live-in) dependences
+ * also benefit from cluster affinity. -1 = no hint.
+ */
+struct PlacementHints
+{
+    std::int8_t cluster[kNumArchRegs];
+
+    PlacementHints() { reset(); }
+
+    void
+    reset()
+    {
+        for (auto &c : cluster)
+            c = -1;
+    }
+};
+
+/**
+ * Instruction placement (§4.5): assigns each non-move instruction an
+ * issue slot, preferring the slot's cluster when a source producer
+ * was already placed there — either within this segment or, via
+ * @p hints, in a recently built one (loop-carried affinity). With
+ * the pass disabled, slot == original index (identity routing).
+ *
+ * @param slots_per_cluster functional units per cluster (paper: 4).
+ * @param num_slots total issue slots (paper: 16).
+ * @param hints optional persistent per-register cluster state,
+ *        updated as this segment is placed.
+ */
+void placeInstructions(TraceSegment &seg, unsigned num_slots = 16,
+                       unsigned slots_per_cluster = 4,
+                       PlacementHints *hints = nullptr);
+
+/** Reset every slot to the identity mapping (baseline routing). */
+void placeIdentity(TraceSegment &seg);
+
+/**
+ * Dead-write elision — the paper's §5 future-work extension, in its
+ * provably safe form: an instruction is elided when its destination
+ * is overwritten later in the *same control-flow region* with no
+ * intervening reader (checked via the dependency indices, so consumers
+ * rewired away by earlier passes count as removed). Same-region pairs
+ * can never be split by a partial (early-exit) execution of the line,
+ * so no recovery machinery is needed. Memory, control and serializing
+ * instructions are never elided; marked moves are already free.
+ * Run after move marking / reassociation / scaled adds (which free up
+ * consumers, e.g. the leftover shift of a collapsed scaled add) and
+ * before placement (elided instructions take no issue slot).
+ * @return number of instructions elided.
+ */
+unsigned eliminateDeadWrites(TraceSegment &seg);
+
+/** Operand-slot access helpers shared by passes and the core. */
+RegIndex getSrcReg(const Instruction &inst, unsigned slot);
+void setSrcReg(Instruction &inst, unsigned slot, RegIndex reg);
+
+/**
+ * Check a segment's dependency indices for internal consistency
+ * (every srcDep points at an earlier instruction that writes the
+ * operand's register, unless rewritten). Used by tests and debug
+ * builds.
+ */
+bool depsConsistent(const TraceSegment &seg);
+
+} // namespace tcfill
+
+#endif // TCFILL_FILL_PASSES_HH

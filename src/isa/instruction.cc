@@ -1,0 +1,457 @@
+#include "isa/instruction.hh"
+
+#include <cstdio>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+namespace
+{
+
+// Primary opcode field values (MIPS-style).
+enum PrimOp : unsigned
+{
+    P_RTYPE = 0, P_REGIMM = 1, P_J = 2, P_JAL = 3,
+    P_BEQ = 4, P_BNE = 5, P_BLEZ = 6, P_BGTZ = 7,
+    P_ADDI = 8, P_SLTI = 10, P_SLTIU = 11,
+    P_ANDI = 12, P_ORI = 13, P_XORI = 14, P_LUI = 15,
+    P_LB = 32, P_LH = 33, P_LW = 35, P_LBU = 36, P_LHU = 37,
+    P_SB = 40, P_SH = 41, P_SW = 43,
+    P_HALT = 63,
+};
+
+// R-type function field values.
+enum Funct : unsigned
+{
+    F_SLL = 0, F_SRL = 2, F_SRA = 3,
+    F_SLLV = 4, F_SRLV = 6, F_SRAV = 7,
+    F_JR = 8, F_JALR = 9, F_SYSCALL = 12,
+    F_MUL = 24, F_DIV = 26,
+    F_ADD = 32, F_SUB = 34,
+    F_AND = 36, F_OR = 37, F_XOR = 38, F_NOR = 39,
+    F_SLT = 42, F_SLTU = 43,
+    F_LWX = 48, F_SWX = 49,
+};
+
+Word
+packR(unsigned rs, unsigned rt, unsigned rd, unsigned sh, unsigned fn)
+{
+    Word w = 0;
+    w = insertBits(w, 25, 21, rs);
+    w = insertBits(w, 20, 16, rt);
+    w = insertBits(w, 15, 11, rd);
+    w = insertBits(w, 10, 6, sh);
+    w = insertBits(w, 5, 0, fn);
+    return static_cast<Word>(w);
+}
+
+Word
+packI(unsigned op, unsigned rs, unsigned rt, std::uint32_t imm16)
+{
+    Word w = 0;
+    w = insertBits(w, 31, 26, op);
+    w = insertBits(w, 25, 21, rs);
+    w = insertBits(w, 20, 16, rt);
+    w = insertBits(w, 15, 0, imm16 & 0xffff);
+    return static_cast<Word>(w);
+}
+
+unsigned
+reg(RegIndex r)
+{
+    return r == Instruction::kNoReg ? 0 : (r & 31u);
+}
+
+} // namespace
+
+std::string
+regName(RegIndex r)
+{
+    if (r == Instruction::kNoReg)
+        return "--";
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "r%u", unsigned(r));
+    return buf;
+}
+
+Word
+encode(const Instruction &in)
+{
+    switch (in.op) {
+      // --- R-type ALU: rd <- rs op rt
+      case Op::ADD: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_ADD);
+      case Op::SUB: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_SUB);
+      case Op::AND: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_AND);
+      case Op::OR:  return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_OR);
+      case Op::XOR: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_XOR);
+      case Op::NOR: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_NOR);
+      case Op::SLT: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_SLT);
+      case Op::SLTU:return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_SLTU);
+      case Op::MUL: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_MUL);
+      case Op::DIV: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_DIV);
+      // Variable shifts: value in rt (src1), amount in rs (src2).
+      case Op::SLLV:return packR(reg(in.src2), reg(in.src1), reg(in.dest), 0, F_SLLV);
+      case Op::SRLV:return packR(reg(in.src2), reg(in.src1), reg(in.dest), 0, F_SRLV);
+      case Op::SRAV:return packR(reg(in.src2), reg(in.src1), reg(in.dest), 0, F_SRAV);
+      // Immediate shifts: value in rt (src1), amount in shamt.
+      case Op::SLLI:return packR(0, reg(in.src1), reg(in.dest), in.shamt & 31, F_SLL);
+      case Op::SRLI:return packR(0, reg(in.src1), reg(in.dest), in.shamt & 31, F_SRL);
+      case Op::SRAI:return packR(0, reg(in.src1), reg(in.dest), in.shamt & 31, F_SRA);
+      // Indexed memory: base rs (src1), index rt (src2), data/dest rd.
+      case Op::LWX: return packR(reg(in.src1), reg(in.src2), reg(in.dest), 0, F_LWX);
+      case Op::SWX: return packR(reg(in.src1), reg(in.src2), reg(in.src3), 0, F_SWX);
+      // Indirect control.
+      case Op::JR:  return packR(reg(in.src1), 0, 0, 0, F_JR);
+      case Op::JALR:return packR(reg(in.src1), 0, reg(in.dest), 0, F_JALR);
+      case Op::SYSCALL: return packR(0, 0, 0, 0, F_SYSCALL);
+      case Op::NOP: return 0;
+
+      // --- I-type ALU: rt <- rs op imm
+      case Op::ADDI: return packI(P_ADDI, reg(in.src1), reg(in.dest), in.imm);
+      case Op::SLTI: return packI(P_SLTI, reg(in.src1), reg(in.dest), in.imm);
+      case Op::SLTIU:return packI(P_SLTIU, reg(in.src1), reg(in.dest), in.imm);
+      case Op::ANDI: return packI(P_ANDI, reg(in.src1), reg(in.dest), in.imm);
+      case Op::ORI:  return packI(P_ORI, reg(in.src1), reg(in.dest), in.imm);
+      case Op::XORI: return packI(P_XORI, reg(in.src1), reg(in.dest), in.imm);
+      case Op::LUI:  return packI(P_LUI, 0, reg(in.dest), in.imm);
+
+      // --- Displaced memory.
+      case Op::LB:  return packI(P_LB, reg(in.src1), reg(in.dest), in.imm);
+      case Op::LBU: return packI(P_LBU, reg(in.src1), reg(in.dest), in.imm);
+      case Op::LH:  return packI(P_LH, reg(in.src1), reg(in.dest), in.imm);
+      case Op::LHU: return packI(P_LHU, reg(in.src1), reg(in.dest), in.imm);
+      case Op::LW:  return packI(P_LW, reg(in.src1), reg(in.dest), in.imm);
+      case Op::SB:  return packI(P_SB, reg(in.src1), reg(in.src3), in.imm);
+      case Op::SH:  return packI(P_SH, reg(in.src1), reg(in.src3), in.imm);
+      case Op::SW:  return packI(P_SW, reg(in.src1), reg(in.src3), in.imm);
+
+      // --- Control.
+      case Op::BEQ: return packI(P_BEQ, reg(in.src1), reg(in.src2), in.imm);
+      case Op::BNE: return packI(P_BNE, reg(in.src1), reg(in.src2), in.imm);
+      case Op::BLEZ:return packI(P_BLEZ, reg(in.src1), 0, in.imm);
+      case Op::BGTZ:return packI(P_BGTZ, reg(in.src1), 0, in.imm);
+      case Op::BLTZ:return packI(P_REGIMM, reg(in.src1), 0, in.imm);
+      case Op::BGEZ:return packI(P_REGIMM, reg(in.src1), 1, in.imm);
+      case Op::J: {
+        Word w = 0;
+        w = insertBits(w, 31, 26, P_J);
+        w = insertBits(w, 25, 0, static_cast<std::uint32_t>(in.imm));
+        return w;
+      }
+      case Op::JAL: {
+        Word w = 0;
+        w = insertBits(w, 31, 26, P_JAL);
+        w = insertBits(w, 25, 0, static_cast<std::uint32_t>(in.imm));
+        return w;
+      }
+
+      case Op::HALT: return packI(P_HALT, 0, 0, 0);
+
+      default:
+        panic("encode: unhandled op %u", unsigned(in.op));
+    }
+}
+
+namespace
+{
+
+Instruction
+makeR3(Op op, unsigned rd, unsigned rs, unsigned rt)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = static_cast<RegIndex>(rd);
+    in.src1 = static_cast<RegIndex>(rs);
+    in.src2 = static_cast<RegIndex>(rt);
+    return in;
+}
+
+Instruction
+decodeRType(Word raw)
+{
+    unsigned rs = bits(raw, 25, 21);
+    unsigned rt = bits(raw, 20, 16);
+    unsigned rd = bits(raw, 15, 11);
+    unsigned sh = bits(raw, 10, 6);
+    unsigned fn = bits(raw, 5, 0);
+
+    Instruction in;
+    switch (fn) {
+      case F_SLL:
+        if (raw == 0) {
+            in.op = Op::NOP;
+            return in;
+        }
+        in.op = Op::SLLI;
+        in.dest = rd; in.src1 = rt; in.shamt = sh;
+        return in;
+      case F_SRL:
+        in.op = Op::SRLI; in.dest = rd; in.src1 = rt; in.shamt = sh;
+        return in;
+      case F_SRA:
+        in.op = Op::SRAI; in.dest = rd; in.src1 = rt; in.shamt = sh;
+        return in;
+      case F_SLLV: return makeR3(Op::SLLV, rd, rt, rs);
+      case F_SRLV: return makeR3(Op::SRLV, rd, rt, rs);
+      case F_SRAV: return makeR3(Op::SRAV, rd, rt, rs);
+      case F_JR:
+        in.op = Op::JR; in.src1 = rs;
+        return in;
+      case F_JALR:
+        in.op = Op::JALR; in.dest = rd; in.src1 = rs;
+        return in;
+      case F_SYSCALL:
+        in.op = Op::SYSCALL;
+        return in;
+      case F_MUL: return makeR3(Op::MUL, rd, rs, rt);
+      case F_DIV: return makeR3(Op::DIV, rd, rs, rt);
+      case F_ADD: return makeR3(Op::ADD, rd, rs, rt);
+      case F_SUB: return makeR3(Op::SUB, rd, rs, rt);
+      case F_AND: return makeR3(Op::AND, rd, rs, rt);
+      case F_OR:  return makeR3(Op::OR, rd, rs, rt);
+      case F_XOR: return makeR3(Op::XOR, rd, rs, rt);
+      case F_NOR: return makeR3(Op::NOR, rd, rs, rt);
+      case F_SLT: return makeR3(Op::SLT, rd, rs, rt);
+      case F_SLTU:return makeR3(Op::SLTU, rd, rs, rt);
+      case F_LWX: return makeR3(Op::LWX, rd, rs, rt);
+      case F_SWX: {
+        Instruction sw;
+        sw.op = Op::SWX;
+        sw.src1 = static_cast<RegIndex>(rs);
+        sw.src2 = static_cast<RegIndex>(rt);
+        sw.src3 = static_cast<RegIndex>(rd);
+        return sw;
+      }
+      default:
+        in.op = Op::NOP;
+        return in;
+    }
+}
+
+} // namespace
+
+Instruction
+decode(Word raw)
+{
+    unsigned op = bits(raw, 31, 26);
+    unsigned rs = bits(raw, 25, 21);
+    unsigned rt = bits(raw, 20, 16);
+    auto simm = static_cast<std::int32_t>(sext(bits(raw, 15, 0), 16));
+    auto zimm = static_cast<std::int32_t>(bits(raw, 15, 0));
+
+    Instruction in;
+    auto ialu = [&](Op o, std::int32_t imm) {
+        in.op = o;
+        in.dest = static_cast<RegIndex>(rt);
+        in.src1 = static_cast<RegIndex>(rs);
+        in.imm = imm;
+        return in;
+    };
+    auto load = [&](Op o) {
+        in.op = o;
+        in.dest = static_cast<RegIndex>(rt);
+        in.src1 = static_cast<RegIndex>(rs);
+        in.imm = simm;
+        return in;
+    };
+    auto store = [&](Op o) {
+        in.op = o;
+        in.src1 = static_cast<RegIndex>(rs);
+        in.src3 = static_cast<RegIndex>(rt);
+        in.imm = simm;
+        return in;
+    };
+
+    switch (op) {
+      case P_RTYPE: return decodeRType(raw);
+      case P_REGIMM:
+        in.op = (rt == 1) ? Op::BGEZ : Op::BLTZ;
+        in.src1 = static_cast<RegIndex>(rs);
+        in.imm = simm;
+        return in;
+      case P_J:
+        in.op = Op::J;
+        in.imm = static_cast<std::int32_t>(bits(raw, 25, 0));
+        return in;
+      case P_JAL:
+        in.op = Op::JAL;
+        in.dest = kRegRA;
+        in.imm = static_cast<std::int32_t>(bits(raw, 25, 0));
+        return in;
+      case P_BEQ: case P_BNE:
+        in.op = (op == P_BEQ) ? Op::BEQ : Op::BNE;
+        in.src1 = static_cast<RegIndex>(rs);
+        in.src2 = static_cast<RegIndex>(rt);
+        in.imm = simm;
+        return in;
+      case P_BLEZ: case P_BGTZ:
+        in.op = (op == P_BLEZ) ? Op::BLEZ : Op::BGTZ;
+        in.src1 = static_cast<RegIndex>(rs);
+        in.imm = simm;
+        return in;
+      case P_ADDI:  return ialu(Op::ADDI, simm);
+      case P_SLTI:  return ialu(Op::SLTI, simm);
+      case P_SLTIU: return ialu(Op::SLTIU, simm);
+      case P_ANDI:  return ialu(Op::ANDI, zimm);
+      case P_ORI:   return ialu(Op::ORI, zimm);
+      case P_XORI:  return ialu(Op::XORI, zimm);
+      case P_LUI:
+        in.op = Op::LUI;
+        in.dest = static_cast<RegIndex>(rt);
+        in.imm = zimm;
+        return in;
+      case P_LB:  return load(Op::LB);
+      case P_LH:  return load(Op::LH);
+      case P_LW:  return load(Op::LW);
+      case P_LBU: return load(Op::LBU);
+      case P_LHU: return load(Op::LHU);
+      case P_SB:  return store(Op::SB);
+      case P_SH:  return store(Op::SH);
+      case P_SW:  return store(Op::SW);
+      case P_HALT:
+        in.op = Op::HALT;
+        return in;
+      default:
+        in.op = Op::NOP;
+        return in;
+    }
+}
+
+std::optional<RegIndex>
+moveSource(const Instruction &in)
+{
+    if (!in.hasDest())
+        return std::nullopt;
+
+    switch (in.op) {
+      case Op::ADDI:
+      case Op::ORI:
+      case Op::XORI:
+        if (in.imm == 0)
+            return in.src1;
+        return std::nullopt;
+      case Op::ADD:
+      case Op::OR:
+      case Op::XOR:
+        if (in.src2 == kRegZero)
+            return in.src1;
+        if (in.src1 == kRegZero)
+            return in.src2;
+        return std::nullopt;
+      case Op::SUB:
+        if (in.src2 == kRegZero)
+            return in.src1;
+        return std::nullopt;
+      case Op::SLLI:
+      case Op::SRLI:
+      case Op::SRAI:
+        if (in.shamt == 0)
+            return in.src1;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::string
+disassemble(const Instruction &in)
+{
+    char buf[96];
+    const char *m = mnemonic(in.op);
+
+    switch (in.op) {
+      case Op::NOP: case Op::SYSCALL: case Op::HALT:
+        return m;
+      case Op::SLLI: case Op::SRLI: case Op::SRAI:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %u", m,
+                      regName(in.dest).c_str(), regName(in.src1).c_str(),
+                      unsigned(in.shamt));
+        return buf;
+      case Op::LUI:
+        std::snprintf(buf, sizeof(buf), "%s %s, 0x%x", m,
+                      regName(in.dest).c_str(), unsigned(in.imm));
+        return buf;
+      case Op::J: case Op::JAL:
+        std::snprintf(buf, sizeof(buf), "%s 0x%x", m,
+                      unsigned(in.imm) * 4);
+        return buf;
+      case Op::JR:
+        std::snprintf(buf, sizeof(buf), "%s %s", m,
+                      regName(in.src1).c_str());
+        return buf;
+      case Op::JALR:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s", m,
+                      regName(in.dest).c_str(), regName(in.src1).c_str());
+        return buf;
+      default:
+        break;
+    }
+
+    if (in.isLoad()) {
+        if (in.op == Op::LWX) {
+            std::snprintf(buf, sizeof(buf), "%s %s, (%s + %s)", m,
+                          regName(in.dest).c_str(),
+                          regName(in.src1).c_str(),
+                          regName(in.src2).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %d(%s)", m,
+                          regName(in.dest).c_str(), in.imm,
+                          regName(in.src1).c_str());
+        }
+        return buf;
+    }
+    if (in.isStore()) {
+        if (in.op == Op::SWX) {
+            std::snprintf(buf, sizeof(buf), "%s %s, (%s + %s)", m,
+                          regName(in.src3).c_str(),
+                          regName(in.src1).c_str(),
+                          regName(in.src2).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %d(%s)", m,
+                          regName(in.src3).c_str(), in.imm,
+                          regName(in.src1).c_str());
+        }
+        return buf;
+    }
+    if (in.isCondBranch()) {
+        if (in.src2 != Instruction::kNoReg) {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %+d", m,
+                          regName(in.src1).c_str(),
+                          regName(in.src2).c_str(), in.imm);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %+d", m,
+                          regName(in.src1).c_str(), in.imm);
+        }
+        return buf;
+    }
+    if (in.src2 != Instruction::kNoReg) {
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %s", m,
+                      regName(in.dest).c_str(), regName(in.src1).c_str(),
+                      regName(in.src2).c_str());
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %d", m,
+                      regName(in.dest).c_str(), regName(in.src1).c_str(),
+                      in.imm);
+    }
+    return buf;
+}
+
+std::string
+disassemble(const Instruction &in, Addr pc)
+{
+    if (in.isCondBranch()) {
+        char buf[96];
+        Addr target = pc + 4 +
+            static_cast<Addr>(static_cast<std::int64_t>(in.imm) * 4);
+        std::snprintf(buf, sizeof(buf), "%s -> 0x%llx",
+                      disassemble(in).c_str(),
+                      static_cast<unsigned long long>(target));
+        return buf;
+    }
+    return disassemble(in);
+}
+
+} // namespace tcfill

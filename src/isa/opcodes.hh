@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Semantic opcode enumeration and static properties for the tcfill
+ * ISA: a SimpleScalar-flavored superset of MIPS-IV with architected
+ * delay slots removed and indexed (register+register) memory
+ * operations added, exactly as described in the paper's §3.
+ */
+
+#ifndef TCFILL_ISA_OPCODES_HH
+#define TCFILL_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace tcfill
+{
+
+/** Semantic operation, produced by the decoder. */
+enum class Op : std::uint8_t
+{
+    // ALU, register form
+    ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU,
+    SLLV, SRLV, SRAV,
+    MUL, DIV,
+    // ALU, immediate form
+    ADDI, SLTI, SLTIU, ANDI, ORI, XORI, LUI,
+    SLLI, SRLI, SRAI,
+    // Memory, displaced (base + imm16)
+    LB, LBU, LH, LHU, LW,
+    SB, SH, SW,
+    // Memory, indexed (base + index register)
+    LWX, SWX,
+    // Control
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    J, JAL, JR, JALR,
+    // Misc
+    NOP, SYSCALL, HALT,
+
+    NumOps
+};
+
+/** Coarse functional class of an operation. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< pipelined multiply
+    IntDiv,     ///< unpipelined divide
+    Load,
+    Store,
+    Control,    ///< branches, jumps, calls, returns
+    Other,      ///< NOP / SYSCALL / HALT
+};
+
+/** Static, ISA-level properties of an Op. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass cls;
+    /** Execution latency in cycles (loads: address generation only). */
+    std::uint8_t latency;
+};
+
+/** Property lookup; valid for every op < Op::NumOps. */
+const OpInfo &opInfo(Op op);
+
+inline const char *mnemonic(Op op) { return opInfo(op).mnemonic; }
+inline OpClass opClass(Op op) { return opInfo(op).cls; }
+
+inline bool isLoad(Op op) { return opClass(op) == OpClass::Load; }
+inline bool isStore(Op op) { return opClass(op) == OpClass::Store; }
+inline bool isMem(Op op) { return isLoad(op) || isStore(op); }
+inline bool isControl(Op op) { return opClass(op) == OpClass::Control; }
+
+/** Conditional direct branches. */
+inline bool
+isCondBranch(Op op)
+{
+    switch (op) {
+      case Op::BEQ: case Op::BNE: case Op::BLEZ:
+      case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Unconditional direct jumps (J / JAL). */
+inline bool
+isUncondDirect(Op op)
+{
+    return op == Op::J || op == Op::JAL;
+}
+
+/** Calls (direct or indirect). */
+inline bool isCall(Op op) { return op == Op::JAL || op == Op::JALR; }
+
+/** Register-indirect control (JR / JALR). Returns are JR via RA. */
+inline bool isIndirect(Op op) { return op == Op::JR || op == Op::JALR; }
+
+/** Serializing instructions force trace termination (paper §3). */
+inline bool isSerializing(Op op) { return op == Op::SYSCALL ||
+                                          op == Op::HALT; }
+
+/** Immediate-form ALU ops eligible for fill-unit reassociation. */
+inline bool
+isReassociableImm(Op op)
+{
+    // Only plain additive immediates can be combined by re-summing
+    // immediates; logical immediates do not distribute.
+    return op == Op::ADDI;
+}
+
+/** Immediate shifts eligible for scaled-add collapsing (SLLI only). */
+inline bool isScalableShift(Op op) { return op == Op::SLLI; }
+
+/**
+ * Ops that can absorb a scaled (shifted) source operand when the fill
+ * unit creates a scaled add: plain adds, indexed loads/stores (the
+ * shifted value is the index), and displaced memory ops whose base is
+ * the shifted value.
+ */
+inline bool
+canAbsorbScale(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::LWX: case Op::SWX:
+      case Op::LW: case Op::LB: case Op::LBU: case Op::LH: case Op::LHU:
+      case Op::SW: case Op::SB: case Op::SH:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace tcfill
+
+#endif // TCFILL_ISA_OPCODES_HH

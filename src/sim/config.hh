@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Top-level simulator configuration, defaulting to the paper's §3
+ * experimental model: 16-wide fetch with a 2K-entry 4-way trace
+ * cache, 4KB supporting I-cache, 64KB L1D / 1MB L2, a three-PHT
+ * multiple-branch predictor with an 8KB bias table, and a 16-unit
+ * execution engine in four clusters with 32-entry reservation
+ * stations, inactive issue and checkpoint repair.
+ */
+
+#ifndef TCFILL_SIM_CONFIG_HH
+#define TCFILL_SIM_CONFIG_HH
+
+#include <string>
+
+#include "bpred/predictor.hh"
+#include "fill/fill_unit.hh"
+#include "mem/cache.hh"
+#include "trace/tcache.hh"
+#include "uarch/exec_core.hh"
+
+namespace tcfill
+{
+
+/** Full simulator configuration. */
+struct SimConfig
+{
+    std::string name = "baseline";
+
+    FillUnitConfig fill{};
+    TraceCache::Params tcache{};
+    MemoryHierarchy::Params mem{};
+    MultiBranchPredictor::Params bpred{};
+    BiasTable::Params bias{};
+    ExecCoreParams core{};
+
+    /** Fetch from the trace cache (false: I-cache only, ablation). */
+    bool useTraceCache = true;
+
+    /** Issue blocks past the predicted exit inactively (paper §3). */
+    bool inactiveIssue = true;
+
+    unsigned fetchWidth = 16;
+    unsigned fetchQueueLines = 4;
+    unsigned retireWidth = 16;
+    /** In-flight instruction cap (window size). */
+    unsigned windowCap = 512;
+    unsigned rasDepth = 32;
+
+    /** Stop after this many retired instructions (0 = run to halt). */
+    InstSeqNum maxInsts = 0;
+    /** Hard cycle cap as a safety net (0 = none). */
+    Cycle maxCycles = 0;
+
+    /**
+     * Convenience: the paper's baseline with a chosen optimization
+     * set and fill latency.
+     */
+    static SimConfig
+    withOpts(const FillOptimizations &opts, Cycle fill_latency = 5)
+    {
+        SimConfig cfg;
+        cfg.fill.opts = opts;
+        cfg.fill.latency = fill_latency;
+        cfg.tcache.moveBits = opts.markMoves;
+        cfg.tcache.scaledBits = opts.scaledAdds;
+        cfg.tcache.placementBits = opts.placement;
+        return cfg;
+    }
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_SIM_CONFIG_HH

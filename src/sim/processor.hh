@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The cycle-level pipeline simulator tying every substrate together:
+ * trace-cache/I-cache fetch with multiple-branch prediction and
+ * inactive issue, rename (with move execution), the clustered
+ * out-of-order engine, in-order retirement feeding the fill unit,
+ * and checkpoint-repair misprediction recovery.
+ *
+ * Timing methodology: the functional Executor supplies the committed
+ * path; fetch follows it while consulting the real predictor, trace
+ * cache and caches, so all speculation penalties (including the
+ * inactive-issue rescue the paper's baseline relies on) are charged
+ * at branch-resolution time. See DESIGN.md §3 for the wrong-path
+ * modeling notes.
+ */
+
+#ifndef TCFILL_SIM_PROCESSOR_HH
+#define TCFILL_SIM_PROCESSOR_HH
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "arch/executor.hh"
+#include "bpred/predictor.hh"
+#include "fill/fill_unit.hh"
+#include "mem/cache.hh"
+#include "sim/config.hh"
+#include "sim/result.hh"
+#include "trace/tcache.hh"
+#include "uarch/exec_core.hh"
+#include "uarch/rename.hh"
+
+namespace tcfill
+{
+
+/** One simulated processor bound to a program. */
+class Processor
+{
+  public:
+    Processor(const Program &prog, const SimConfig &cfg);
+
+    /** Run to completion (or the configured caps); returns results. */
+    SimResult run();
+
+    /** Current cycle (after run: total cycles). */
+    Cycle cycles() const { return cycle_; }
+    InstSeqNum retired() const { return retired_; }
+
+    const TraceCache &traceCache() const { return tcache_; }
+    const FillUnit &fillUnit() const { return fill_; }
+    const MemoryHierarchy &memory() const { return mem_; }
+
+    /** Dump all registered component statistics. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    struct FetchLine
+    {
+        Cycle readyCycle = 0;
+        std::vector<DynInstPtr> insts;
+        bool fromTrace = false;
+    };
+
+    // ---- pipeline stages ---------------------------------------------
+    void doCycle();
+    void processResolutions();
+    void retireStage();
+    void issueStage();
+    void fetchStage();
+
+    // ---- fetch helpers --------------------------------------------------
+    FetchLine buildTraceLine(const TraceSegment &seg, Cycle ready);
+    FetchLine buildICacheLine(Cycle ready);
+    DynInstPtr makeDynInst(const Instruction &inst, Addr pc,
+                           FetchSource src, Cycle fetch_cycle);
+
+    // ---- oracle management ---------------------------------------------
+    /** Ensure >= n unfetched records exist; returns how many do. */
+    std::size_t ensureOracle(std::size_t n);
+    const ExecRecord &oracleAt(std::size_t i) const;
+    bool oracleExhausted();
+
+    // ---- recovery --------------------------------------------------------
+    void resolveBranch(const DynInstPtr &di);
+    void squashWindow(InstSeqNum lo, InstSeqNum hi, InstSeqNum rescue_lo,
+                      InstSeqNum rescue_hi);
+
+    // ---- members ----------------------------------------------------------
+    SimConfig cfg_;
+    Executor exec_;
+
+    MemoryHierarchy mem_;
+    MultiBranchPredictor bpred_;
+    BiasTable bias_;
+    ReturnAddressStack ras_;
+    IndirectPredictor ipred_;
+    TraceCache tcache_;
+    FillUnit fill_;
+    ExecCore core_;
+    RenameTable rename_;
+
+    // Oracle: committed-path records not yet retired. Records
+    // [0, fetch_off_) are fetched and in flight; [fetch_off_, ...) are
+    // available to fetch.
+    std::deque<ExecRecord> oracle_;
+    std::size_t fetch_off_ = 0;
+
+    // Fetch state.
+    Addr fetch_pc_ = 0;
+    Cycle fetch_avail_ = 0;
+    DynInstPtr stall_branch_;       ///< unresolved mispredict gating fetch
+    DynInstPtr stall_serialize_;    ///< serializing inst gating fetch
+    std::deque<FetchLine> fetch_queue_;
+
+    // In-flight window, fetch order.
+    std::deque<DynInstPtr> window_;
+
+    // Branch-resolution events: (cycle, seq) min-heap.
+    struct Event
+    {
+        Cycle cycle;
+        InstSeqNum seq;
+        DynInstPtr inst;
+        bool operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events_;
+
+    Cycle cycle_ = 0;
+    InstSeqNum seq_next_ = 1;
+    InstSeqNum retired_ = 0;
+    Cycle last_retire_cycle_ = 0;
+
+    // Result counters.
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t rescues_ = 0;
+    std::uint64_t mispredict_stall_cycles_ = 0;
+    std::uint64_t dyn_moves_ = 0;
+    std::uint64_t dyn_reassoc_ = 0;
+    std::uint64_t dyn_scaled_ = 0;
+    std::uint64_t dyn_elided_ = 0;
+    std::uint64_t dyn_move_idioms_ = 0;
+    std::uint64_t bypass_delayed_retired_ = 0;
+
+    stats::Group stats_;
+};
+
+/** Build, run and summarize one (program, config) pair. */
+SimResult simulate(const Program &prog, const SimConfig &cfg);
+
+} // namespace tcfill
+
+#endif // TCFILL_SIM_PROCESSOR_HH

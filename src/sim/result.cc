@@ -1,0 +1,30 @@
+#include "sim/result.hh"
+
+#include <iomanip>
+
+namespace tcfill
+{
+
+void
+SimResult::dump(std::ostream &os) const
+{
+    os << "== " << workload << " / " << config << " ==\n"
+       << std::fixed << std::setprecision(4)
+       << "  retired          " << retired << "\n"
+       << "  cycles           " << cycles << "\n"
+       << "  IPC              " << ipc() << "\n"
+       << "  tc hit rate      " << tcHitRate() << "\n"
+       << "  bpred accuracy   " << bpredAccuracy << "\n"
+       << "  mispredicts      " << mispredicts << "\n"
+       << "  rescues          " << inactiveRescues << "\n"
+       << "  mispred stalls   " << mispredictStallCycles << "\n"
+       << "  segments         " << segmentsBuilt
+       << " (avg len " << avgSegmentLength << ")\n"
+       << "  moves marked     " << fracMoves() << "\n"
+       << "  reassociated     " << fracReassoc() << "\n"
+       << "  scaled           " << fracScaled() << "\n"
+       << "  move idioms      " << fracMoveIdioms() << "\n"
+       << "  bypass delayed   " << fracBypassDelayed() << "\n";
+}
+
+} // namespace tcfill

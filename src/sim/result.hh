@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Aggregate results of one timing-simulation run; everything the
+ * paper's tables and figures report.
+ */
+
+#ifndef TCFILL_SIM_RESULT_HH
+#define TCFILL_SIM_RESULT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tcfill
+{
+
+/** Results of a Processor::run(). */
+struct SimResult
+{
+    std::string config;
+    std::string workload;
+
+    InstSeqNum retired = 0;
+    Cycle cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(retired) /
+                                 static_cast<double>(cycles);
+    }
+
+    // ---- front end ----------------------------------------------------
+    std::uint64_t tcHits = 0;
+    std::uint64_t tcMisses = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t inactiveRescues = 0;      ///< mispredicts hidden by
+                                            ///< inactive issue
+    /** Fetch cycles lost from mispredict detection to resolution. */
+    std::uint64_t mispredictStallCycles = 0;
+    std::uint64_t segmentsBuilt = 0;
+    double avgSegmentLength = 0.0;
+    double bpredAccuracy = 0.0;
+
+    double
+    tcHitRate() const
+    {
+        auto total = tcHits + tcMisses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(tcHits) /
+                                static_cast<double>(total);
+    }
+
+    // ---- dynamic optimization counts (Table 2 / figures 3-5) ---------
+    std::uint64_t dynMoves = 0;         ///< retired move-marked insts
+    std::uint64_t dynReassoc = 0;       ///< retired reassociated insts
+    std::uint64_t dynScaled = 0;        ///< retired scaled insts
+    std::uint64_t dynMoveIdioms = 0;    ///< architectural move idioms
+    std::uint64_t dynElided = 0;        ///< dead writes elided (ext.)
+
+    double fracMoves() const { return frac(dynMoves); }
+    double fracReassoc() const { return frac(dynReassoc); }
+    double fracScaled() const { return frac(dynScaled); }
+    double
+    fracTransformed() const
+    {
+        return frac(dynMoves + dynReassoc + dynScaled);
+    }
+    double fracMoveIdioms() const { return frac(dynMoveIdioms); }
+    double fracElided() const { return frac(dynElided); }
+
+    // ---- bypass network (figure 7) --------------------------------------
+    std::uint64_t bypassDelayed = 0;    ///< retired insts whose last
+                                        ///< operand crossed clusters
+    double
+    fracBypassDelayed() const
+    {
+        return frac(bypassDelayed);
+    }
+
+    void dump(std::ostream &os) const;
+
+  private:
+    double
+    frac(std::uint64_t n) const
+    {
+        return retired == 0 ? 0.0
+                            : static_cast<double>(n) /
+                                  static_cast<double>(retired);
+    }
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_SIM_RESULT_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace segment representation: up to 16 instructions from a single
+ * dynamic path, with explicit dependency pre-decode and the fill
+ * unit's optimization metadata (paper §3 and §4.1).
+ *
+ * Per-instruction metadata budget, tracked for the paper's storage
+ * accounting: 7 bits of baseline pre-decode (3 destination live-out /
+ * overwrite bits, 2 source-internal bits, 2 block-number bits), plus
+ * 1 bit for register-move marking, 2 bits for scaled adds and 4 bits
+ * for instruction placement when the optimizations are enabled.
+ */
+
+#ifndef TCFILL_TRACE_SEGMENT_HH
+#define TCFILL_TRACE_SEGMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace tcfill
+{
+
+/** Maximum instructions per trace segment. */
+inline constexpr unsigned kSegmentMaxInsts = 16;
+/** Maximum dynamically predicted conditional branches per segment. */
+inline constexpr unsigned kSegmentMaxCondBranches = 3;
+/** Maximum blocks (2-bit block number). */
+inline constexpr unsigned kSegmentMaxBlocks = 4;
+
+/** Sentinel source-dependency value: operand is live-in to the trace. */
+inline constexpr std::int8_t kDepLiveIn = -1;
+
+/** One instruction slot within a trace segment. */
+struct TraceInst
+{
+    /**
+     * The (possibly rewritten) instruction. Reassociation and move
+     * rewiring change source registers / immediates relative to the
+     * architectural instruction at @c pc.
+     */
+    Instruction inst;
+
+    /** Original architectural PC (tag for predictor training). */
+    Addr pc = 0;
+
+    /** Recorded next PC on the trace's path. */
+    Addr nextPc = 0;
+
+    /** Recorded branch direction at segment construction. */
+    bool taken = false;
+
+    /** Block number within the segment (0..3, checkpoint groups —
+     *  promoted branches do not end blocks). */
+    std::uint8_t blockNum = 0;
+
+    /**
+     * Control-flow region within the segment: increments at *every*
+     * control transfer, including promoted branches and unconditional
+     * jumps. This is the boundary the reassociation restriction
+     * (§4.3 "cross a control flow boundary") is defined against; a
+     * promoted branch is still a boundary a compiler could not
+     * optimize across.
+     */
+    std::uint8_t cfRegion = 0;
+
+    /** Position in original program order (memory ordering). */
+    std::uint8_t origIdx = 0;
+
+    /**
+     * Per-source dependency pre-decode: index of the producing
+     * instruction within this segment, or kDepLiveIn. Indexed in
+     * srcReg() order (0..numSrcs()-1).
+     */
+    std::int8_t srcDep[3] = {kDepLiveIn, kDepLiveIn, kDepLiveIn};
+
+    /** Destination is live-out of the segment (not overwritten). */
+    bool liveOut = true;
+
+    // ---- register-move marking (1 bit + rewiring info) ---------------
+    bool isMove = false;
+    /** Architectural source of the move (kRegZero for zero-idioms). */
+    RegIndex moveSrc = Instruction::kNoReg;
+    /** Dependency index of the move's source (producer or live-in). */
+    std::int8_t moveSrcDep = kDepLiveIn;
+
+    // ---- scaled add (2 bits) ------------------------------------------
+    /** Which source operand is pre-shifted; 0xff = none. */
+    std::uint8_t scaledSrcIdx = 0xff;
+    /** Shift amount 1..3 applied to that operand. */
+    std::uint8_t scaleAmt = 0;
+
+    // ---- instruction placement (4 bits) -------------------------------
+    /** Issue slot (functional unit) assigned by the fill unit. */
+    std::uint8_t slot = 0;
+
+    // ---- branch promotion ----------------------------------------------
+    /** Conditional branch carries an embedded static prediction. */
+    bool promoted = false;
+    /** The embedded direction (== taken at construction). */
+    bool promotedDir = false;
+
+    // ---- dead-write elision (paper §5 future work) --------------------
+    /**
+     * The destination is overwritten within the same control-flow
+     * region with no intervening reader: the instruction need not
+     * execute at all. Restricted to same-region pairs so no partial
+     * execution of the line can ever need the elided value (the
+     * paper's "atomic trace" recovery problem does not arise).
+     */
+    bool deadElided = false;
+
+    // ---- bookkeeping -----------------------------------------------------
+    /** Instruction was rewritten by reassociation (stats). */
+    bool reassociated = false;
+
+    bool hasScale() const { return scaledSrcIdx != 0xff; }
+
+    /** Taken target of a conditional branch in this slot. */
+    Addr
+    condTarget() const
+    {
+        return pc + 4 +
+            (static_cast<Addr>(static_cast<std::int64_t>(inst.imm)) << 2);
+    }
+};
+
+/** A completed multi-block trace segment. */
+struct TraceSegment
+{
+    Addr startPc = 0;
+    std::vector<TraceInst> insts;
+
+    /**
+     * Indices of the non-promoted conditional branches, in order; the
+     * i-th gets its prediction from PHT i. Size <= 3.
+     */
+    std::vector<std::uint8_t> predSlots;
+
+    /** Fetch address following the segment along its recorded path. */
+    Addr nextPc = 0;
+
+    /** Number of blocks (checkpoint groups). */
+    unsigned numBlocks = 1;
+
+    bool empty() const { return insts.empty(); }
+    std::size_t size() const { return insts.size(); }
+
+    /**
+     * Storage bits for this segment's instructions given which
+     * optimizations are enabled (paper §4.6 accounting).
+     */
+    static std::size_t
+    bitsPerInst(bool moves, bool scaled, bool placement)
+    {
+        std::size_t b = 32 + 7;     // instruction + baseline pre-decode
+        if (moves)
+            b += 1;
+        if (scaled)
+            b += 2;
+        if (placement)
+            b += 4;
+        return b;
+    }
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_TRACE_SEGMENT_HH

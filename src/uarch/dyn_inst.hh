@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state for the timing model.
+ */
+
+#ifndef TCFILL_UARCH_DYN_INST_HH
+#define TCFILL_UARCH_DYN_INST_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace tcfill
+{
+
+struct DynInst;
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+/** Lifecycle of a dynamic instruction in the window. */
+enum class InstPhase : std::uint8_t
+{
+    Waiting,        ///< in a reservation station
+    Executing,      ///< selected, producing its result
+    Complete,       ///< result available / done
+    Squashed,       ///< cancelled by misprediction recovery
+};
+
+/**
+ * One renamed source operand. Either the value is (or will be) read
+ * from the register file (producer == nullptr, available at
+ * @c rfAvail with no bypass penalty), or it is produced by an
+ * in-flight instruction and arrives over the bypass network
+ * (+1 cycle across clusters).
+ */
+struct Operand
+{
+    DynInstPtr producer;
+    Cycle rfAvail = 0;
+};
+
+/** Where an instruction's bits came from. */
+enum class FetchSource : std::uint8_t
+{
+    TraceCache,
+    InstCache,
+};
+
+/** A dynamic instruction in flight. */
+struct DynInst
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    /** Possibly fill-unit-rewritten form (dataflow topology). */
+    Instruction inst;
+    /** Original architectural form (fed back to the fill unit). */
+    Instruction archInst;
+    /** Committed next PC (correct-path instructions only). */
+    Addr nextPc = 0;
+    FetchSource source = FetchSource::InstCache;
+    InstPhase phase = InstPhase::Waiting;
+
+    // ---- issue-time assignment ---------------------------------------
+    int fu = -1;                        ///< functional unit (slot)
+    unsigned numSrcs = 0;
+    Operand src[3];
+    /** For stores: operand index of the store-data register. */
+    int dataOperand = -1;
+
+    // ---- trace metadata ------------------------------------------------
+    bool moveMarked = false;            ///< completes in rename
+    /** Dead write elided by the fill unit: never executes. */
+    bool elided = false;
+    /** Architectural source register of a marked move. */
+    RegIndex moveSrcReg = 0;
+    /** Intra-line dependency of the move's source (-1 = live-in). */
+    std::int8_t moveSrcDep = -1;
+    /** Operand the move's destination was aliased to (rename repair). */
+    Operand moveAlias;
+    /** Pre-decoded intra-line dependency indices (trace lines). */
+    std::int8_t lineDep[3] = {-1, -1, -1};
+    /** Index of this instruction within its fetched line. */
+    std::uint8_t lineIdx = 0;
+    /** First instruction of an I-cache fetch line (a miss target). */
+    bool missLineStart = false;
+    bool reassociated = false;
+    bool scaled = false;
+
+    // ---- path / inactive-issue state -----------------------------------
+    bool onCorrectPath = true;
+    bool inactive = false;              ///< issued past the predicted exit
+
+    // ---- control flow ----------------------------------------------------
+    bool isBranch = false;
+    bool mispredicted = false;          ///< resolves against the prediction
+    Addr redirectPc = 0;                ///< fetch target after resolution
+    /** Predictor slot (PHT index) used at fetch; -1 = none/promoted. */
+    int predSlot = -1;
+    bool promotedBranch = false;
+    bool taken = false;                 ///< actual outcome
+    /**
+     * Inactive-issue rescue: on resolution, instructions with seq in
+     * [rescueLo, rescueHi) were issued inactively along the correct
+     * path and survive the recovery squash.
+     */
+    InstSeqNum rescueLo = 0;
+    InstSeqNum rescueHi = 0;
+    /**
+     * Inactive-issue discard: if the prediction was *correct*, the
+     * inactive instructions with seq in [discardLo, discardHi) are
+     * thrown away when this branch resolves.
+     */
+    InstSeqNum discardLo = 0;
+    InstSeqNum discardHi = 0;
+
+    // ---- memory ------------------------------------------------------------
+    bool isLoad = false;
+    bool isStore = false;
+    Addr effAddr = kNoAddr;
+    Cycle addrKnown = kNoCycle;         ///< stores: AGEN completion
+
+    // ---- timing -----------------------------------------------------------
+    Cycle fetchCycle = 0;
+    Cycle issueCycle = kNoCycle;
+    Cycle startCycle = kNoCycle;
+    Cycle completeCycle = kNoCycle;
+    std::uint8_t latency = 1;
+
+    // ---- stats ---------------------------------------------------------
+    /** Last-arriving operand was delayed by cross-cluster bypass. */
+    bool bypassDelayed = false;
+    /** Move idiom in the architectural stream (optimized or not). */
+    bool moveIdiom = false;
+
+    unsigned
+    cluster(unsigned fus_per_cluster) const
+    {
+        return fu < 0 ? 0 : static_cast<unsigned>(fu) / fus_per_cluster;
+    }
+
+    bool complete() const { return phase == InstPhase::Complete; }
+    bool squashed() const { return phase == InstPhase::Squashed; }
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_UARCH_DYN_INST_HH

@@ -1,0 +1,317 @@
+#include "uarch/exec_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+ExecCore::ExecCore(const ExecCoreParams &params, MemoryHierarchy &mem)
+    : params_(params), mem_(mem),
+      num_fus_(params.numClusters * params.fusPerCluster)
+{
+    fatal_if(num_fus_ == 0, "execution core has no functional units");
+    fatal_if(params.rsEntries == 0, "reservation stations are empty");
+    rs_.resize(num_fus_);
+    for (auto &station : rs_)
+        station.reserve(params.rsEntries);
+    fu_busy_until_.assign(num_fus_, 0);
+}
+
+unsigned
+ExecCore::rsFree(unsigned fu) const
+{
+    panic_if(fu >= num_fus_, "rsFree: bad FU %u", fu);
+    return params_.rsEntries - static_cast<unsigned>(rs_[fu].size());
+}
+
+void
+ExecCore::dispatch(const DynInstPtr &di)
+{
+    panic_if(di->fu < 0 || static_cast<unsigned>(di->fu) >= num_fus_,
+             "dispatch: instruction has no FU");
+    panic_if(rs_[di->fu].size() >= params_.rsEntries,
+             "dispatch: reservation station %d overflow", di->fu);
+    rs_[di->fu].push_back(di);
+    if (di->isStore)
+        store_window_.push_back(di);
+}
+
+Cycle
+ExecCore::operandAvail(const Operand &op, unsigned fu) const
+{
+    if (!op.producer)
+        return op.rfAvail;
+    const DynInst &p = *op.producer;
+    if (p.completeCycle == kNoCycle)
+        return kNoCycle;
+    Cycle avail = p.completeCycle;
+    if (p.fu >= 0 &&
+        p.cluster(params_.fusPerCluster) !=
+            fu / params_.fusPerCluster) {
+        avail += params_.crossClusterDelay;
+    }
+    return avail;
+}
+
+bool
+ExecCore::operandsReady(const DynInstPtr &di, Cycle now) const
+{
+    if (di->issueCycle == kNoCycle || now < di->issueCycle + 1)
+        return false;   // schedule stage: one cycle after issue
+    for (unsigned k = 0; k < di->numSrcs; ++k) {
+        if (di->isStore && static_cast<int>(k) == di->dataOperand)
+            continue;   // stores wait only for address operands
+        Cycle avail = operandAvail(di->src[k],
+                                   static_cast<unsigned>(di->fu));
+        if (avail == kNoCycle || avail > now)
+            return false;
+    }
+    return true;
+}
+
+bool
+ExecCore::memScheduleOk(const DynInstPtr &di, Cycle now,
+                        DynInstPtr &forward_from) const
+{
+    forward_from = nullptr;
+    if (!di->onCorrectPath || di->effAddr == kNoAddr)
+        return true;    // wrong-path loads model no real access
+
+    for (const auto &s : store_window_) {
+        if (s->seq >= di->seq)
+            break;
+        if (s->squashed())
+            continue;
+        // No memory operation bypasses a store with an unknown address.
+        if (s->addrKnown == kNoCycle || s->addrKnown > now)
+            return false;
+        if (s->onCorrectPath && s->effAddr != kNoAddr &&
+            (s->effAddr >> 2) == (di->effAddr >> 2)) {
+            forward_from = s;   // youngest older match wins
+        }
+    }
+    if (forward_from && forward_from->completeCycle == kNoCycle)
+        return false;   // forwarding store's data is not ready yet
+    return true;
+}
+
+void
+ExecCore::startExecution(const DynInstPtr &di, Cycle now,
+                         const DynInstPtr &forward_from,
+                         const std::function<void(const DynInstPtr &)>
+                             &onComplete)
+{
+    di->startCycle = now;
+    ++selected_;
+
+    // Bypass-delay accounting (paper figure 7): did the last-arriving
+    // source value arrive later than it would have with a free
+    // (zero-latency) cross-cluster network?
+    Cycle max_with = 0;
+    Cycle max_without = 0;
+    for (unsigned k = 0; k < di->numSrcs; ++k) {
+        if (di->isStore && static_cast<int>(k) == di->dataOperand)
+            continue;
+        const Operand &op = di->src[k];
+        Cycle with = operandAvail(op, static_cast<unsigned>(di->fu));
+        Cycle without =
+            op.producer ? op.producer->completeCycle : op.rfAvail;
+        if (with != kNoCycle) {
+            max_with = std::max(max_with, with);
+            max_without = std::max(max_without, without);
+        }
+    }
+    if (max_with > max_without) {
+        di->bypassDelayed = true;
+        ++bypass_delayed_;
+    }
+
+    // Functional-unit occupancy: divides are unpipelined.
+    fu_busy_until_[di->fu] =
+        opClass(di->inst.op) == OpClass::IntDiv ? now + di->latency
+                                                : now + 1;
+
+    // Release producer references for operands we no longer need:
+    // loop-carried dependence chains would otherwise keep the entire
+    // dynamic history alive through shared_ptr links. The store-data
+    // operand must survive until the store's completion is known.
+    for (unsigned k = 0; k < di->numSrcs; ++k) {
+        if (di->isStore && static_cast<int>(k) == di->dataOperand)
+            continue;
+        di->src[k].producer = nullptr;
+    }
+
+    if (di->isStore) {
+        di->phase = InstPhase::Executing;
+        di->addrKnown = now + 1;
+        if (di->onCorrectPath && di->effAddr != kNoAddr)
+            mem_.accessData(di->effAddr, now + 1);  // write-allocate
+        // Complete once the store data is available.
+        if (di->dataOperand >= 0) {
+            Cycle data = operandAvail(
+                di->src[di->dataOperand],
+                static_cast<unsigned>(di->fu));
+            if (data != kNoCycle) {
+                di->completeCycle = std::max(di->addrKnown, data);
+                di->phase = InstPhase::Complete;
+                di->src[di->dataOperand].producer = nullptr;
+                onComplete(di);
+            } else {
+                pending_stores_.push_back(di);
+            }
+        } else {
+            di->completeCycle = di->addrKnown;
+            di->phase = InstPhase::Complete;
+            onComplete(di);
+        }
+        return;
+    }
+
+    if (di->isLoad) {
+        const Cycle agen_done = now + 1;
+        if (!di->onCorrectPath || di->effAddr == kNoAddr) {
+            di->completeCycle = agen_done + 1;
+        } else if (forward_from) {
+            di->completeCycle =
+                std::max(agen_done, forward_from->completeCycle) + 1;
+            ++load_forwards_;
+        } else {
+            Cycle done = mem_.accessData(di->effAddr, agen_done);
+            di->completeCycle = done == agen_done ? agen_done + 1 : done;
+        }
+        di->phase = InstPhase::Complete;
+        onComplete(di);
+        return;
+    }
+
+    di->completeCycle = now + di->latency;
+    di->phase = InstPhase::Complete;
+    onComplete(di);
+}
+
+void
+ExecCore::finalizePendingStores(
+    Cycle now, const std::function<void(const DynInstPtr &)> &onComplete)
+{
+    auto it = pending_stores_.begin();
+    while (it != pending_stores_.end()) {
+        DynInstPtr s = *it;
+        if (s->squashed()) {
+            it = pending_stores_.erase(it);
+            continue;
+        }
+        Cycle data = operandAvail(s->src[s->dataOperand],
+                                  static_cast<unsigned>(s->fu));
+        if (data != kNoCycle) {
+            s->completeCycle = std::max(s->addrKnown, data);
+            s->phase = InstPhase::Complete;
+            s->src[s->dataOperand].producer = nullptr;
+            onComplete(s);
+            it = pending_stores_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+ExecCore::tick(Cycle now,
+               const std::function<void(const DynInstPtr &)> &onComplete)
+{
+    finalizePendingStores(now, onComplete);
+
+    for (unsigned fu = 0; fu < num_fus_; ++fu) {
+        if (fu_busy_until_[fu] > now)
+            continue;
+        auto &station = rs_[fu];
+        // Oldest-first select among ready instructions.
+        std::size_t pick = station.size();
+        InstSeqNum best_seq = ~InstSeqNum(0);
+        DynInstPtr pick_forward;
+        for (std::size_t i = 0; i < station.size(); ++i) {
+            const DynInstPtr &di = station[i];
+            if (di->seq >= best_seq)
+                continue;
+            if (!operandsReady(di, now))
+                continue;
+            DynInstPtr forward;
+            if (di->isLoad && !memScheduleOk(di, now, forward)) {
+                ++mem_sched_stalls_;
+                continue;
+            }
+            pick = i;
+            best_seq = di->seq;
+            pick_forward = std::move(forward);
+        }
+        if (pick == station.size())
+            continue;
+        DynInstPtr di = station[pick];
+        station.erase(station.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+        startExecution(di, now, pick_forward, onComplete);
+    }
+}
+
+void
+ExecCore::squashRange(InstSeqNum lo, InstSeqNum hi,
+                      InstSeqNum rescue_lo, InstSeqNum rescue_hi)
+{
+    auto in_range = [&](const DynInstPtr &di) {
+        if (di->seq < lo || di->seq >= hi)
+            return false;
+        if (di->seq >= rescue_lo && di->seq < rescue_hi)
+            return false;
+        return true;
+    };
+
+    for (auto &station : rs_) {
+        std::erase_if(station, [&](const DynInstPtr &di) {
+            if (!in_range(di))
+                return false;
+            di->phase = InstPhase::Squashed;
+            return true;
+        });
+    }
+    std::erase_if(pending_stores_, [&](const DynInstPtr &di) {
+        if (!in_range(di))
+            return false;
+        di->phase = InstPhase::Squashed;
+        return true;
+    });
+    std::erase_if(store_window_, in_range);
+}
+
+void
+ExecCore::retireStore(const DynInstPtr &di)
+{
+    auto it = std::find(store_window_.begin(), store_window_.end(), di);
+    if (it != store_window_.end())
+        store_window_.erase(it);
+}
+
+std::size_t
+ExecCore::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &station : rs_)
+        n += station.size();
+    return n;
+}
+
+void
+ExecCore::regStats(stats::Group &group)
+{
+    group.addCounter("core.selected", selected_,
+                     "instructions issued to functional units");
+    group.addCounter("core.bypass_delayed", bypass_delayed_,
+                     "instructions whose last operand was delayed by "
+                     "cross-cluster bypass");
+    group.addCounter("core.load_forwards", load_forwards_,
+                     "loads satisfied by store forwarding");
+    group.addCounter("core.mem_sched_stalls", mem_sched_stalls_,
+                     "load selects blocked by unknown store addresses");
+}
+
+} // namespace tcfill

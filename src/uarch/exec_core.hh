@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The clustered out-of-order execution engine (paper §3): 16
+ * symmetric functional units in 4 clusters of 4, a 32-entry
+ * reservation station per unit, single-cycle intra-cluster bypass and
+ * an extra cycle to forward across clusters, plus the conservative
+ * memory scheduler (no memory operation bypasses a store with an
+ * unknown address).
+ */
+
+#ifndef TCFILL_UARCH_EXEC_CORE_HH
+#define TCFILL_UARCH_EXEC_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "uarch/dyn_inst.hh"
+
+namespace tcfill
+{
+
+/** Execution engine configuration. */
+struct ExecCoreParams
+{
+    unsigned numClusters = 4;
+    unsigned fusPerCluster = 4;
+    unsigned rsEntries = 32;
+    Cycle crossClusterDelay = 1;
+};
+
+/** Clustered reservation stations + functional units + bypass. */
+class ExecCore
+{
+  public:
+    ExecCore(const ExecCoreParams &params, MemoryHierarchy &mem);
+
+    unsigned numFus() const { return num_fus_; }
+
+    /** Free reservation-station slots for @p fu. */
+    unsigned rsFree(unsigned fu) const;
+
+    /** Insert an issued instruction into its FU's station. */
+    void dispatch(const DynInstPtr &di);
+
+    /**
+     * One scheduling/execution cycle: each free FU selects its oldest
+     * ready instruction and begins execution. Every instruction whose
+     * completion time becomes known is reported through @p onComplete
+     * (used by the processor to queue branch-resolution events).
+     */
+    void tick(Cycle now,
+              const std::function<void(const DynInstPtr &)> &onComplete);
+
+    /**
+     * Squash instructions with seq in [lo, hi), except those in
+     * [rescue_lo, rescue_hi). Removes them from stations and pending
+     * queues and marks them Squashed.
+     */
+    void squashRange(InstSeqNum lo, InstSeqNum hi,
+                     InstSeqNum rescue_lo = 0, InstSeqNum rescue_hi = 0);
+
+    /** Notify the core a store retired (leaves the memory window). */
+    void retireStore(const DynInstPtr &di);
+
+    /** Cycle an operand becomes usable by a consumer on @p fu. */
+    Cycle operandAvail(const Operand &op, unsigned fu) const;
+
+    /** Total in-flight instructions across all stations. */
+    std::size_t occupancy() const;
+
+    // ---- statistics -----------------------------------------------------
+    std::uint64_t bypassDelayedCount() const
+    {
+        return bypass_delayed_.value();
+    }
+    std::uint64_t selectedCount() const { return selected_.value(); }
+
+    void regStats(stats::Group &group);
+
+  private:
+    bool operandsReady(const DynInstPtr &di, Cycle now) const;
+    bool memScheduleOk(const DynInstPtr &di, Cycle now,
+                       DynInstPtr &forward_from) const;
+    void startExecution(const DynInstPtr &di, Cycle now,
+                        const DynInstPtr &forward_from,
+                        const std::function<void(const DynInstPtr &)>
+                            &onComplete);
+    void finalizePendingStores(
+        Cycle now,
+        const std::function<void(const DynInstPtr &)> &onComplete);
+
+    ExecCoreParams params_;
+    MemoryHierarchy &mem_;
+    unsigned num_fus_;
+
+    std::vector<std::vector<DynInstPtr>> rs_;   // per FU
+    std::vector<Cycle> fu_busy_until_;
+
+    /** In-flight stores in program order (memory scheduler window). */
+    std::deque<DynInstPtr> store_window_;
+    /** Stores executing whose data operand is still outstanding. */
+    std::vector<DynInstPtr> pending_stores_;
+
+    stats::Counter selected_;
+    stats::Counter bypass_delayed_;
+    stats::Counter load_forwards_;
+    stats::Counter mem_sched_stalls_;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_UARCH_EXEC_CORE_HH

@@ -1,0 +1,64 @@
+#include "uarch/rename.hh"
+
+namespace tcfill
+{
+
+RenameTable::RenameTable()
+{
+    reset();
+}
+
+Operand
+RenameTable::read(RegIndex r) const
+{
+    if (r == kRegZero || r >= kNumArchRegs)
+        return Operand{};
+    return map_[r];
+}
+
+void
+RenameTable::write(RegIndex r, const DynInstPtr &producer)
+{
+    if (r == kRegZero || r >= kNumArchRegs)
+        return;
+    map_[r].producer = producer;
+    map_[r].rfAvail = 0;
+}
+
+void
+RenameTable::alias(RegIndex dest, const Operand &src)
+{
+    if (dest == kRegZero || dest >= kNumArchRegs)
+        return;
+    map_[dest] = src;
+}
+
+void
+RenameTable::reset()
+{
+    for (auto &op : map_) {
+        op.producer = nullptr;
+        op.rfAvail = 0;
+    }
+}
+
+void
+RenameTable::rebuild(const std::deque<DynInstPtr> &window)
+{
+    reset();
+    for (const auto &di : window) {
+        // Skip squashed work and instructions still inactive: an
+        // inactive instruction never updated the table at issue (its
+        // fate is unresolved), so replaying it here would let later
+        // lines depend on work that may yet be discarded.
+        if (di->squashed() || di->inactive || di->elided)
+            continue;
+        if (di->moveMarked) {
+            alias(di->inst.dest, di->moveAlias);
+        } else if (di->inst.hasDest()) {
+            write(di->inst.dest, di);
+        }
+    }
+}
+
+} // namespace tcfill

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Register rename state for the timing model: maps each architectural
+ * register to the in-flight producer of its newest value (or to the
+ * committed register file). Register-move instructions execute here
+ * by aliasing the destination mapping to the source mapping (paper
+ * §4.2); recovery rebuilds the table from the surviving window, which
+ * is the timing-model equivalent of checkpoint repair.
+ */
+
+#ifndef TCFILL_UARCH_RENAME_HH
+#define TCFILL_UARCH_RENAME_HH
+
+#include <array>
+#include <deque>
+
+#include "uarch/dyn_inst.hh"
+
+namespace tcfill
+{
+
+/** The architectural-register mapping table. */
+class RenameTable
+{
+  public:
+    RenameTable();
+
+    /** Current mapping of @p r as a source operand. R0 is ready. */
+    Operand read(RegIndex r) const;
+
+    /** Map @p r to in-flight producer @p producer. */
+    void write(RegIndex r, const DynInstPtr &producer);
+
+    /**
+     * Execute a register move: alias the destination's mapping to the
+     * operand the move copies (producer pointer or ready value).
+     */
+    void alias(RegIndex dest, const Operand &src);
+
+    /** Reset all mappings to the committed register file. */
+    void reset();
+
+    /**
+     * Checkpoint-repair equivalent: rebuild mappings by replaying the
+     * destination updates of all surviving (non-squashed) in-flight
+     * instructions, oldest first. Squashed instructions in @p window
+     * are skipped; retired values are assumed committed.
+     */
+    void rebuild(const std::deque<DynInstPtr> &window);
+
+  private:
+    std::array<Operand, kNumArchRegs> map_;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_UARCH_RENAME_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * gnuchess analog: fixed-depth negamax over a 0x88 board with
+ * piece-square-table evaluation. Dominant behaviour: square stepping
+ * via immediate-add chains across branch-dense legality checks (the
+ * paper's second big reassociation winner), scaled table indexing,
+ * and recursive make/unmake with stack traffic.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildChess(unsigned scale)
+{
+    ProgramBuilder pb("gnuchess");
+
+    // 0x88 board: 128 bytes; piece codes 0 empty, 1 pawn, 2 knight,
+    // 3 bishop, 4 rook, 5 queen, 6 king (white), +8 for black.
+    Random rng(0xc4e55u);
+    std::vector<std::uint8_t> board(128, 0);
+    auto place = [&](unsigned sq, std::uint8_t pc) { board[sq] = pc; };
+    // A sparse middlegame-ish position.
+    place(0x00, 4); place(0x07, 4); place(0x04, 6);
+    place(0x12, 1); place(0x13, 1); place(0x16, 1);
+    place(0x25, 2); place(0x33, 3); place(0x44, 5);
+    place(0x70, 12); place(0x77, 12); place(0x74, 14);
+    place(0x62, 9); place(0x63, 9); place(0x65, 9);
+    place(0x55, 10); place(0x46, 11);
+
+    Addr board_addr = pb.dataBytes(board);
+
+    // Piece-square table: 16 piece codes x 128 squares, bytes.
+    std::vector<std::uint8_t> pst(16 * 128);
+    for (auto &v : pst)
+        v = static_cast<std::uint8_t>(rng.below(64));
+    Addr pst_addr = pb.dataBytes(pst);
+
+    // r1 arg depth, r2 result score; r4 sq, r5 piece, r6 best,
+    // r7 to, r8-r11 temps, r16 board, r17 pst, r20 root counter.
+    const RegIndex depth = 1, res = 2;
+    const RegIndex sq = 4, piece = 5, best = 6, to = 7;
+    const RegIndex t0 = 8, t1 = 9, t2 = 10, t3 = 11;
+    const RegIndex brd = 16, tbl = 17, roots = 20;
+
+    Label start = pb.newLabel();
+    pb.j(start);
+
+    // search(r1 = depth) -> r2 = score.
+    Label search = pb.newLabel();
+    Label sq_loop = pb.newLabel();
+    Label sq_next = pb.newLabel();
+    Label have_piece = pb.newLabel();
+    Label step_e = pb.newLabel();
+    Label step_n2 = pb.newLabel();
+    Label recurse = pb.newLabel();
+    Label no_recurse = pb.newLabel();
+    Label s_done = pb.newLabel();
+
+    pb.bind(search);
+    pb.addi(kRegSP, kRegSP, -24);
+    pb.sw(kRegRA, kRegSP, 0);
+    pb.sw(depth, kRegSP, 4);
+    pb.li(best, -9999);
+    pb.li(sq, 0);
+
+    pb.bind(sq_loop);
+    pb.andi(t0, sq, 0x88);          // off-board filter (biased)
+    pb.bne(t0, 0, sq_next);
+    pb.add(t1, brd, sq);
+    pb.lbu(piece, t1, 0);
+    pb.bne(piece, 0, have_piece);
+    pb.j(sq_next);
+
+    pb.bind(have_piece);
+    // Evaluate the piece where it stands: pst[piece*128 + sq].
+    pb.move(t2, piece);             // working copy (move idiom)
+    pb.slli(t0, t2, 7);
+    pb.add(t0, t0, sq);
+    pb.lwx(t1, tbl, t0);            // byte via word read
+    pb.andi(t1, t1, 0xff);
+    pb.add(best, best, t1);
+
+    // Step east: to = sq + 1, then to+1 — immediate chains that
+    // cross the legality branches (reassociation food).
+    pb.addi(to, sq, 1);
+    pb.andi(t0, to, 0x88);
+    pb.bne(t0, 0, step_n2);
+    pb.add(t2, brd, to);
+    pb.lbu(t3, t2, 0);
+    pb.bne(t3, 0, step_n2);
+    pb.addi(to, to, 1);             // second step east
+    pb.andi(t0, to, 0x88);
+    pb.bne(t0, 0, step_n2);
+    pb.slli(t0, piece, 7);
+    pb.add(t0, t0, to);
+    pb.lwx(t1, tbl, t0);
+    pb.andi(t1, t1, 0xff);
+    pb.add(best, best, t1);
+
+    pb.bind(step_n2);
+    // Step north: to = sq + 16, then sq + 32.
+    pb.addi(to, sq, 16);
+    pb.andi(t0, to, 0x88);
+    pb.bne(t0, 0, step_e);
+    pb.add(t2, brd, to);
+    pb.lbu(t3, t2, 0);
+    pb.bne(t3, 0, step_e);
+    pb.addi(to, sq, 32);
+    pb.andi(t0, to, 0x88);
+    pb.bne(t0, 0, step_e);
+    pb.slli(t0, piece, 7);
+    pb.add(t0, t0, to);
+    pb.lwx(t1, tbl, t0);
+    pb.andi(t1, t1, 0xff);
+    pb.sub(best, best, t1);
+
+    pb.bind(step_e);
+    // Recurse on a sparse subset of occupied squares.
+    pb.lw(depth, kRegSP, 4);
+    pb.blez(depth, no_recurse);
+    pb.andi(t0, sq, 0x33);
+    pb.bne(t0, 0, no_recurse);
+    pb.bind(recurse);
+    pb.sw(best, kRegSP, 8);
+    pb.sw(sq, kRegSP, 12);
+    pb.sw(piece, kRegSP, 16);
+    pb.addi(depth, depth, -1);      // child depth (move-adjacent)
+    pb.jal(search);
+    pb.lw(best, kRegSP, 8);
+    pb.lw(sq, kRegSP, 12);
+    pb.lw(piece, kRegSP, 16);
+    pb.srai(t0, res, 2);
+    pb.sub(best, best, t0);         // negamax flavor
+    pb.bind(no_recurse);
+
+    pb.bind(sq_next);
+    pb.addi(sq, sq, 1);
+    pb.slti(t0, sq, 128);
+    pb.bne(t0, 0, sq_loop);
+
+    pb.bind(s_done);
+    pb.move(res, best);             // result move
+    pb.lw(kRegRA, kRegSP, 0);
+    pb.addi(kRegSP, kRegSP, 24);
+    pb.ret();
+
+    pb.bind(start);
+    pb.la(brd, board_addr);
+    pb.la(tbl, pst_addr);
+    pb.li(roots, static_cast<std::int32_t>(7 * scale));
+
+    Label root_loop = pb.newLabel();
+    pb.bind(root_loop);
+    pb.li(depth, 2);                // depth-2 search per root
+    pb.jal(search);
+    pb.addi(roots, roots, -1);
+    pb.bgtz(roots, root_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

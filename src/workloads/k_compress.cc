@@ -1,0 +1,150 @@
+/**
+ * @file
+ * compress analog: LZW-style dictionary compression of synthetic
+ * text. Dominant behaviour: byte loads, hash probing with data-
+ * dependent branches, dictionary growth, and an output call per
+ * emitted code (register moves for argument passing).
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildCompress(unsigned scale)
+{
+    ProgramBuilder pb("compress");
+
+    constexpr unsigned kInputBytes = 6000;
+    constexpr unsigned kTableEntries = 4096;    // 8 bytes each
+
+    // Synthetic "text": skewed byte distribution with repeated motifs
+    // so the dictionary actually captures strings.
+    Random rng(0xc0351u);
+    std::vector<std::uint8_t> input(kInputBytes);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (rng.percent(70) && i >= 16) {
+            input[i] = input[i - 1 - rng.below(8)];    // local repeat
+        } else {
+            input[i] = static_cast<std::uint8_t>(
+                'a' + rng.below(26));
+        }
+    }
+
+    Addr in_addr = pb.dataBytes(input);
+    Addr table_addr = pb.allocData(kTableEntries * 8, 8);
+    Addr out_addr = pb.allocData(16 * 1024, 4);
+
+    // Register plan: r4 in ptr, r5 in end, r6 table, r7 out ptr,
+    // r8 code, r9 byte, r10 key, r11 hash, r12-r15 temps,
+    // r16 next code, r17 hash mask, r20 pass counter.
+    const RegIndex in = 4, end = 5, tab = 6, out = 7, code = 8;
+    const RegIndex byte = 9, key = 10, hash = 11;
+    const RegIndex t0 = 12, t1 = 13, t2 = 14;
+    const RegIndex next = 16, msk = 17, pass = 20;
+
+    Label entry = pb.newLabel();
+    Label emit = pb.newLabel();
+    pb.j(entry);
+
+    // emit(r1 = code): append one output word.
+    pb.bind(emit);
+    pb.sw(1, out, 0);
+    pb.addi(out, out, 4);
+    pb.ret();
+
+    pb.bind(entry);
+    pb.la(tab, table_addr);
+    pb.la(out, out_addr);
+    pb.li(msk, kTableEntries - 1);
+    pb.li(pass, static_cast<std::int32_t>(3 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label byte_loop = pb.newLabel();
+    Label probe = pb.newLabel();
+    Label collide = pb.newLabel();
+    Label insert = pb.newLabel();
+    Label next_byte = pb.newLabel();
+    Label clear = pb.newLabel();
+    Label pass_done = pb.newLabel();
+    Label all_done = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.la(in, in_addr);
+    pb.la(end, in_addr + kInputBytes);
+    pb.li(next, 256);
+    pb.lbu(code, in, 0);
+    pb.addi(in, in, 1);
+
+    pb.bind(byte_loop);
+    pb.sltu(t0, in, end);
+    pb.beq(t0, 0, pass_done);
+    pb.lbu(byte, in, 0);
+    pb.addi(in, in, 1);
+    // key = (code << 9) | byte  (code may exceed 8 bits)
+    pb.slli(key, code, 9);
+    pb.or_(key, key, byte);
+    // hash = ((code << 4) ^ (code >> 7) ^ (byte << 7) ^ byte) & mask
+    pb.slli(hash, code, 4);
+    pb.srli(t2, code, 7);
+    pb.xor_(hash, hash, t2);
+    pb.slli(t2, byte, 7);
+    pb.xor_(hash, hash, t2);
+    pb.xor_(hash, hash, byte);
+    pb.and_(hash, hash, msk);
+
+    pb.bind(probe);
+    pb.slli(t0, hash, 3);          // entry offset (scaled-add fodder)
+    pb.add(t1, tab, t0);
+    pb.lw(t2, t1, 0);              // entry key
+    pb.beq(t2, 0, insert);
+    pb.bne(t2, key, collide);
+    pb.lw(code, t1, 4);            // extend the prefix
+    pb.j(next_byte);
+
+    pb.bind(collide);
+    pb.addi(hash, hash, 1);
+    pb.and_(hash, hash, msk);
+    pb.j(probe);
+
+    pb.bind(insert);
+    pb.sw(key, t1, 0);
+    pb.sw(next, t1, 4);
+    pb.addi(next, next, 1);
+    pb.move(1, code);              // argument move for emit()
+    pb.jal(emit);
+    pb.move(code, byte);           // start a new prefix
+    // Dictionary nearly full: reset it, exactly as compress does.
+    pb.slti(t0, next, (3 * kTableEntries) / 4);
+    pb.beq(t0, 0, clear);
+    pb.bind(next_byte);
+    pb.j(byte_loop);
+
+    pb.bind(clear);
+    pb.la(t1, table_addr);
+    pb.li(t2, kTableEntries * 2);
+    Label clr_loop = pb.newLabel();
+    pb.bind(clr_loop);
+    pb.sw(0, t1, 0);
+    pb.addi(t1, t1, 4);
+    pb.addi(t2, t2, -1);
+    pb.bgtz(t2, clr_loop);
+    pb.li(next, 256);
+    pb.j(byte_loop);
+
+    pb.bind(pass_done);
+    pb.move(1, code);
+    pb.jal(emit);
+    pb.la(out, out_addr);          // rewind output between passes
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+
+    pb.bind(all_done);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * gcc analog: graph-coloring register allocation over random
+ * interference graphs. Dominant behaviour: sparse bitmap scans with
+ * irregular, data-dependent branching and first-free-bit selection —
+ * the branchy, pointerless integer style of a compiler middle end.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildGcc(unsigned scale)
+{
+    ProgramBuilder pb("gcc");
+
+    constexpr unsigned kNodes = 96;
+    constexpr unsigned kWordsPerRow = kNodes / 32;
+
+    // Random interference graph, ~10% density, symmetric.
+    Random rng(0x6cc5eedu);
+    std::vector<std::int32_t> adj(kNodes * kWordsPerRow, 0);
+    for (unsigned i = 0; i < kNodes; ++i) {
+        for (unsigned j = 0; j < i; ++j) {
+            if (rng.percent(10)) {
+                adj[i * kWordsPerRow + j / 32] |= 1 << (j % 32);
+                adj[j * kWordsPerRow + i / 32] |= 1 << (i % 32);
+            }
+        }
+    }
+
+    Addr adj_addr = pb.dataWords(adj);
+    Addr color_addr = pb.allocData(kNodes, 4);   // byte per node
+
+    // r4 node i, r5 used mask, r6 row ptr, r7 word index,
+    // r8 bits, r9 bit index, r10 neighbor j, r11-r14 temps,
+    // r16 color base, r18 adj base, r20 pass counter.
+    const RegIndex i = 4, used = 5, row = 6, w = 7, bits = 8;
+    const RegIndex b = 9, j = 10, t0 = 11, t1 = 12, t2 = 13;
+    const RegIndex cbase = 16, abase = 18, pass = 20;
+
+    pb.la(abase, adj_addr);
+    pb.la(cbase, color_addr);
+    pb.li(pass, static_cast<std::int32_t>(4 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label init_loop = pb.newLabel();
+    Label node_loop = pb.newLabel();
+    Label word_loop = pb.newLabel();
+    Label bit_loop = pb.newLabel();
+    Label bit_next = pb.newLabel();
+    Label word_next = pb.newLabel();
+    Label pick = pb.newLabel();
+    Label pick_loop = pb.newLabel();
+    Label node_next = pb.newLabel();
+    Label pass_next = pb.newLabel();
+
+    pb.bind(pass_loop);
+    // Reset all colors to 255 (uncolored).
+    pb.li(t0, kNodes);
+    pb.move(t1, cbase);
+    pb.li(t2, 255);
+    pb.bind(init_loop);
+    pb.sb(t2, t1, 0);
+    pb.addi(t1, t1, 1);
+    pb.addi(t0, t0, -1);
+    pb.bgtz(t0, init_loop);
+
+    pb.li(i, 0);
+    pb.bind(node_loop);
+    pb.li(used, 0);
+    // row = adj + i * kWordsPerRow * 4
+    pb.li(t0, kWordsPerRow * 4);
+    pb.mul(t0, i, t0);
+    pb.add(row, abase, t0);
+    pb.li(w, 0);
+
+    pb.bind(word_loop);
+    pb.slli(t0, w, 2);
+    pb.lwx(bits, row, t0);
+    pb.beq(bits, 0, word_next);    // sparse rows: usually empty
+    pb.slli(j, w, 5);              // j = w * 32
+    pb.li(b, 32);
+    pb.bind(bit_loop);
+    pb.andi(t0, bits, 1);
+    pb.srli(bits, bits, 1);
+    pb.beq(t0, 0, bit_next);
+    // neighbor j is interfering: fold its color into the used mask
+    pb.lwx(t1, cbase, j);          // byte read via word is fine when
+    pb.andi(t1, t1, 0xff);         // colors stay in the low byte
+    pb.slti(t2, t1, 32);
+    pb.beq(t2, 0, bit_next);       // uncolored neighbor (255)
+    pb.li(t0, 1);
+    pb.sllv(t0, t0, t1);
+    pb.or_(used, used, t0);
+    pb.bind(bit_next);
+    pb.addi(j, j, 1);
+    pb.addi(b, b, -1);
+    pb.bne(bits, 0, bit_loop);     // early out when no bits remain
+    pb.bind(word_next);
+    pb.addi(w, w, 1);
+    pb.slti(t0, w, kWordsPerRow);
+    pb.bne(t0, 0, word_loop);
+
+    // Select the lowest color not in the used mask.
+    pb.bind(pick);
+    pb.li(t1, 0);
+    pb.bind(pick_loop);
+    pb.andi(t0, used, 1);
+    pb.srli(used, used, 1);
+    pb.beq(t0, 0, node_next);
+    pb.addi(t1, t1, 1);
+    pb.j(pick_loop);
+
+    pb.bind(node_next);
+    pb.add(t2, cbase, i);
+    pb.sb(t1, t2, 0);
+    pb.addi(i, i, 1);
+    pb.slti(t0, i, kNodes);
+    pb.bne(t0, 0, node_loop);
+
+    pb.bind(pass_next);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ghostscript analog: fixed-point polygon edge stepping and scanline
+ * span filling into a framebuffer. Dominant behaviour: per-scanline
+ * fixed-point arithmetic, biased clipping branches, byte-store fill
+ * loops with pointer-bump immediate chains (reassociation), and
+ * row-base address computation by shift-add (scaled adds).
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildGhostscript(unsigned scale)
+{
+    ProgramBuilder pb("ghostscript");
+
+    constexpr unsigned kWidth = 256, kHeight = 96;
+    constexpr unsigned kEdges = 24;
+
+    // Edge records: [x0_fix, dx_fix, y0, y1] (x in 8.8 fixed point).
+    Random rng(0x95c217u);
+    std::vector<std::int32_t> edges;
+    for (unsigned e = 0; e < kEdges; ++e) {
+        std::int32_t y0 = static_cast<std::int32_t>(rng.below(kHeight - 8));
+        std::int32_t y1 = y0 + 4 +
+            static_cast<std::int32_t>(rng.below(kHeight - y0 - 4));
+        std::int32_t x0 = static_cast<std::int32_t>(
+            rng.below((kWidth - 40) << 8));
+        std::int32_t dx = static_cast<std::int32_t>(rng.below(512)) - 256;
+        edges.insert(edges.end(), {x0, dx, y0, y1});
+    }
+    Addr edges_addr = pb.dataWords(edges);
+    Addr fb_addr = pb.allocData(kWidth * kHeight, 16);
+
+    // r4 y, r5 edge ptr, r6 edge count, r7 x_fix, r8 span ptr,
+    // r9 span len, r10-r13 temps, r16 fb, r17 edges, r20 pass.
+    const RegIndex y = 4, ep = 5, en = 6, xf = 7, p = 8, len = 9;
+    const RegIndex t0 = 10, t1 = 11, t2 = 12, t3 = 13;
+    const RegIndex fb = 16, ebase = 17, pass = 20;
+
+    pb.la(fb, fb_addr);
+    pb.la(ebase, edges_addr);
+    pb.li(pass, static_cast<std::int32_t>(3 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label y_loop = pb.newLabel();
+    Label e_loop = pb.newLabel();
+    Label e_next = pb.newLabel();
+    Label fill4 = pb.newLabel();
+    Label fill1 = pb.newLabel();
+    Label fill1_loop = pb.newLabel();
+    Label fill_done = pb.newLabel();
+    Label y_next = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.li(y, 0);
+    pb.bind(y_loop);
+    pb.move(ep, ebase);
+    pb.li(en, kEdges);
+
+    pb.bind(e_loop);
+    // Active test: y0 <= y < y1 (biased: most edges inactive).
+    pb.lw(t0, ep, 8);               // y0
+    pb.slt(t1, y, t0);
+    pb.bne(t1, 0, e_next);
+    pb.lw(t0, ep, 12);              // y1
+    pb.slt(t1, y, t0);
+    pb.beq(t1, 0, e_next);
+    // x = x0 + dx * (y - y0)
+    pb.lw(xf, ep, 0);
+    pb.lw(t2, ep, 4);
+    pb.lw(t0, ep, 8);
+    pb.sub(t3, y, t0);
+    pb.mul(t3, t2, t3);
+    pb.add(xf, xf, t3);
+    pb.srai(t2, xf, 8);             // pixel x
+    pb.bltz(t2, e_next);            // clip left
+    pb.slti(t1, t2, kWidth - 24);
+    pb.beq(t1, 0, e_next);          // clip right
+    // span pointer = fb + y * 256 + x
+    pb.slli(t0, y, 8);              // scaled-add candidate
+    pb.add(p, fb, t0);
+    pb.add(p, p, t2);
+    pb.move(14, p);                 // keep the span start (move idiom)
+    pb.li(len, 20);
+    pb.li(t3, 0x5a);
+    // Fill 4 pixels per iteration with a bumped base pointer.
+    pb.bind(fill4);
+    pb.slti(t0, len, 4);
+    pb.bne(t0, 0, fill1);
+    pb.sb(t3, p, 0);
+    pb.sb(t3, p, 1);
+    pb.sb(t3, p, 2);
+    pb.sb(t3, p, 3);
+    pb.addi(p, p, 4);               // cross-block ADDI chain
+    pb.addi(len, len, -4);
+    pb.j(fill4);
+    pb.bind(fill1);
+    pb.blez(len, fill_done);
+    pb.bind(fill1_loop);
+    pb.sb(t3, p, 0);
+    pb.addi(p, p, 1);
+    pb.addi(len, len, -1);
+    pb.bgtz(len, fill1_loop);
+    pb.bind(fill_done);
+    pb.sub(t0, p, 14);              // pixels written this span
+    pb.add(15, 15, t0);             // coverage accumulator
+
+    pb.bind(e_next);
+    pb.addi(ep, ep, 16);
+    pb.addi(en, en, -1);
+    pb.bgtz(en, e_loop);
+    pb.bind(y_next);
+    pb.addi(y, y, 1);
+    pb.slti(t0, y, kHeight);
+    pb.bne(t0, 0, y_loop);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

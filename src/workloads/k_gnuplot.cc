@@ -1,0 +1,106 @@
+/**
+ * @file
+ * gnuplot analog: sampling a fixed-point polynomial across a domain
+ * with range clipping and axis mapping. Dominant behaviour: Horner
+ * evaluation through small helper functions (argument/result moves —
+ * gnuplot has one of the paper's highest move fractions), multiply
+ * latency chains, and well-predicted clip branches.
+ */
+
+#include "asm/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildGnuplot(unsigned scale)
+{
+    ProgramBuilder pb("gnuplot");
+
+    constexpr unsigned kSamples = 3200;
+    Addr out_addr = pb.allocData(kSamples * 4 + 16, 8);
+    Addr coef_addr = pb.dataWords({37, -211, 544, -310, 97});
+
+    // Convention: r1..r3 args, r2 result.
+    const RegIndex a0 = 1, res = 2;
+    const RegIndex x = 4, t0 = 8, t1 = 9, t2 = 10, acc = 11;
+    const RegIndex cb = 16, ob = 17, pass = 20, n = 21, keep = 13;
+
+    Label start = pb.newLabel();
+    pb.j(start);
+
+    // poly(r1 = x fixed 8.8) -> r2: Horner with 5 coefficients.
+    Label poly = pb.newLabel();
+    Label poly_loop = pb.newLabel();
+    pb.bind(poly);
+    pb.lw(acc, cb, 0);
+    pb.li(t2, 4);
+    pb.move(t1, cb);
+    pb.bind(poly_loop);
+    pb.mul(acc, acc, a0);           // serial multiply chain
+    pb.srai(acc, acc, 8);           // rescale fixed point
+    pb.addi(t1, t1, 4);
+    pb.lw(t0, t1, 0);
+    pb.add(acc, acc, t0);
+    pb.addi(t2, t2, -1);
+    pb.bgtz(t2, poly_loop);
+    pb.move(res, acc);              // result move
+    pb.ret();
+
+    // clip(r1 = v) -> r2: clamp into [-20000, 20000].
+    Label clip = pb.newLabel();
+    Label clip_lo = pb.newLabel();
+    Label clip_done = pb.newLabel();
+    pb.bind(clip);
+    pb.move(res, a0);               // common case: in range
+    pb.li(t0, 20000);
+    pb.slt(t1, t0, res);
+    pb.beq(t1, 0, clip_lo);
+    pb.move(res, t0);
+    pb.bind(clip_lo);
+    pb.li(t0, -20000);
+    pb.slt(t1, res, t0);
+    pb.beq(t1, 0, clip_done);
+    pb.move(res, t0);
+    pb.bind(clip_done);
+    pb.ret();
+
+    pb.bind(start);
+    pb.la(cb, coef_addr);
+    pb.li(pass, static_cast<std::int32_t>(2 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label sample_loop = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.la(ob, out_addr);
+    pb.li(x, -400);                 // domain start, 8.8 fixed
+    pb.li(n, kSamples);
+    pb.bind(sample_loop);
+    pb.move(a0, x);                 // argument move
+    pb.addi(kRegSP, kRegSP, -8);
+    pb.sw(x, kRegSP, 0);
+    pb.sw(n, kRegSP, 4);
+    pb.jal(poly);
+    pb.move(keep, res);
+    pb.move(a0, keep);              // feed clip
+    pb.jal(clip);
+    pb.lw(x, kRegSP, 0);
+    pb.lw(n, kRegSP, 4);
+    pb.addi(kRegSP, kRegSP, 8);
+    // map to screen: y = (v >> 6) + 128, store
+    pb.srai(t0, res, 6);
+    pb.addi(t0, t0, 128);
+    pb.sw(t0, ob, 0);
+    pb.addi(ob, ob, 4);
+    pb.addi(x, x, 1);               // advance the domain
+    pb.addi(n, n, -1);
+    pb.bgtz(n, sample_loop);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * go analog: liberty counting and influence evaluation over a 19x19
+ * board with a sentinel border. Dominant behaviour: dense short
+ * branches over small byte arrays, mostly-biased conditions, and
+ * displacement-addressed neighbor loads.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildGo(unsigned scale)
+{
+    ProgramBuilder pb("go");
+
+    constexpr int kDim = 21;            // 19x19 plus sentinel ring
+    constexpr int kEmpty = 0, kBorder = 3;
+
+    Random rng(0x60b0a4du);
+    std::vector<std::uint8_t> board(kDim * kDim, kBorder);
+    for (int y = 1; y <= 19; ++y) {
+        for (int x = 1; x <= 19; ++x) {
+            unsigned r = rng.below(100);
+            board[y * kDim + x] =
+                r < 55 ? kEmpty : (r < 78 ? 1 : 2);
+        }
+    }
+
+    Addr board_addr = pb.dataBytes(
+        std::vector<std::uint8_t>(board.begin(), board.end()));
+    Addr score_addr = pb.allocData(8, 4);
+
+    // r4 point ptr, r5 remaining points, r6 piece, r7 liberties,
+    // r8 black influence, r9 white influence, r10-r13 neighbors,
+    // r16 board base, r17 score accum, r20 pass counter.
+    const RegIndex p = 4, rem = 5, piece = 6, libs = 7;
+    const RegIndex binf = 8, winf = 9;
+    const RegIndex n0 = 10, n1 = 11, n2 = 12, n3 = 13;
+    const RegIndex base = 16, acc = 17, sbase = 18, pass = 20;
+
+    pb.la(base, board_addr);
+    pb.la(sbase, score_addr);
+    pb.li(pass, static_cast<std::int32_t>(22 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label pt_loop = pb.newLabel();
+    Label empty_pt = pb.newLabel();
+    Label stone_pt = pb.newLabel();
+    Label pt_next = pb.newLabel();
+    Label lib1 = pb.newLabel(), lib2 = pb.newLabel();
+    Label lib3 = pb.newLabel(), lib4 = pb.newLabel();
+    Label inf1 = pb.newLabel(), inf2 = pb.newLabel();
+    Label inf3 = pb.newLabel(), inf4 = pb.newLabel();
+    Label store_lib = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.li(acc, 0);
+    pb.addi(p, base, kDim + 1);         // first interior point
+    pb.li(rem, 19 * kDim);              // sweep rows incl. sentinels
+
+    pb.bind(pt_loop);
+    pb.lbu(piece, p, 0);
+    pb.beq(piece, 0, empty_pt);
+    pb.slti(n0, piece, kBorder);
+    pb.bne(n0, 0, stone_pt);
+    pb.j(pt_next);                       // border sentinel
+
+    // Empty point: accumulate adjacent influence per color.
+    pb.bind(empty_pt);
+    pb.li(binf, 0);
+    pb.li(winf, 0);
+    pb.lbu(n0, p, 1);
+    pb.lbu(n1, p, -1);
+    pb.lbu(n2, p, kDim);
+    pb.lbu(n3, p, -kDim);
+    pb.addi(n0, n0, -1);
+    pb.bne(n0, 0, inf1);
+    pb.addi(binf, binf, 1);
+    pb.bind(inf1);
+    pb.addi(n1, n1, -1);
+    pb.bne(n1, 0, inf2);
+    pb.addi(binf, binf, 1);
+    pb.bind(inf2);
+    pb.addi(n2, n2, -2);
+    pb.bne(n2, 0, inf3);
+    pb.addi(winf, winf, 1);
+    pb.bind(inf3);
+    pb.addi(n3, n3, -2);
+    pb.bne(n3, 0, inf4);
+    pb.addi(winf, winf, 1);
+    pb.bind(inf4);
+    pb.sub(n0, binf, winf);
+    pb.add(acc, acc, n0);
+    pb.j(pt_next);
+
+    // Stone: count pseudo-liberties (empty neighbors).
+    pb.bind(stone_pt);
+    pb.li(libs, 0);
+    pb.lbu(n0, p, 1);
+    pb.bne(n0, 0, lib1);
+    pb.addi(libs, libs, 1);
+    pb.bind(lib1);
+    pb.lbu(n1, p, -1);
+    pb.bne(n1, 0, lib2);
+    pb.addi(libs, libs, 1);
+    pb.bind(lib2);
+    pb.lbu(n2, p, kDim);
+    pb.bne(n2, 0, lib3);
+    pb.addi(libs, libs, 1);
+    pb.bind(lib3);
+    pb.lbu(n3, p, -kDim);
+    pb.bne(n3, 0, lib4);
+    pb.addi(libs, libs, 1);
+    pb.bind(lib4);
+    // Stones in atari weigh heavily against their owner.
+    pb.slti(n0, libs, 2);
+    pb.beq(n0, 0, store_lib);
+    pb.slli(libs, libs, 2);
+    pb.bind(store_lib);
+    pb.addi(n1, piece, -1);             // 0 = black, 1 = white
+    pb.beq(n1, 0, pt_next);
+    pb.sub(acc, acc, libs);
+    pb.bind(pt_next);
+    pb.addi(p, p, 1);
+    pb.addi(rem, rem, -1);
+    pb.bgtz(rem, pt_loop);
+
+    pb.sw(acc, sbase, 0);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * ijpeg analog: integer butterfly transform (Walsh-Hadamard style, a
+ * stand-in for the DCT) and quantization over 8x8 blocks of an image.
+ * Dominant behaviour: dense shift/add address arithmetic into 2-D
+ * arrays (scaled-add fodder), straight-line butterfly arithmetic with
+ * temporary shuffling, and extremely regular loop branches.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildIjpeg(unsigned scale)
+{
+    ProgramBuilder pb("ijpeg");
+
+    constexpr unsigned kW = 64, kH = 64;
+
+    Random rng(0x135e9u);
+    std::vector<std::uint8_t> img(kW * kH);
+    for (auto &px : img)
+        px = static_cast<std::uint8_t>(rng.below(256));
+
+    Addr img_addr = pb.dataBytes(img);
+    Addr tmp_addr = pb.allocData(8 * 8 * 4, 8);     // block of words
+    Addr out_addr = pb.allocData(kW * kH * 4, 8);
+
+    // r4 block x, r5 block y, r6 row counter, r7 src ptr,
+    // r8-r15 butterfly lanes, r16 img base, r17 tmp base,
+    // r18 out base, r19-r23 temps, r24 col counter, r25 pass.
+    const RegIndex bx = 4, by = 5, r = 6, sp = 7;
+    const RegIndex a0 = 8, a1 = 9, a2 = 10, a3 = 11;
+    const RegIndex s0 = 12, s1 = 13, d0 = 14, d1 = 15;
+    const RegIndex ibase = 16, tbase = 17, obase = 18;
+    const RegIndex t0 = 19, t1 = 20, t2 = 21;
+    const RegIndex c = 24, pass = 25;
+
+    pb.la(ibase, img_addr);
+    pb.la(tbase, tmp_addr);
+    pb.la(obase, out_addr);
+    pb.li(pass, static_cast<std::int32_t>(4 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label by_loop = pb.newLabel();
+    Label bx_loop = pb.newLabel();
+    Label row_loop = pb.newLabel();
+    Label col_loop = pb.newLabel();
+    Label bx_next = pb.newLabel();
+    Label by_next = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.li(by, 0);
+    pb.bind(by_loop);
+    pb.li(bx, 0);
+    pb.bind(bx_loop);
+
+    // ---- row transform: 8 rows, 4-lane butterfly over byte pairs.
+    pb.li(r, 0);
+    pb.bind(row_loop);
+    // src = img + ((by*8 + r) * 64) + bx*8
+    pb.slli(t0, by, 3);
+    pb.add(t0, t0, r);
+    pb.slli(t0, t0, 6);
+    pb.slli(t1, bx, 3);
+    pb.add(t0, t0, t1);
+    pb.add(sp, ibase, t0);
+    // load four 16-bit lanes as byte pairs
+    pb.lbu(a0, sp, 0);
+    pb.lbu(a1, sp, 2);
+    pb.lbu(a2, sp, 4);
+    pb.lbu(a3, sp, 6);
+    // stage 1 butterflies
+    pb.add(s0, a0, a2);
+    pb.sub(d0, a0, a2);
+    pb.add(s1, a1, a3);
+    pb.sub(d1, a1, a3);
+    // stage 2 with scaling shifts
+    pb.add(t1, s0, s1);
+    pb.sub(t2, s0, s1);
+    pb.slli(t0, d0, 1);
+    pb.add(d0, t0, d1);
+    pb.sub(d1, t0, d1);
+    // store the row of coefficients into the temp block
+    pb.slli(t0, r, 4);             // r * 16 bytes (4 words)
+    pb.add(sp, tbase, t0);
+    pb.sw(t1, sp, 0);
+    pb.sw(t2, sp, 4);
+    pb.sw(d0, sp, 8);
+    pb.sw(d1, sp, 12);
+    pb.addi(r, r, 1);
+    pb.slti(t0, r, 8);
+    pb.bne(t0, 0, row_loop);
+
+    // ---- column transform + quantize: 4 columns of 8 entries.
+    pb.li(c, 0);
+    pb.bind(col_loop);
+    pb.slli(t0, c, 2);
+    pb.add(sp, tbase, t0);         // column base
+    pb.lw(a0, sp, 0 * 16);
+    pb.lw(a1, sp, 2 * 16);
+    pb.lw(a2, sp, 4 * 16);
+    pb.lw(a3, sp, 6 * 16);
+    pb.add(s0, a0, a2);
+    pb.sub(d0, a0, a2);
+    pb.add(s1, a1, a3);
+    pb.sub(d1, a1, a3);
+    pb.add(t1, s0, s1);
+    pb.srai(t1, t1, 2);            // quantize DC harder
+    pb.sub(t2, s0, s1);
+    pb.srai(t2, t2, 1);
+    pb.srai(d0, d0, 1);
+    pb.move(t0, d1);               // compiler-style lane shuffle
+    pb.srai(d1, t0, 1);
+    // out block base = out + ((by*8)*64 + bx*8 + c) * 4
+    pb.slli(t0, by, 3);
+    pb.slli(t0, t0, 6);
+    pb.slli(s0, bx, 3);
+    pb.add(t0, t0, s0);
+    pb.add(t0, t0, c);
+    pb.slli(t0, t0, 2);
+    pb.add(sp, obase, t0);
+    pb.sw(t1, sp, 0);
+    pb.sw(t2, sp, 256);
+    pb.sw(d0, sp, 512);
+    pb.sw(d1, sp, 768);
+    pb.addi(c, c, 1);
+    pb.slti(t0, c, 4);
+    pb.bne(t0, 0, col_loop);
+
+    pb.bind(bx_next);
+    pb.addi(bx, bx, 1);
+    pb.slti(t0, bx, 8);
+    pb.bne(t0, 0, bx_loop);
+    pb.bind(by_next);
+    pb.addi(by, by, 1);
+    pb.slti(t0, by, 8);
+    pb.bne(t0, 0, by_loop);
+
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

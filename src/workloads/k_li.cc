@@ -1,0 +1,149 @@
+/**
+ * @file
+ * li analog: cons-cell list processing. Dominant behaviour: pointer
+ * chasing through linked cells, deep recursion with stack save /
+ * restore, and heavy register moves for argument and result passing
+ * (the Lisp-interpreter calling-convention style).
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildLi(unsigned scale)
+{
+    ProgramBuilder pb("li");
+
+    constexpr unsigned kLists = 24;
+    constexpr unsigned kCells = 120;    // per list
+
+    // Build the cons heap at assembly time: cell = [car, cdr].
+    Random rng(0x11a11u);
+    Addr heap = pb.allocData(kLists * kCells * 8, 8);
+    std::vector<std::int32_t> heads;
+    {
+        std::vector<std::int32_t> cells(kLists * kCells * 2);
+        for (unsigned l = 0; l < kLists; ++l) {
+            Addr base = heap + static_cast<Addr>(l) * kCells * 8;
+            heads.push_back(static_cast<std::int32_t>(base));
+            // Shuffled cell order makes the chase non-sequential.
+            std::vector<unsigned> order(kCells);
+            for (unsigned i = 0; i < kCells; ++i)
+                order[i] = i;
+            for (unsigned i = kCells - 1; i > 0; --i)
+                std::swap(order[i], order[rng.below(i + 1)]);
+            // Cell 0 is the list head: move it to the front of the
+            // traversal order.
+            for (unsigned i = 0; i < kCells; ++i) {
+                if (order[i] == 0) {
+                    std::swap(order[0], order[i]);
+                    break;
+                }
+            }
+            for (unsigned i = 0; i < kCells; ++i) {
+                unsigned cell = order[i];
+                Addr cell_addr = base + cell * 8;
+                std::int32_t next =
+                    i + 1 < kCells
+                        ? static_cast<std::int32_t>(base +
+                                                    order[i + 1] * 8)
+                        : 0;
+                std::size_t idx =
+                    static_cast<std::size_t>((cell_addr - heap) / 4);
+                cells[idx] =
+                    static_cast<std::int32_t>(rng.below(1000));
+                cells[idx + 1] = next;
+            }
+        }
+        // Copy prepared cells into the heap segment.
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            pb.pokeWord(heap + i * 4, cells[i]);
+        }
+    }
+    Addr heads_addr = pb.dataWords(heads);
+    Addr result_addr = pb.allocData(kLists * 4, 4);
+
+    // Conventions: r1 arg, r2 result, r29 sp, r31 ra.
+    const RegIndex arg = 1, res = 2;
+    const RegIndex l = 4, hptr = 5, t0 = 8, t1 = 9, t2 = 10;
+    const RegIndex head = 12, keep = 13;
+    const RegIndex rbase = 16, pass = 20;
+
+    Label start = pb.newLabel();
+    pb.j(start);
+
+    // sumlist(r1 = cell): recursive sum of cars.
+    Label sumlist = pb.newLabel();
+    Label sum_rec = pb.newLabel();
+    pb.bind(sumlist);
+    pb.bne(arg, 0, sum_rec);
+    pb.li(res, 0);
+    pb.ret();
+    pb.bind(sum_rec);
+    pb.addi(kRegSP, kRegSP, -8);
+    pb.sw(kRegRA, kRegSP, 0);
+    pb.lw(t0, arg, 0);              // car
+    pb.sw(t0, kRegSP, 4);
+    pb.lw(arg, arg, 4);             // cdr -> next arg
+    pb.jal(sumlist);
+    pb.lw(t0, kRegSP, 4);
+    pb.add(res, res, t0);
+    pb.lw(kRegRA, kRegSP, 0);
+    pb.addi(kRegSP, kRegSP, 8);
+    pb.ret();
+
+    // maxcar(r1 = cell): iterative maximum of cars.
+    Label maxcar = pb.newLabel();
+    Label max_loop = pb.newLabel();
+    Label max_skip = pb.newLabel();
+    Label max_done = pb.newLabel();
+    pb.bind(maxcar);
+    pb.li(res, -1);
+    pb.bind(max_loop);
+    pb.beq(arg, 0, max_done);
+    pb.lw(t0, arg, 0);
+    pb.slt(t1, res, t0);
+    pb.beq(t1, 0, max_skip);
+    pb.move(res, t0);
+    pb.bind(max_skip);
+    pb.lw(arg, arg, 4);
+    pb.j(max_loop);
+    pb.bind(max_done);
+    pb.ret();
+
+    pb.bind(start);
+    pb.la(rbase, result_addr);
+    pb.li(pass, static_cast<std::int32_t>(10 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label list_loop = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.li(l, 0);
+    pb.bind(list_loop);
+    pb.la(hptr, heads_addr);
+    pb.slli(t2, l, 2);
+    pb.lwx(head, hptr, t2);         // head of list l
+    pb.move(arg, head);             // argument move
+    pb.jal(sumlist);
+    pb.move(keep, res);             // save result (move)
+    pb.move(arg, head);
+    pb.jal(maxcar);
+    pb.add(t1, keep, res);
+    pb.slli(t2, l, 2);
+    pb.add(t2, rbase, t2);
+    pb.sw(t1, t2, 0);
+    pb.addi(l, l, 1);
+    pb.slti(t0, l, kLists);
+    pb.bne(t0, 0, list_loop);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

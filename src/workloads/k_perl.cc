@@ -1,0 +1,183 @@
+/**
+ * @file
+ * perl analog: associative-array (hash) operations over a corpus of
+ * short strings. Dominant behaviour: byte scanning with shift-add
+ * hashing, chained hash lookups with string comparison inner loops,
+ * and helper-function calls with argument moves.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildPerl(unsigned scale)
+{
+    ProgramBuilder pb("perl");
+
+    constexpr unsigned kStrings = 320;
+    constexpr unsigned kBuckets = 256;
+
+    // Corpus: length-prefixed strings, many duplicates (hash hits).
+    Random rng(0x9e71u);
+    std::vector<std::uint8_t> pool;
+    std::vector<std::int32_t> offsets;
+    std::vector<std::vector<std::uint8_t>> uniques;
+    for (unsigned u = 0; u < 48; ++u) {
+        std::vector<std::uint8_t> s(4 + rng.below(12));
+        for (auto &ch : s)
+            ch = static_cast<std::uint8_t>('a' + rng.below(26));
+        uniques.push_back(std::move(s));
+    }
+    Addr pool_base = kDataBase;     // reserved below via dataBytes
+    for (unsigned i = 0; i < kStrings; ++i) {
+        const auto &s = uniques[rng.below(uniques.size())];
+        offsets.push_back(static_cast<std::int32_t>(pool.size()));
+        pool.push_back(static_cast<std::uint8_t>(s.size()));
+        pool.insert(pool.end(), s.begin(), s.end());
+    }
+    Addr pool_addr = pb.dataBytes(pool);
+    (void)pool_base;
+    for (auto &off : offsets)
+        off += static_cast<std::int32_t>(pool_addr);
+    Addr offs_addr = pb.dataWords(offsets);
+    // Hash node: [key_ptr, value, next]. Preallocated node pool.
+    Addr buckets_addr = pb.allocData(kBuckets * 4, 8);
+    Addr nodes_addr = pb.allocData(64 * 12 + 12, 8);
+    Addr nalloc_addr = pb.allocData(4, 4);
+    pb.pokeWord(nalloc_addr, static_cast<std::int32_t>(nodes_addr));
+
+    // r1/r2/r3 args, r2 result; r4 string index, r5 string ptr,
+    // r6 hash, r7 len, r8-r13 temps, r16.. bases, r20 pass.
+    const RegIndex a0 = 1, res = 2, a1 = 3;
+    const RegIndex si = 4, sp = 5, h = 6, len = 7;
+    const RegIndex t0 = 8, t1 = 9, t2 = 10, t3 = 11, node = 12;
+    const RegIndex offs = 16, bkts = 17, nalloc = 18, pass = 20;
+
+    Label start = pb.newLabel();
+    pb.j(start);
+
+    // streq(r1 = p, r3 = q): length-prefixed compare, res = 1 if equal.
+    Label streq = pb.newLabel();
+    Label sq_loop = pb.newLabel();
+    Label sq_no = pb.newLabel();
+    Label sq_yes = pb.newLabel();
+    pb.bind(streq);
+    pb.lbu(t0, a0, 0);
+    pb.lbu(t1, a1, 0);
+    pb.bne(t0, t1, sq_no);
+    pb.move(t2, t0);                // remaining bytes
+    pb.bind(sq_loop);
+    pb.beq(t2, 0, sq_yes);
+    pb.addi(a0, a0, 1);
+    pb.addi(a1, a1, 1);
+    pb.lbu(t0, a0, 0);
+    pb.lbu(t1, a1, 0);
+    pb.bne(t0, t1, sq_no);
+    pb.addi(t2, t2, -1);
+    pb.j(sq_loop);
+    pb.bind(sq_yes);
+    pb.li(res, 1);
+    pb.ret();
+    pb.bind(sq_no);
+    pb.li(res, 0);
+    pb.ret();
+
+    pb.bind(start);
+    pb.la(offs, offs_addr);
+    pb.la(bkts, buckets_addr);
+    pb.la(nalloc, nalloc_addr);
+    pb.li(pass, static_cast<std::int32_t>(6 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label str_loop = pb.newLabel();
+    Label hash_loop = pb.newLabel();
+    Label chain_loop = pb.newLabel();
+    Label chain_next = pb.newLabel();
+    Label found = pb.newLabel();
+    Label insert = pb.newLabel();
+    Label str_next = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.li(si, 0);
+    pb.bind(str_loop);
+    pb.slli(t0, si, 2);
+    pb.lwx(sp, offs, t0);           // string pointer
+    // hash = fold((h << 5) + h + c) over bytes
+    pb.li(h, 5381 & 0x7fff);
+    pb.lbu(len, sp, 0);
+    pb.move(t3, sp);
+    pb.move(t2, len);
+    pb.bind(hash_loop);
+    pb.addi(t3, t3, 1);
+    pb.lbu(t0, t3, 0);
+    pb.slli(t1, h, 5);              // scaled-add candidate
+    pb.add(h, t1, h);
+    pb.add(h, h, t0);
+    pb.addi(t2, t2, -1);
+    pb.bgtz(t2, hash_loop);
+    pb.andi(h, h, kBuckets - 1);
+
+    // chain walk
+    pb.slli(t0, h, 2);
+    pb.lwx(node, bkts, t0);
+    pb.bind(chain_loop);
+    pb.beq(node, 0, insert);
+    pb.lw(t0, node, 0);             // key ptr
+    pb.move(a0, t0);                // argument moves for streq
+    pb.move(a1, sp);
+    pb.addi(kRegSP, kRegSP, -16);
+    pb.sw(node, kRegSP, 0);
+    pb.sw(sp, kRegSP, 4);
+    pb.sw(h, kRegSP, 8);
+    pb.jal(streq);
+    pb.lw(node, kRegSP, 0);
+    pb.lw(sp, kRegSP, 4);
+    pb.lw(h, kRegSP, 8);
+    pb.addi(kRegSP, kRegSP, 16);
+    pb.bne(res, 0, found);
+    pb.bind(chain_next);
+    pb.lw(node, node, 8);           // next
+    pb.j(chain_loop);
+
+    pb.bind(found);
+    pb.lw(t0, node, 4);
+    pb.addi(t0, t0, 1);             // ++value
+    pb.sw(t0, node, 4);
+    pb.j(str_next);
+
+    pb.bind(insert);
+    // Allocate a node from the pool; drop the insert if exhausted
+    // (cannot happen with this corpus, but stay total).
+    Label do_insert = pb.newLabel();
+    pb.lw(node, nalloc, 0);
+    pb.la(t0, nodes_addr + 64 * 12);
+    pb.sltu(t1, node, t0);
+    pb.bne(t1, 0, do_insert);
+    pb.j(str_next);
+    pb.bind(do_insert);
+    pb.sw(sp, node, 0);             // key pointer
+    pb.li(t2, 1);
+    pb.sw(t2, node, 4);             // value
+    pb.slli(t0, h, 2);
+    pb.lwx(t2, bkts, t0);           // old chain head
+    pb.sw(t2, node, 8);
+    pb.swx(node, bkts, t0);         // new head
+    pb.addi(t1, node, 12);
+    pb.sw(t1, nalloc, 0);
+    pb.j(str_next);
+
+    pb.bind(str_next);
+    pb.addi(si, si, 1);
+    pb.slti(t0, si, kStrings);
+    pb.bne(t0, 0, str_loop);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

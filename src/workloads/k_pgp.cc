@@ -1,0 +1,118 @@
+/**
+ * @file
+ * pgp analog: multi-precision (bignum) multiplication with a
+ * pseudo-Montgomery reduction, 16-bit limbs in 32-bit words.
+ * Dominant behaviour: multiply-accumulate inner loops with serial
+ * carry chains (long dependence chains through MUL), dense array
+ * traffic, and almost no branching beyond loop control.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildPgp(unsigned scale)
+{
+    ProgramBuilder pb("pgp");
+
+    constexpr unsigned kLimbs = 24;         // 16-bit limbs
+
+    Random rng(0x969u);
+    std::vector<std::int32_t> a(kLimbs), b(kLimbs);
+    for (unsigned i = 0; i < kLimbs; ++i) {
+        a[i] = static_cast<std::int32_t>(rng.below(0x10000));
+        b[i] = static_cast<std::int32_t>(rng.below(0x10000));
+    }
+    Addr a_addr = pb.dataWords(a);
+    Addr b_addr = pb.dataWords(b);
+    Addr p_addr = pb.allocData(2 * kLimbs * 4 + 8, 8);
+
+    // r4 i, r5 j, r6 a[i], r7 carry, r8-r13 temps,
+    // r16 a base, r17 b base, r18 product base, r20 rounds.
+    const RegIndex i = 4, j = 5, ai = 6, carry = 7;
+    const RegIndex t0 = 8, t1 = 9, t2 = 10, t3 = 11, pij = 12;
+    const RegIndex ab = 16, bb = 17, prod = 18, rounds = 20;
+
+    pb.la(ab, a_addr);
+    pb.la(bb, b_addr);
+    pb.la(prod, p_addr);
+    pb.li(rounds, static_cast<std::int32_t>(55 * scale));
+
+    Label round_loop = pb.newLabel();
+    Label clr_loop = pb.newLabel();
+    Label i_loop = pb.newLabel();
+    Label j_loop = pb.newLabel();
+    Label red_loop = pb.newLabel();
+    Label red_skip = pb.newLabel();
+
+    pb.bind(round_loop);
+    // Clear the product.
+    pb.li(t0, 2 * kLimbs);
+    pb.move(t1, prod);
+    pb.bind(clr_loop);
+    pb.sw(0, t1, 0);
+    pb.addi(t1, t1, 4);
+    pb.addi(t0, t0, -1);
+    pb.bgtz(t0, clr_loop);
+
+    // Schoolbook multiply with 16-bit limbs.
+    pb.li(i, 0);
+    pb.bind(i_loop);
+    pb.slli(t0, i, 2);
+    pb.lwx(ai, ab, t0);
+    pb.li(carry, 0);
+    pb.li(j, 0);
+    pb.bind(j_loop);
+    pb.slli(t0, j, 2);
+    pb.lwx(t1, bb, t0);             // b[j]
+    pb.mul(t1, ai, t1);             // 16x16 -> 32, exact
+    pb.add(t2, i, j);
+    pb.slli(t2, t2, 2);
+    pb.add(pij, prod, t2);
+    pb.lw(t3, pij, 0);              // p[i+j]
+    pb.add(t1, t1, t3);
+    pb.add(t1, t1, carry);          // serial carry chain
+    pb.andi(t3, t1, 0xffff);
+    pb.sw(t3, pij, 0);
+    pb.srli(carry, t1, 16);
+    pb.addi(j, j, 1);
+    pb.slti(t0, j, kLimbs);
+    pb.bne(t0, 0, j_loop);
+    // final carry out
+    pb.add(t2, i, j);
+    pb.slli(t2, t2, 2);
+    pb.swx(carry, prod, t2);
+    pb.addi(i, i, 1);
+    pb.slti(t0, i, kLimbs);
+    pb.bne(t0, 0, i_loop);
+
+    // Pseudo-reduction: fold high limbs into low with a small factor.
+    pb.li(j, kLimbs);
+    pb.bind(red_loop);
+    pb.slli(t0, j, 2);
+    pb.lwx(t1, prod, t0);           // high limb
+    pb.beq(t1, 0, red_skip);
+    pb.li(t2, 38);                  // fold factor (curve25519 style)
+    pb.mul(t1, t1, t2);
+    pb.addi(t0, t0, -(static_cast<std::int32_t>(kLimbs) * 4));
+    pb.add(pij, prod, t0);
+    pb.lw(t3, pij, 0);
+    pb.add(t3, t3, t1);
+    pb.andi(t2, t3, 0xffff);
+    pb.sw(t2, pij, 0);
+    pb.bind(red_skip);
+    pb.addi(j, j, 1);
+    pb.slti(t0, j, 2 * kLimbs);
+    pb.bne(t0, 0, red_loop);
+
+    pb.addi(rounds, rounds, -1);
+    pb.bgtz(rounds, round_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

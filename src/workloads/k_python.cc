@@ -1,0 +1,200 @@
+/**
+ * @file
+ * python analog: a bytecode stack-VM interpreter executing a pair of
+ * nested counting loops. Dominant behaviour: byte-granular opcode
+ * fetch, a beq dispatch ladder, operand-stack traffic through an
+ * explicit stack pointer, and local-variable loads with scaled
+ * indexing.
+ */
+
+#include "asm/builder.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+namespace
+{
+
+enum PyOp : std::uint8_t
+{
+    P_LOADF = 1,    // push locals[arg]
+    P_STOREF = 2,   // pop into locals[arg]
+    P_CONST = 3,    // push arg (unsigned byte)
+    P_ADD = 4,
+    P_SUB = 5,
+    P_CMPGT = 6,    // push (a > b)
+    P_JTRUE = 7,    // pop; jump to byte offset arg if non-zero
+    P_JUMP = 8,
+    P_HALTP = 9,
+};
+
+} // namespace
+
+Program
+buildPython(unsigned scale)
+{
+    ProgramBuilder pb("python");
+
+    // Bytecode for: for i in range(O): s = 0; j = I
+    //               while j: s += j; j -= 1
+    // locals: 0=i outer, 1=j, 2=s
+    std::vector<std::uint8_t> code;
+    auto op2 = [&code](PyOp op, std::uint8_t arg) {
+        code.push_back(static_cast<std::uint8_t>(op));
+        code.push_back(arg);
+    };
+    const unsigned outer = 25;      // outer iterations per bytecode run
+    op2(P_CONST, outer);
+    op2(P_STOREF, 0);
+    const std::uint8_t outer_top = static_cast<std::uint8_t>(code.size());
+    op2(P_CONST, 0);                // s = 0
+    op2(P_STOREF, 2);
+    op2(P_CONST, 60);               // j = 60
+    op2(P_STOREF, 1);
+    const std::uint8_t inner_top = static_cast<std::uint8_t>(code.size());
+    op2(P_LOADF, 2);                // s += j
+    op2(P_LOADF, 1);
+    op2(P_ADD, 0);
+    op2(P_STOREF, 2);
+    op2(P_LOADF, 1);                // j -= 1
+    op2(P_CONST, 1);
+    op2(P_SUB, 0);
+    op2(P_STOREF, 1);
+    op2(P_LOADF, 1);                // while j
+    op2(P_JTRUE, inner_top);
+    op2(P_LOADF, 0);                // i -= 1
+    op2(P_CONST, 1);
+    op2(P_SUB, 0);
+    op2(P_STOREF, 0);
+    op2(P_LOADF, 0);
+    op2(P_JTRUE, outer_top);
+    op2(P_HALTP, 0);
+    (void)outer;
+
+    Addr code_addr = pb.dataBytes(code);
+    Addr locals_addr = pb.allocData(16 * 4, 8);
+    Addr stack_addr = pb.allocData(128 * 4, 8);
+    Addr iter_addr = pb.allocData(4, 4);
+
+    // r4 vpc (byte ptr), r5 vsp, r6 op, r7 arg, r8-r11 temps,
+    // r16 code base, r17 locals, r20 outer restart counter.
+    const RegIndex vpc = 4, vsp = 5, op = 6, arg = 7;
+    const RegIndex t0 = 8, t1 = 9, t2 = 10;
+    const RegIndex cbase = 16, loc = 17;
+
+    pb.la(cbase, code_addr);
+    pb.la(loc, locals_addr);
+    pb.la(vsp, stack_addr);
+    pb.la(t0, iter_addr);
+    pb.li(t1, static_cast<std::int32_t>(scale));    // bytecode reruns
+    pb.sw(t1, t0, 0);
+    pb.move(vpc, cbase);
+
+    Label loop = pb.newLabel();
+    Label h_loadf = pb.newLabel(), h_storef = pb.newLabel();
+    Label h_const = pb.newLabel(), h_add = pb.newLabel();
+    Label h_sub = pb.newLabel(), h_cmp = pb.newLabel();
+    Label h_jtrue = pb.newLabel(), h_jump = pb.newLabel();
+    Label h_halt = pb.newLabel();
+    Label jt_taken = pb.newLabel();
+    Label restart = pb.newLabel();
+
+    pb.bind(loop);
+    pb.lbu(op, vpc, 0);
+    pb.lbu(arg, vpc, 1);
+    pb.addi(vpc, vpc, 2);           // cross-block immediate chain
+    pb.addi(t0, op, -P_LOADF);
+    pb.beq(t0, 0, h_loadf);
+    pb.addi(t0, op, -P_STOREF);
+    pb.beq(t0, 0, h_storef);
+    pb.addi(t0, op, -P_CONST);
+    pb.beq(t0, 0, h_const);
+    pb.addi(t0, op, -P_ADD);
+    pb.beq(t0, 0, h_add);
+    pb.addi(t0, op, -P_SUB);
+    pb.beq(t0, 0, h_sub);
+    pb.addi(t0, op, -P_JTRUE);
+    pb.beq(t0, 0, h_jtrue);
+    pb.addi(t0, op, -P_CMPGT);
+    pb.beq(t0, 0, h_cmp);
+    pb.addi(t0, op, -P_JUMP);
+    pb.beq(t0, 0, h_jump);
+    pb.j(h_halt);
+
+    pb.bind(h_loadf);
+    pb.slli(t1, arg, 2);            // scaled local index
+    pb.lwx(t2, loc, t1);
+    pb.move(t0, t2);                // TOS staging copy (move idiom)
+    pb.sw(t0, vsp, 0);
+    pb.addi(vsp, vsp, 4);
+    pb.j(loop);
+
+    pb.bind(h_storef);
+    pb.addi(vsp, vsp, -4);
+    pb.lw(t2, vsp, 0);
+    pb.slli(t1, arg, 2);
+    pb.swx(t2, loc, t1);
+    pb.j(loop);
+
+    pb.bind(h_const);
+    pb.sw(arg, vsp, 0);
+    pb.addi(vsp, vsp, 4);
+    pb.j(loop);
+
+    pb.bind(h_add);
+    pb.addi(vsp, vsp, -4);
+    pb.lw(t1, vsp, 0);
+    pb.lw(t2, vsp, -4);
+    pb.add(t2, t2, t1);
+    pb.move(t0, t2);                // result copy (move idiom)
+    pb.sw(t0, vsp, -4);
+    pb.j(loop);
+
+    pb.bind(h_sub);
+    pb.addi(vsp, vsp, -4);
+    pb.lw(t1, vsp, 0);
+    pb.lw(t2, vsp, -4);
+    pb.sub(t2, t2, t1);
+    pb.sw(t2, vsp, -4);
+    pb.j(loop);
+
+    pb.bind(h_cmp);
+    pb.addi(vsp, vsp, -4);
+    pb.lw(t1, vsp, 0);
+    pb.lw(t2, vsp, -4);
+    pb.slt(t2, t1, t2);
+    pb.sw(t2, vsp, -4);
+    pb.j(loop);
+
+    pb.bind(h_jtrue);
+    pb.addi(vsp, vsp, -4);
+    pb.lw(t1, vsp, 0);
+    pb.bne(t1, 0, jt_taken);
+    pb.j(loop);
+    pb.bind(jt_taken);
+    pb.add(vpc, cbase, arg);
+    pb.j(loop);
+
+    pb.bind(h_jump);
+    pb.add(vpc, cbase, arg);
+    pb.j(loop);
+
+    // The bytecode program is capped by byte offsets, so rerun it to
+    // reach the requested scale.
+    pb.bind(h_halt);
+    pb.la(t0, iter_addr);
+    pb.lw(t1, t0, 0);
+    pb.addi(t1, t1, -1);
+    pb.sw(t1, t0, 0);
+    pb.bgtz(t1, restart);
+    pb.halt();
+    pb.bind(restart);
+    pb.move(vpc, cbase);
+    pb.la(vsp, stack_addr);
+    pb.j(loop);
+
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

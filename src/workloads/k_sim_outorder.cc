@@ -1,0 +1,121 @@
+/**
+ * @file
+ * sim-outorder analog: the scheduling kernel of a simulator —
+ * a circular event queue driving a 32-entry window of "instructions"
+ * with dependence bitmaps. Dominant behaviour: bitmap and/or/shift
+ * manipulation, window scans with mostly-not-ready branches, and
+ * modulo indexing into the event wheel by mask (scaled stores).
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildSimOutorder(unsigned scale)
+{
+    ProgramBuilder pb("sim-outorder");
+
+    constexpr unsigned kWindow = 32;
+    constexpr unsigned kWheel = 64;      // event wheel slots (pow2)
+
+    // Window entries: dependence bitmap over older entries (sparse).
+    Random rng(0x51304du);
+    std::vector<std::int32_t> deps(kWindow, 0);
+    for (unsigned i = 1; i < kWindow; ++i) {
+        for (unsigned d = 0; d < 3; ++d) {
+            if (rng.percent(60))
+                deps[i] |= 1 << rng.below(i);
+        }
+    }
+    Addr deps_addr = pb.dataWords(deps);
+    Addr wheel_addr = pb.allocData(kWheel * 4, 8);
+
+    // r4 cycle, r5 ready mask, r6 issued mask, r7 scan index,
+    // r8-r13 temps, r16-r19 bases, r20 run counter.
+    const RegIndex cyc = 4, ready = 5, issued = 6, i = 7;
+    const RegIndex t0 = 8, t1 = 9, t2 = 10, t3 = 11;
+    const RegIndex dbase = 16, wbase = 17, pass = 20;
+
+    pb.la(dbase, deps_addr);
+    pb.la(wbase, wheel_addr);
+    pb.li(pass, static_cast<std::int32_t>(160 * scale));
+
+    Label run_loop = pb.newLabel();
+    Label cyc_loop = pb.newLabel();
+    Label scan_loop = pb.newLabel();
+    Label scan_next = pb.newLabel();
+    Label do_issue = pb.newLabel();
+    Label wheel_pop = pb.newLabel();
+    Label run_done = pb.newLabel();
+    Label clr_loop = pb.newLabel();
+
+    pb.bind(run_loop);
+    // Reset state: entry 0 ready, nothing issued, wheel cleared.
+    pb.li(ready, 1);
+    pb.li(issued, 0);
+    pb.li(cyc, 0);
+    pb.li(t0, kWheel);
+    pb.move(t1, wbase);
+    pb.bind(clr_loop);
+    pb.sw(0, t1, 0);
+    pb.addi(t1, t1, 4);
+    pb.addi(t0, t0, -1);
+    pb.bgtz(t0, clr_loop);
+
+    pb.bind(cyc_loop);
+    // Pop completions scheduled for this cycle from the wheel.
+    pb.bind(wheel_pop);
+    pb.andi(t0, cyc, kWheel - 1);
+    pb.slli(t0, t0, 2);
+    pb.lwx(t1, wbase, t0);          // completion mask at slot
+    pb.or_(ready, ready, t1);
+    pb.swx(0, wbase, t0);           // clear the slot
+
+    // Scan the window for issueable entries: deps subset of ready,
+    // not already issued.
+    pb.li(i, 0);
+    pb.bind(scan_loop);
+    pb.li(t0, 1);
+    pb.sllv(t0, t0, i);
+    pb.and_(t1, issued, t0);
+    pb.bne(t1, 0, scan_next);       // already issued (biased late)
+    pb.slli(t2, i, 2);
+    pb.lwx(t3, dbase, t2);          // dependence bitmap
+    pb.and_(t2, t3, ready);
+    pb.bne(t2, t3, scan_next);      // some dep not ready (biased)
+    pb.bind(do_issue);
+    pb.move(12, t0);                // selected-entry mask (move idiom)
+    pb.or_(issued, issued, 12);
+    // Schedule completion at cycle + 1 + (i & 3).
+    pb.andi(t1, i, 3);
+    pb.addi(t1, t1, 1);
+    pb.add(t1, t1, cyc);
+    pb.andi(t1, t1, kWheel - 1);
+    pb.slli(t1, t1, 2);
+    pb.lwx(t2, wbase, t1);
+    pb.or_(t2, t2, t0);
+    pb.swx(t2, wbase, t1);
+    pb.bind(scan_next);
+    pb.addi(i, i, 1);
+    pb.slti(t0, i, kWindow);
+    pb.bne(t0, 0, scan_loop);
+
+    pb.addi(cyc, cyc, 1);
+    // Run until everything is ready or a cycle cap.
+    pb.nor(t0, ready, 0);           // ~ready
+    pb.beq(t0, 0, run_done);        // all 32 entries ready
+    pb.slti(t1, cyc, 200);
+    pb.bne(t1, 0, cyc_loop);
+
+    pb.bind(run_done);
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, run_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * tex analog: hyphenation-pattern trie walking over a word list plus
+ * a least-badness line-breaking dynamic program. Dominant behaviour:
+ * packed-trie child indexing by shift-add (the suite's heaviest
+ * scaled-add user, matching tex's 5.2% in the paper's Table 2) and
+ * quadratic DP loops with table loads and min-tracking branches.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildTex(unsigned scale)
+{
+    ProgramBuilder pb("tex");
+
+    constexpr unsigned kTrieNodes = 256;
+    constexpr unsigned kAlpha = 32;         // padded alphabet (pow2)
+    constexpr unsigned kWords = 160;
+    constexpr unsigned kLineItems = 48;
+
+    Random rng(0x7e4u);
+
+    // Packed trie: child[node * 32 + c] = next node (0 = none),
+    // value[node] = pattern weight.
+    std::vector<std::int32_t> child(kTrieNodes * kAlpha, 0);
+    std::vector<std::int32_t> value(kTrieNodes, 0);
+    unsigned next_node = 1;
+    for (unsigned p = 0; p < 60 && next_node < kTrieNodes - 1; ++p) {
+        unsigned node = 0;
+        unsigned len = 2 + rng.below(4);
+        for (unsigned d = 0; d < len; ++d) {
+            unsigned c = rng.below(26);
+            std::int32_t &slot = child[node * kAlpha + c];
+            if (slot == 0) {
+                if (next_node >= kTrieNodes - 1)
+                    break;
+                slot = static_cast<std::int32_t>(next_node++);
+            }
+            node = static_cast<unsigned>(slot);
+        }
+        value[node] = static_cast<std::int32_t>(1 + rng.below(9));
+    }
+    Addr child_addr = pb.dataWords(child);
+    Addr value_addr = pb.dataWords(value);
+
+    // Word pool: length-prefixed lowercase words.
+    std::vector<std::uint8_t> pool;
+    std::vector<std::int32_t> woffs;
+    for (unsigned w = 0; w < kWords; ++w) {
+        woffs.push_back(static_cast<std::int32_t>(pool.size()));
+        unsigned len = 3 + rng.below(9);
+        pool.push_back(static_cast<std::uint8_t>(len));
+        for (unsigned i = 0; i < len; ++i)
+            pool.push_back(static_cast<std::uint8_t>(rng.below(26)));
+    }
+    Addr pool_addr = pb.dataBytes(pool);
+    for (auto &off : woffs)
+        off += static_cast<std::int32_t>(pool_addr);
+    Addr woffs_addr = pb.dataWords(woffs);
+
+    // Line-break items: word widths; DP cost array.
+    std::vector<std::int32_t> widths(kLineItems);
+    for (auto &w : widths)
+        w = static_cast<std::int32_t>(3 + rng.below(12));
+    Addr widths_addr = pb.dataWords(widths);
+    Addr cost_addr = pb.allocData((kLineItems + 1) * 4, 8);
+
+    const RegIndex wi = 4, wp = 5, len = 6, node = 7, score = 8;
+    const RegIndex t0 = 9, t1 = 10, t2 = 11, t3 = 12, c = 13;
+    const RegIndex chb = 16, vlb = 17, wob = 18, pass = 20;
+    const RegIndex jj = 14, ii = 15, best = 21, wsum = 22;
+    const RegIndex wdb = 23, ctb = 24;
+
+    pb.la(chb, child_addr);
+    pb.la(vlb, value_addr);
+    pb.la(wob, woffs_addr);
+    pb.la(wdb, widths_addr);
+    pb.la(ctb, cost_addr);
+    pb.li(pass, static_cast<std::int32_t>(5 * scale));
+
+    Label pass_loop = pb.newLabel();
+    Label word_loop = pb.newLabel();
+    Label ch_loop = pb.newLabel();
+    Label ch_done = pb.newLabel();
+    Label word_next = pb.newLabel();
+
+    pb.bind(pass_loop);
+    pb.li(wi, 0);
+    pb.bind(word_loop);
+    pb.slli(t0, wi, 2);
+    pb.lwx(wp, wob, t0);            // word pointer
+    pb.lbu(len, wp, 0);
+    pb.addi(wp, wp, 1);
+    pb.li(node, 0);
+    pb.li(score, 0);
+
+    pb.bind(ch_loop);
+    pb.blez(len, ch_done);
+    pb.lbu(c, wp, 0);
+    pb.addi(wp, wp, 1);
+    pb.addi(len, len, -1);
+    // idx = (node << 5) + c; next = child[idx]
+    pb.slli(t0, node, 5);
+    pb.add(t0, t0, c);
+    pb.slli(t0, t0, 2);             // scaled-add candidates galore
+    pb.lwx(node, chb, t0);
+    pb.beq(node, 0, ch_done);       // fell off the trie
+    pb.slli(t1, node, 2);
+    pb.lwx(t2, vlb, t1);            // pattern value
+    pb.add(score, score, t2);
+    pb.j(ch_loop);
+    pb.bind(ch_done);
+
+    pb.bind(word_next);
+    pb.addi(wi, wi, 1);
+    pb.slti(t0, wi, kWords);
+    pb.bne(t0, 0, word_loop);
+
+    // ---- line breaking DP: cost[j] = min over i<j of
+    //      cost[i] + (target - sum w[i..j))^2, window capped at 12.
+    Label dp_init = pb.newLabel();
+    Label dp_j = pb.newLabel();
+    Label dp_i = pb.newLabel();
+    Label dp_i_next = pb.newLabel();
+    Label dp_no_best = pb.newLabel();
+    Label dp_j_next = pb.newLabel();
+
+    pb.li(t0, 0);
+    pb.sw(t0, ctb, 0);
+    pb.li(jj, 1);
+    pb.bind(dp_init);
+    pb.bind(dp_j);
+    pb.li(best, 0x7ffffff);
+    pb.li(wsum, 0);
+    pb.move(ii, jj);
+    pb.bind(dp_i);
+    pb.addi(ii, ii, -1);
+    pb.bltz(ii, dp_no_best);
+    pb.sub(t0, jj, ii);
+    pb.slti(t1, t0, 13);
+    pb.beq(t1, 0, dp_no_best);      // window cap
+    pb.slli(t2, ii, 2);
+    pb.lwx(t3, wdb, t2);            // width[ii]
+    pb.add(wsum, wsum, t3);
+    pb.li(t0, 40);                  // line target
+    pb.sub(t0, t0, wsum);
+    pb.mul(t0, t0, t0);             // badness
+    pb.lwx(t1, ctb, t2)             /* cost[ii] */;
+    pb.add(t0, t0, t1);
+    pb.slt(t1, t0, best);
+    pb.beq(t1, 0, dp_i_next);
+    pb.move(best, t0);
+    pb.bind(dp_i_next);
+    pb.j(dp_i);
+    pb.bind(dp_no_best);
+    pb.slli(t2, jj, 2);
+    pb.swx(best, ctb, t2);
+    pb.bind(dp_j_next);
+    pb.addi(jj, jj, 1);
+    pb.slti(t0, jj, kLineItems + 1);
+    pb.bne(t0, 0, dp_j);
+
+    pb.addi(pass, pass, -1);
+    pb.bgtz(pass, pass_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * vortex analog: an in-memory object database running a transaction
+ * mix of keyed lookups, field updates and inserts. Dominant
+ * behaviour: layered helper functions with register-move argument
+ * passing (vortex has the suite's highest move fraction in the
+ * paper's Table 2), hash probing, and record field accesses at
+ * small displacements.
+ */
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "workloads/kernels.hh"
+
+namespace tcfill::workloads
+{
+
+Program
+buildVortex(unsigned scale)
+{
+    ProgramBuilder pb("vortex");
+
+    constexpr unsigned kRecords = 512;      // 8 words each
+    constexpr unsigned kIndex = 1024;       // open-addressed, pow2
+
+    Random rng(0x40e7e8u);
+    // Records: [key, f0..f6]; keys unique-ish odd numbers.
+    std::vector<std::int32_t> recs(kRecords * 8, 0);
+    std::vector<std::int32_t> index(kIndex, -1);
+    for (unsigned i = 0; i < kRecords; ++i) {
+        std::int32_t key = static_cast<std::int32_t>(2 * i + 1);
+        recs[i * 8] = key;
+        for (unsigned f = 1; f < 8; ++f)
+            recs[i * 8 + f] = static_cast<std::int32_t>(rng.below(997));
+        std::size_t h = static_cast<std::size_t>(key * 0x9e37u) %
+                        kIndex;
+        while (index[h] >= 0)
+            h = (h + 1) % kIndex;
+        index[h] = static_cast<std::int32_t>(i);
+    }
+
+    Addr recs_addr = pb.dataWords(recs);
+    Addr index_addr = pb.dataWords(index);
+
+    // Calling convention: args r1-r3, result r2.
+    const RegIndex a0 = 1, res = 2, a1 = 3;
+    const RegIndex key = 4, h = 5, t0 = 8, t1 = 9, t2 = 10, t3 = 11;
+    const RegIndex lcg = 12, txn = 13, acc = 14;
+    const RegIndex ridx = 16, rrec = 17;
+
+    Label start = pb.newLabel();
+    pb.j(start);
+
+    // find(r1 = key) -> r2 = record address or 0.
+    Label find = pb.newLabel();
+    Label f_probe = pb.newLabel();
+    Label f_miss = pb.newLabel();
+    Label f_next = pb.newLabel();
+    Label f_hit = pb.newLabel();
+    pb.bind(find);
+    pb.li(t0, 0x9e37);
+    pb.mul(h, a0, t0);
+    pb.andi(h, h, kIndex - 1);
+    pb.bind(f_probe);
+    pb.slli(t1, h, 2);
+    pb.lwx(t2, ridx, t1);           // record number or -1
+    pb.bltz(t2, f_miss);
+    pb.slli(t3, t2, 5);             // record * 32 bytes
+    pb.add(t3, rrec, t3);
+    pb.lw(t0, t3, 0);               // record key
+    pb.beq(t0, a0, f_hit);
+    pb.bind(f_next);
+    pb.addi(h, h, 1);
+    pb.andi(h, h, kIndex - 1);
+    pb.j(f_probe);
+    pb.bind(f_hit);
+    pb.move(res, t3);               // result move
+    pb.ret();
+    pb.bind(f_miss);
+    pb.li(res, 0);
+    pb.ret();
+
+    // update(r1 = record addr, r3 = delta) -> r2 = new checksum.
+    Label update = pb.newLabel();
+    pb.bind(update);
+    pb.lw(t0, a0, 4);
+    pb.add(t0, t0, a1);
+    pb.sw(t0, a0, 4);
+    pb.lw(t1, a0, 8);
+    pb.addi(t1, t1, 1);
+    pb.sw(t1, a0, 8);
+    pb.lw(t2, a0, 12);
+    pb.xor_(t2, t2, t0);
+    pb.sw(t2, a0, 12);
+    pb.add(res, t0, t1);
+    pb.ret();
+
+    // txn(r1 = key, r3 = delta) -> r2: find then update.
+    Label do_txn = pb.newLabel();
+    Label t_miss = pb.newLabel();
+    pb.bind(do_txn);
+    pb.addi(kRegSP, kRegSP, -8);
+    pb.sw(kRegRA, kRegSP, 0);
+    pb.sw(a1, kRegSP, 4);
+    pb.jal(find);
+    pb.beq(res, 0, t_miss);
+    pb.move(a0, res);               // record address (move)
+    pb.lw(a1, kRegSP, 4);
+    pb.jal(update);
+    pb.bind(t_miss);
+    pb.lw(kRegRA, kRegSP, 0);
+    pb.addi(kRegSP, kRegSP, 8);
+    pb.ret();
+
+    pb.bind(start);
+    pb.la(ridx, index_addr);
+    pb.la(rrec, recs_addr);
+    pb.li(lcg, 12345);
+    pb.li(acc, 0);
+    pb.li(txn, static_cast<std::int32_t>(2600 * scale));
+
+    Label txn_loop = pb.newLabel();
+    pb.bind(txn_loop);
+    // key = next LCG value mapped onto the key space (mostly hits)
+    pb.li(t0, 1103515245 & 0xffff);
+    pb.mul(lcg, lcg, t0);
+    pb.addi(lcg, lcg, 12345);
+    pb.srli(t1, lcg, 7);
+    pb.andi(t1, t1, kRecords - 1);
+    pb.slli(key, t1, 1);
+    pb.addi(key, key, 1);           // odd keys exist; evens miss
+    Label use_key = pb.newLabel();
+    pb.andi(t2, lcg, 15);
+    pb.bne(t2, 0, use_key);
+    pb.addi(key, key, 1);           // 1-in-16: force a missing key
+    pb.bind(use_key);
+    pb.move(a0, key);               // argument moves
+    pb.li(a1, 7);
+    pb.jal(do_txn);
+    pb.add(acc, acc, res);
+    pb.addi(txn, txn, -1);
+    pb.bgtz(txn, txn_loop);
+    pb.halt();
+    return pb.finish();
+}
+
+} // namespace tcfill::workloads

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The fifteen benchmark kernels standing in for the paper's Table 1
+ * suite (SPECint95 + common UNIX applications). Each builder returns
+ * a linked Program whose dynamic behaviour mimics the
+ * optimization-relevant traits of its namesake — see DESIGN.md §4 for
+ * the substitution rationale and the per-kernel trait table.
+ *
+ * @param scale linear work multiplier; scale 1 runs roughly
+ *        100K-300K dynamic instructions per kernel.
+ */
+
+#ifndef TCFILL_WORKLOADS_KERNELS_HH
+#define TCFILL_WORKLOADS_KERNELS_HH
+
+#include "asm/program.hh"
+
+namespace tcfill::workloads
+{
+
+Program buildCompress(unsigned scale);     ///< LZW-style compressor
+Program buildGcc(unsigned scale);          ///< graph-coloring allocator
+Program buildGo(unsigned scale);           ///< board evaluator
+Program buildIjpeg(unsigned scale);        ///< integer DCT + quantize
+Program buildLi(unsigned scale);           ///< cons-cell list interpreter
+Program buildM88ksim(unsigned scale);      ///< CPU interpreter loop
+Program buildPerl(unsigned scale);         ///< string hash / scanner
+Program buildVortex(unsigned scale);       ///< in-memory DB transactions
+Program buildChess(unsigned scale);        ///< minimax board search
+Program buildGhostscript(unsigned scale);  ///< fixed-point rasterizer
+Program buildPgp(unsigned scale);          ///< bignum modular multiply
+Program buildGnuplot(unsigned scale);      ///< fixed-point sampler
+Program buildPython(unsigned scale);       ///< bytecode stack VM
+Program buildSimOutorder(unsigned scale);  ///< event-queue scheduler
+Program buildTex(unsigned scale);          ///< trie + line-break DP
+
+} // namespace tcfill::workloads
+
+#endif // TCFILL_WORKLOADS_KERNELS_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Test-only dataflow evaluator for trace segments: computes every
+ * instruction's result from live-in register values using the
+ * segment's explicit dependency indices and optimization metadata
+ * (move aliasing, rewritten immediates, scaled operands). Loads read
+ * a deterministic pseudo-memory keyed by effective address, so two
+ * segments are value-equivalent iff they compute identical results,
+ * addresses and branch conditions — the property every fill-unit
+ * optimization must preserve (paper §4).
+ */
+
+#ifndef TCFILL_TESTS_SEGMENT_EVAL_HH
+#define TCFILL_TESTS_SEGMENT_EVAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/segment.hh"
+
+namespace tcfill::test
+{
+
+/** Per-instruction observable outcome. */
+struct EvalOutcome
+{
+    std::uint32_t result = 0;       ///< destination value (if any)
+    std::uint32_t effAddr = 0;      ///< memory address (if mem op)
+    std::uint32_t storeData = 0;    ///< store data (if store)
+    bool branchTaken = false;       ///< condition (if cond branch)
+
+    bool operator==(const EvalOutcome &) const = default;
+};
+
+/** Deterministic stand-in for memory contents. */
+inline std::uint32_t
+pseudoLoad(std::uint32_t addr)
+{
+    std::uint32_t z = addr * 0x9e3779b9u;
+    z ^= z >> 16;
+    return z * 0x85ebca6bu;
+}
+
+/**
+ * Evaluate @p seg against live-in register values. Dependencies are
+ * taken from srcDep (internal) or @p livein (entry state), exactly as
+ * the rename hardware resolves them; marked moves produce their
+ * aliased source value.
+ */
+inline std::vector<EvalOutcome>
+evaluateSegment(const TraceSegment &seg,
+                const std::array<std::uint32_t, kNumArchRegs> &livein)
+{
+    std::vector<EvalOutcome> out(seg.size());
+
+    auto value_of = [&](std::size_t i) { return out[i].result; };
+
+    for (std::size_t i = 0; i < seg.size(); ++i) {
+        const TraceInst &ti = seg.insts[i];
+        const Instruction &in = ti.inst;
+
+        // Resolve operands (with scaling applied to the marked slot).
+        std::uint32_t v[3] = {0, 0, 0};
+        const unsigned nsrcs = in.numSrcs();
+        for (unsigned k = 0; k < nsrcs; ++k) {
+            RegIndex r = in.srcReg(k);
+            std::uint32_t val;
+            if (r == kRegZero) {
+                val = 0;
+            } else if (ti.srcDep[k] >= 0) {
+                val = value_of(static_cast<std::size_t>(ti.srcDep[k]));
+            } else {
+                val = livein[r];
+            }
+            if (ti.scaledSrcIdx == k)
+                val <<= ti.scaleAmt;
+            v[k] = val;
+        }
+
+        EvalOutcome &o = out[i];
+
+        if (ti.isMove) {
+            // The rename logic supplies the aliased source value.
+            if (ti.moveSrcDep >= 0) {
+                o.result =
+                    value_of(static_cast<std::size_t>(ti.moveSrcDep));
+            } else if (ti.moveSrc == kRegZero ||
+                       ti.moveSrc == Instruction::kNoReg) {
+                o.result = 0;
+            } else {
+                o.result = livein[ti.moveSrc];
+            }
+            continue;
+        }
+
+        auto imm = static_cast<std::uint32_t>(in.imm);
+        auto s1 = v[0], s2 = v[1];
+        switch (in.op) {
+          case Op::ADD:  o.result = s1 + s2; break;
+          case Op::SUB:  o.result = s1 - s2; break;
+          case Op::AND:  o.result = s1 & s2; break;
+          case Op::OR:   o.result = s1 | s2; break;
+          case Op::XOR:  o.result = s1 ^ s2; break;
+          case Op::NOR:  o.result = ~(s1 | s2); break;
+          case Op::SLT:
+            o.result = static_cast<std::int32_t>(s1) <
+                       static_cast<std::int32_t>(s2);
+            break;
+          case Op::SLTU: o.result = s1 < s2; break;
+          case Op::SLLV: o.result = s1 << (s2 & 31); break;
+          case Op::SRLV: o.result = s1 >> (s2 & 31); break;
+          case Op::SRAV:
+            o.result = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(s1) >> (s2 & 31));
+            break;
+          case Op::MUL:  o.result = s1 * s2; break;
+          case Op::DIV:
+            o.result = s2 == 0 ? 0
+                : static_cast<std::uint32_t>(
+                      static_cast<std::int32_t>(s1) /
+                      static_cast<std::int32_t>(s2));
+            break;
+          case Op::ADDI: o.result = s1 + imm; break;
+          case Op::SLTI:
+            o.result = static_cast<std::int32_t>(s1) < in.imm;
+            break;
+          case Op::SLTIU: o.result = s1 < imm; break;
+          case Op::ANDI: o.result = s1 & imm; break;
+          case Op::ORI:  o.result = s1 | imm; break;
+          case Op::XORI: o.result = s1 ^ imm; break;
+          case Op::LUI:  o.result = imm << 16; break;
+          case Op::SLLI: o.result = s1 << in.shamt; break;
+          case Op::SRLI: o.result = s1 >> in.shamt; break;
+          case Op::SRAI:
+            o.result = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(s1) >> in.shamt);
+            break;
+
+          case Op::LB: case Op::LBU: case Op::LH: case Op::LHU:
+          case Op::LW:
+            o.effAddr = s1 + imm;
+            o.result = pseudoLoad(o.effAddr);
+            break;
+          case Op::LWX:
+            o.effAddr = s1 + s2;
+            o.result = pseudoLoad(o.effAddr);
+            break;
+          case Op::SB: case Op::SH: case Op::SW:
+            o.effAddr = s1 + imm;
+            o.storeData = v[1];
+            break;
+          case Op::SWX:
+            o.effAddr = s1 + s2;
+            o.storeData = v[2];
+            break;
+
+          case Op::BEQ:  o.branchTaken = s1 == s2; break;
+          case Op::BNE:  o.branchTaken = s1 != s2; break;
+          case Op::BLEZ:
+            o.branchTaken = static_cast<std::int32_t>(s1) <= 0;
+            break;
+          case Op::BGTZ:
+            o.branchTaken = static_cast<std::int32_t>(s1) > 0;
+            break;
+          case Op::BLTZ:
+            o.branchTaken = static_cast<std::int32_t>(s1) < 0;
+            break;
+          case Op::BGEZ:
+            o.branchTaken = static_cast<std::int32_t>(s1) >= 0;
+            break;
+
+          default:
+            break;    // J/JAL/JR/JALR/NOP/SYSCALL/HALT: no dataflow
+        }
+    }
+    return out;
+}
+
+} // namespace tcfill::test
+
+#endif // TCFILL_TESTS_SEGMENT_EVAL_HH

@@ -1,0 +1,192 @@
+/** @file Unit tests for the ProgramBuilder assembler. */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "isa/instruction.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+TEST(Builder, EmitsAtTextBase)
+{
+    ProgramBuilder pb("t");
+    pb.add(1, 2, 3);
+    pb.halt();
+    Program p = pb.finish();
+    EXPECT_EQ(p.textBase, kTextBase);
+    EXPECT_EQ(p.entry, kTextBase);
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(decode(p.text[0]).op, Op::ADD);
+    EXPECT_EQ(decode(p.text[1]).op, Op::HALT);
+}
+
+TEST(Builder, HereTracksPosition)
+{
+    ProgramBuilder pb("t");
+    EXPECT_EQ(pb.here(), kTextBase);
+    pb.nop();
+    pb.nop();
+    EXPECT_EQ(pb.here(), kTextBase + 8);
+}
+
+TEST(Builder, BackwardBranchOffset)
+{
+    ProgramBuilder pb("t");
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.addi(1, 1, -1);      // index 0
+    pb.bgtz(1, top);        // index 1 -> offset -2
+    pb.halt();
+    Program p = pb.finish();
+    Instruction b = decode(p.text[1]);
+    EXPECT_EQ(b.op, Op::BGTZ);
+    EXPECT_EQ(b.imm, -2);
+}
+
+TEST(Builder, ForwardBranchOffset)
+{
+    ProgramBuilder pb("t");
+    Label skip = pb.newLabel();
+    pb.beq(1, 2, skip);     // index 0
+    pb.nop();               // index 1
+    pb.nop();               // index 2
+    pb.bind(skip);
+    pb.halt();              // index 3 -> offset +2
+    Program p = pb.finish();
+    EXPECT_EQ(decode(p.text[0]).imm, 2);
+}
+
+TEST(Builder, JumpTargetsAbsoluteWordAddress)
+{
+    ProgramBuilder pb("t");
+    Label fn = pb.newLabel();
+    pb.j(fn);
+    pb.nop();
+    pb.bind(fn);
+    pb.halt();
+    Program p = pb.finish();
+    Instruction j = decode(p.text[0]);
+    EXPECT_EQ(j.op, Op::J);
+    EXPECT_EQ(static_cast<Addr>(j.imm) * 4, kTextBase + 8);
+}
+
+TEST(Builder, LiExpandsBySize)
+{
+    {
+        ProgramBuilder pb("t");
+        pb.li(3, 42);
+        EXPECT_EQ(pb.size(), 1u);   // single addi
+    }
+    {
+        ProgramBuilder pb("t");
+        pb.li(3, 0x12340000);
+        EXPECT_EQ(pb.size(), 1u);   // lui only (low half zero)
+    }
+    {
+        ProgramBuilder pb("t");
+        pb.li(3, 0x12345678);
+        EXPECT_EQ(pb.size(), 2u);   // lui + ori
+    }
+}
+
+TEST(Builder, MovePseudoIsAddiZero)
+{
+    ProgramBuilder pb("t");
+    pb.move(4, 9);
+    Program p = pb.finish();
+    Instruction in = decode(p.text[0]);
+    EXPECT_EQ(in.op, Op::ADDI);
+    EXPECT_EQ(in.imm, 0);
+    ASSERT_TRUE(moveSource(in).has_value());
+    EXPECT_EQ(*moveSource(in), 9);
+}
+
+TEST(Builder, DataSegmentsAlignedAndOrdered)
+{
+    ProgramBuilder pb("t");
+    Addr a = pb.allocData(3, 1);
+    Addr b = pb.allocData(8, 8);
+    Addr c = pb.dataWords({1, 2, 3});
+    EXPECT_EQ(a, kDataBase);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GT(b, a);
+    EXPECT_GT(c, b);
+    pb.halt();
+    Program p = pb.finish();
+    ASSERT_EQ(p.data.size(), 3u);
+    // dataWords little-endian layout
+    EXPECT_EQ(p.data[2].bytes[0], 1);
+    EXPECT_EQ(p.data[2].bytes[4], 2);
+}
+
+TEST(Builder, PokeWordPatches)
+{
+    ProgramBuilder pb("t");
+    Addr a = pb.dataWords({0, 0});
+    pb.pokeWord(a + 4, 0x11223344);
+    pb.halt();
+    Program p = pb.finish();
+    EXPECT_EQ(p.data[0].bytes[4], 0x44);
+    EXPECT_EQ(p.data[0].bytes[7], 0x11);
+}
+
+TEST(Builder, ContainsPc)
+{
+    ProgramBuilder pb("t");
+    pb.nop();
+    pb.halt();
+    Program p = pb.finish();
+    EXPECT_TRUE(p.containsPc(kTextBase));
+    EXPECT_TRUE(p.containsPc(kTextBase + 4));
+    EXPECT_FALSE(p.containsPc(kTextBase + 8));
+    EXPECT_FALSE(p.containsPc(kTextBase + 2));   // misaligned
+    EXPECT_FALSE(p.containsPc(kTextBase - 4));
+}
+
+TEST(BuilderDeath, UnboundLabelIsFatal)
+{
+    ProgramBuilder pb("t");
+    Label l = pb.newLabel();
+    pb.beq(1, 2, l);
+    pb.halt();
+    EXPECT_EXIT(pb.finish(), ::testing::ExitedWithCode(1),
+                "unbound label");
+}
+
+TEST(BuilderDeath, DoubleBindIsFatal)
+{
+    ProgramBuilder pb("t");
+    Label l = pb.newLabel();
+    pb.bind(l);
+    EXPECT_EXIT(pb.bind(l), ::testing::ExitedWithCode(1),
+                "bound twice");
+}
+
+TEST(BuilderDeath, DefaultLabelIsFatal)
+{
+    ProgramBuilder pb("t");
+    Label l;
+    EXPECT_EXIT(pb.beq(1, 2, l), ::testing::ExitedWithCode(1),
+                "default-constructed");
+}
+
+TEST(BuilderDeath, AddiImmediateRangeChecked)
+{
+    ProgramBuilder pb("t");
+    EXPECT_EXIT(pb.addi(1, 2, 40000), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(BuilderDeath, PokeOutsideSegmentsIsFatal)
+{
+    ProgramBuilder pb("t");
+    pb.dataWords({1});
+    EXPECT_EXIT(pb.pokeWord(kDataBase + 64, 0),
+                ::testing::ExitedWithCode(1), "outside any data");
+}
+
+} // namespace
+} // namespace tcfill

@@ -1,0 +1,138 @@
+/** @file Unit tests for common/bitfield.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(Bitfield, ExtractRanges)
+{
+    const std::uint64_t v = 0xdeadbeefcafebabeull;
+    EXPECT_EQ(bits(v, 7, 0), 0xbeu);
+    EXPECT_EQ(bits(v, 15, 8), 0xbau);
+    EXPECT_EQ(bits(v, 63, 56), 0xdeu);
+    EXPECT_EQ(bits(v, 63, 0), v);
+    EXPECT_EQ(bits(v, 0, 0), v & 1);
+}
+
+TEST(Bitfield, ExtractSingle)
+{
+    EXPECT_EQ(bits(0b1010, 1), 1u);
+    EXPECT_EQ(bits(0b1010, 0), 0u);
+    EXPECT_EQ(bits(0b1010, 3), 1u);
+}
+
+TEST(Bitfield, InsertRoundTrip)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 31, 26, 0x2b);
+    v = insertBits(v, 25, 21, 0x15);
+    v = insertBits(v, 15, 0, 0x1234);
+    EXPECT_EQ(bits(v, 31, 26), 0x2bu);
+    EXPECT_EQ(bits(v, 25, 21), 0x15u);
+    EXPECT_EQ(bits(v, 15, 0), 0x1234u);
+}
+
+TEST(Bitfield, InsertMasksField)
+{
+    // Inserted values wider than the field are truncated.
+    std::uint64_t v = insertBits(0, 3, 0, 0xff);
+    EXPECT_EQ(v, 0xfu);
+}
+
+TEST(Bitfield, InsertPreservesOtherBits)
+{
+    std::uint64_t v = ~std::uint64_t(0);
+    v = insertBits(v, 11, 4, 0);
+    EXPECT_EQ(bits(v, 3, 0), 0xfu);
+    EXPECT_EQ(bits(v, 11, 4), 0u);
+    EXPECT_EQ(bits(v, 63, 12), mask(52));
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0, 16), 0);
+    EXPECT_EQ(sext(0x2, 2), -2);
+    EXPECT_EQ(sext(0x1, 2), 1);
+}
+
+TEST(Bitfield, SextIgnoresHighBits)
+{
+    // Only the low nbits participate.
+    EXPECT_EQ(sext(0xdead0001, 16), 1);
+    EXPECT_EQ(sext(0xdead8001, 16), -32767);
+}
+
+TEST(Bitfield, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Bitfield, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(Bitfield, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t(0)), 64u);
+}
+
+/** Property sweep: extract(insert(x)) == x over many field shapes. */
+class BitfieldRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitfieldRoundTrip, InsertExtractIdentity)
+{
+    unsigned first = GetParam();
+    for (unsigned width = 1; width + first <= 64; width += 7) {
+        unsigned last = first + width - 1;
+        std::uint64_t field = 0x5a5a5a5a5a5a5a5aull & mask(width);
+        std::uint64_t v = insertBits(0x123456789abcdef0ull, last, first,
+                                     field);
+        EXPECT_EQ(bits(v, last, first), field)
+            << "first=" << first << " last=" << last;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, BitfieldRoundTrip,
+                         ::testing::Values(0u, 1u, 5u, 16u, 21u, 26u,
+                                           31u, 40u, 57u));
+
+} // namespace
+} // namespace tcfill

@@ -1,0 +1,219 @@
+/** @file Unit tests for the branch prediction structures. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/predictor.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+// ---- PHT ---------------------------------------------------------------
+
+TEST(Pht, StartsWeaklyNotTaken)
+{
+    PatternHistoryTable pht(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_FALSE(pht.predict(i));
+}
+
+TEST(Pht, TwoBitHysteresis)
+{
+    PatternHistoryTable pht(16);
+    pht.update(3, true);            // 1 -> 2: now predicts taken
+    EXPECT_TRUE(pht.predict(3));
+    pht.update(3, false);           // 2 -> 1
+    EXPECT_FALSE(pht.predict(3));
+    pht.update(3, true);
+    pht.update(3, true);            // saturate at 3
+    pht.update(3, true);
+    EXPECT_EQ(pht.counter(3), 3);
+    pht.update(3, false);           // one wrong outcome keeps taken
+    EXPECT_TRUE(pht.predict(3));
+}
+
+TEST(Pht, CounterSaturatesLow)
+{
+    PatternHistoryTable pht(4);
+    pht.update(0, false);
+    pht.update(0, false);
+    pht.update(0, false);
+    EXPECT_EQ(pht.counter(0), 0);
+}
+
+// ---- multiple-branch predictor ----------------------------------------
+
+TEST(MultiBpred, PaperTableSizes)
+{
+    MultiBranchPredictor bp;
+    // 64K + 16K + 8K two-bit counters = 176 Kbit = 22 KB counters.
+    EXPECT_EQ(bp.storageBits(), 2u * (65536 + 16384 + 8192));
+}
+
+TEST(MultiBpred, LearnsPerSlot)
+{
+    // History disabled so every update trains the same index.
+    MultiBranchPredictor::Params p;
+    p.historyBits = 0;
+    MultiBranchPredictor bp(p);
+    Addr pc = 0x400100;
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, 0, true);
+    EXPECT_TRUE(bp.predict(pc, 0));
+    // Slots are independent tables: slot 1 is untrained.
+    EXPECT_FALSE(bp.predict(pc, 1));
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, 1, true);
+    EXPECT_TRUE(bp.predict(pc, 1));
+}
+
+TEST(MultiBpred, HistoryAffectsIndex)
+{
+    MultiBranchPredictor bp;
+    Addr pc = 0x400200;
+    EXPECT_EQ(bp.history(), 0u);
+    bp.pushHistory(true);
+    EXPECT_EQ(bp.history(), 1u);
+    bp.pushHistory(false);
+    EXPECT_EQ(bp.history(), 2u);
+}
+
+TEST(MultiBpredDeath, BadSlotPanics)
+{
+    MultiBranchPredictor bp;
+    EXPECT_DEATH(bp.predict(0x400000, 3), "bad slot");
+}
+
+// ---- bias table / promotion -----------------------------------------
+
+TEST(Bias, PromotionAtThreshold)
+{
+    BiasTable::Params p;
+    p.promoteThreshold = 4;
+    BiasTable bias(p);
+    Addr pc = 0x400300;
+    for (int i = 0; i < 3; ++i) {
+        bias.observe(pc, true);
+        EXPECT_FALSE(bias.isPromoted(pc));
+    }
+    bias.observe(pc, true);
+    EXPECT_TRUE(bias.isPromoted(pc));
+    EXPECT_TRUE(bias.promotedDirection(pc));
+    EXPECT_EQ(bias.promotions(), 1u);
+}
+
+TEST(Bias, FlipDemotesAndRestartsRun)
+{
+    BiasTable::Params p;
+    p.promoteThreshold = 3;
+    BiasTable bias(p);
+    Addr pc = 0x400304;
+    for (int i = 0; i < 3; ++i)
+        bias.observe(pc, false);
+    EXPECT_TRUE(bias.isPromoted(pc));
+    bias.observe(pc, true);     // direction flip
+    EXPECT_FALSE(bias.isPromoted(pc));
+    EXPECT_EQ(bias.demotions(), 1u);
+    // New run in the taken direction.
+    bias.observe(pc, true);
+    bias.observe(pc, true);
+    EXPECT_TRUE(bias.isPromoted(pc));
+    EXPECT_TRUE(bias.promotedDirection(pc));
+}
+
+TEST(Bias, PaperDefaults)
+{
+    BiasTable bias;
+    // 8K entries x 8 bits = 8KB (paper's bias table budget).
+    EXPECT_EQ(bias.storageBits(), 8u * 1024 * 8);
+    Addr pc = 0x400400;
+    for (int i = 0; i < 63; ++i)
+        bias.observe(pc, true);
+    EXPECT_FALSE(bias.isPromoted(pc));
+    bias.observe(pc, true);     // 64th consecutive occurrence
+    EXPECT_TRUE(bias.isPromoted(pc));
+}
+
+TEST(BiasDeath, PromotedDirectionRequiresPromotion)
+{
+    BiasTable bias;
+    EXPECT_DEATH(bias.promotedDirection(0x400500), "non-promoted");
+}
+
+// ---- return address stack ---------------------------------------------
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.top(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.top(), 0u);
+}
+
+TEST(Ras, OverflowWrapsOldestAway)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);            // overwrites 1
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_TRUE(ras.empty());
+}
+
+// ---- indirect predictor --------------------------------------------------
+
+TEST(Indirect, LastTarget)
+{
+    IndirectPredictor ip(16);
+    EXPECT_EQ(ip.predict(0x400600), 0u);
+    ip.update(0x400600, 0x401000);
+    EXPECT_EQ(ip.predict(0x400600), 0x401000u);
+    ip.update(0x400600, 0x402000);
+    EXPECT_EQ(ip.predict(0x400600), 0x402000u);
+}
+
+TEST(Indirect, IndexByPc)
+{
+    IndirectPredictor ip(16);
+    ip.update(0x400600, 0xaaaa);
+    // A different pc maps elsewhere (16 entries, pc>>2 indexing).
+    EXPECT_EQ(ip.predict(0x400604), 0u);
+}
+
+/** Property: a strongly biased branch is always promotable within
+ *  2*threshold observations, whatever the starting state. */
+class BiasProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BiasProperty, BiasedBranchPromotes)
+{
+    BiasTable::Params p;
+    p.promoteThreshold = GetParam();
+    BiasTable bias(p);
+    Addr pc = 0x400700;
+    bias.observe(pc, false);    // pollute with one opposite outcome
+    for (unsigned i = 0; i < p.promoteThreshold; ++i)
+        bias.observe(pc, true);
+    EXPECT_TRUE(bias.isPromoted(pc));
+    EXPECT_TRUE(bias.promotedDirection(pc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BiasProperty,
+                         ::testing::Values(1u, 2u, 8u, 64u, 127u));
+
+} // namespace
+} // namespace tcfill

@@ -1,0 +1,403 @@
+/** @file Unit tests for the ISA: encode/decode, properties, moves. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+Instruction
+r3(Op op, RegIndex rd, RegIndex rs, RegIndex rt)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = rd;
+    in.src1 = rs;
+    in.src2 = rt;
+    return in;
+}
+
+Instruction
+i2(Op op, RegIndex rt, RegIndex rs, std::int32_t imm)
+{
+    Instruction in;
+    in.op = op;
+    in.dest = rt;
+    in.src1 = rs;
+    in.imm = imm;
+    return in;
+}
+
+// ---- encode/decode round trips ----------------------------------------
+
+TEST(IsaCodec, RTypeRoundTrip)
+{
+    for (Op op : {Op::ADD, Op::SUB, Op::AND, Op::OR, Op::XOR, Op::NOR,
+                  Op::SLT, Op::SLTU, Op::MUL, Op::DIV}) {
+        Instruction in = r3(op, 3, 7, 21);
+        EXPECT_EQ(decode(encode(in)), in) << mnemonic(op);
+    }
+}
+
+TEST(IsaCodec, ShiftImmRoundTrip)
+{
+    for (unsigned sh : {1u, 2u, 3u, 15u, 31u}) {
+        Instruction in;
+        in.op = Op::SLLI;
+        in.dest = 5;
+        in.src1 = 9;
+        in.shamt = static_cast<std::uint8_t>(sh);
+        EXPECT_EQ(decode(encode(in)), in);
+        in.op = Op::SRLI;
+        EXPECT_EQ(decode(encode(in)), in);
+        in.op = Op::SRAI;
+        EXPECT_EQ(decode(encode(in)), in);
+    }
+}
+
+TEST(IsaCodec, VariableShiftOperandOrder)
+{
+    // sllv rd, value, amount: value travels in rt, amount in rs.
+    Instruction in = r3(Op::SLLV, 4, 8, 9);
+    Instruction out = decode(encode(in));
+    EXPECT_EQ(out.op, Op::SLLV);
+    EXPECT_EQ(out.src1, 8);    // value
+    EXPECT_EQ(out.src2, 9);    // amount
+}
+
+TEST(IsaCodec, ImmediateRoundTrip)
+{
+    for (std::int32_t imm : {-32768, -1, 0, 1, 4, 32767}) {
+        Instruction in = i2(Op::ADDI, 2, 3, imm);
+        EXPECT_EQ(decode(encode(in)), in) << imm;
+    }
+    // Logical immediates are zero-extended.
+    Instruction in = i2(Op::ORI, 2, 3, 0xffff);
+    EXPECT_EQ(decode(encode(in)), in);
+    in = i2(Op::ANDI, 2, 3, 0x8000);
+    EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(IsaCodec, MemoryRoundTrip)
+{
+    for (Op op : {Op::LB, Op::LBU, Op::LH, Op::LHU, Op::LW}) {
+        Instruction in;
+        in.op = op;
+        in.dest = 8;
+        in.src1 = 29;
+        in.imm = -64;
+        EXPECT_EQ(decode(encode(in)), in) << mnemonic(op);
+    }
+    for (Op op : {Op::SB, Op::SH, Op::SW}) {
+        Instruction in;
+        in.op = op;
+        in.src1 = 29;
+        in.src3 = 8;
+        in.imm = 12;
+        EXPECT_EQ(decode(encode(in)), in) << mnemonic(op);
+    }
+}
+
+TEST(IsaCodec, IndexedMemoryRoundTrip)
+{
+    Instruction lwx;
+    lwx.op = Op::LWX;
+    lwx.dest = 4;
+    lwx.src1 = 16;
+    lwx.src2 = 9;
+    EXPECT_EQ(decode(encode(lwx)), lwx);
+
+    Instruction swx;
+    swx.op = Op::SWX;
+    swx.src1 = 16;
+    swx.src2 = 9;
+    swx.src3 = 4;
+    EXPECT_EQ(decode(encode(swx)), swx);
+}
+
+TEST(IsaCodec, ControlRoundTrip)
+{
+    Instruction beq;
+    beq.op = Op::BEQ;
+    beq.src1 = 1;
+    beq.src2 = 2;
+    beq.imm = -100;
+    EXPECT_EQ(decode(encode(beq)), beq);
+
+    for (Op op : {Op::BLEZ, Op::BGTZ, Op::BLTZ, Op::BGEZ}) {
+        Instruction b;
+        b.op = op;
+        b.src1 = 7;
+        b.imm = 50;
+        EXPECT_EQ(decode(encode(b)), b) << mnemonic(op);
+    }
+
+    Instruction j;
+    j.op = Op::J;
+    j.imm = 0x123456;
+    EXPECT_EQ(decode(encode(j)), j);
+
+    Instruction jal;
+    jal.op = Op::JAL;
+    jal.dest = kRegRA;
+    jal.imm = 0x100000;
+    EXPECT_EQ(decode(encode(jal)), jal);
+
+    Instruction jr;
+    jr.op = Op::JR;
+    jr.src1 = kRegRA;
+    EXPECT_EQ(decode(encode(jr)), jr);
+
+    Instruction jalr;
+    jalr.op = Op::JALR;
+    jalr.dest = 31;
+    jalr.src1 = 9;
+    EXPECT_EQ(decode(encode(jalr)), jalr);
+}
+
+TEST(IsaCodec, MiscRoundTrip)
+{
+    Instruction nop;
+    nop.op = Op::NOP;
+    EXPECT_EQ(encode(nop), 0u);
+    EXPECT_EQ(decode(0).op, Op::NOP);
+
+    Instruction sys;
+    sys.op = Op::SYSCALL;
+    EXPECT_EQ(decode(encode(sys)).op, Op::SYSCALL);
+
+    Instruction halt;
+    halt.op = Op::HALT;
+    EXPECT_EQ(decode(encode(halt)).op, Op::HALT);
+}
+
+TEST(IsaCodec, UnknownEncodingsDecodeToNop)
+{
+    // An R-type with an unused funct value.
+    EXPECT_EQ(decode(0x0000003fu).op, Op::NOP);
+}
+
+// ---- predicates -----------------------------------------------------
+
+TEST(IsaProps, ClassPredicates)
+{
+    EXPECT_TRUE(isLoad(Op::LWX));
+    EXPECT_TRUE(isStore(Op::SWX));
+    EXPECT_TRUE(isMem(Op::SB));
+    EXPECT_FALSE(isMem(Op::ADD));
+    EXPECT_TRUE(isControl(Op::JAL));
+    EXPECT_TRUE(isCondBranch(Op::BGEZ));
+    EXPECT_FALSE(isCondBranch(Op::J));
+    EXPECT_TRUE(isUncondDirect(Op::J));
+    EXPECT_TRUE(isCall(Op::JALR));
+    EXPECT_TRUE(isIndirect(Op::JR));
+    EXPECT_FALSE(isIndirect(Op::JAL));
+    EXPECT_TRUE(isSerializing(Op::SYSCALL));
+    EXPECT_TRUE(isSerializing(Op::HALT));
+}
+
+TEST(IsaProps, ReturnRequiresLinkRegister)
+{
+    Instruction jr;
+    jr.op = Op::JR;
+    jr.src1 = kRegRA;
+    EXPECT_TRUE(jr.isReturn());
+    jr.src1 = 9;
+    EXPECT_FALSE(jr.isReturn());
+}
+
+TEST(IsaProps, SourceEnumeration)
+{
+    Instruction swx;
+    swx.op = Op::SWX;
+    swx.src1 = 16;
+    swx.src2 = 9;
+    swx.src3 = 4;
+    EXPECT_EQ(swx.numSrcs(), 3u);
+    EXPECT_EQ(swx.srcReg(0), 16);
+    EXPECT_EQ(swx.srcReg(1), 9);
+    EXPECT_EQ(swx.srcReg(2), 4);
+
+    Instruction sw;
+    sw.op = Op::SW;
+    sw.src1 = 29;
+    sw.src3 = 8;
+    EXPECT_EQ(sw.numSrcs(), 2u);
+    EXPECT_EQ(sw.srcReg(0), 29);
+    EXPECT_EQ(sw.srcReg(1), 8);
+}
+
+TEST(IsaProps, DestToR0IsNoDest)
+{
+    Instruction in = i2(Op::ADDI, kRegZero, 3, 5);
+    EXPECT_FALSE(in.hasDest());
+}
+
+TEST(IsaProps, LatenciesMatchModel)
+{
+    EXPECT_EQ(opInfo(Op::ADD).latency, 1);
+    EXPECT_EQ(opInfo(Op::MUL).latency, 3);
+    EXPECT_EQ(opInfo(Op::DIV).latency, 12);
+    EXPECT_EQ(opClass(Op::DIV), OpClass::IntDiv);
+    EXPECT_EQ(opClass(Op::BEQ), OpClass::Control);
+}
+
+// ---- register-move detection (paper §4.2 idioms) ---------------------
+
+TEST(MoveDetect, AddiZeroImmediate)
+{
+    auto ms = moveSource(i2(Op::ADDI, 4, 7, 0));
+    ASSERT_TRUE(ms.has_value());
+    EXPECT_EQ(*ms, 7);
+    EXPECT_FALSE(moveSource(i2(Op::ADDI, 4, 7, 1)).has_value());
+}
+
+TEST(MoveDetect, RZeroForms)
+{
+    EXPECT_EQ(*moveSource(r3(Op::ADD, 4, 7, kRegZero)), 7);
+    EXPECT_EQ(*moveSource(r3(Op::ADD, 4, kRegZero, 7)), 7);
+    EXPECT_EQ(*moveSource(r3(Op::OR, 4, 7, kRegZero)), 7);
+    EXPECT_EQ(*moveSource(r3(Op::XOR, 4, kRegZero, 7)), 7);
+    EXPECT_EQ(*moveSource(r3(Op::SUB, 4, 7, kRegZero)), 7);
+    // SUB with R0 minuend negates: not a move.
+    EXPECT_FALSE(moveSource(r3(Op::SUB, 4, kRegZero, 7)).has_value());
+    // Plain register add is not a move.
+    EXPECT_FALSE(moveSource(r3(Op::ADD, 4, 7, 8)).has_value());
+}
+
+TEST(MoveDetect, ZeroShift)
+{
+    Instruction in;
+    in.op = Op::SLLI;
+    in.dest = 4;
+    in.src1 = 7;
+    in.shamt = 0;
+    EXPECT_EQ(*moveSource(in), 7);
+    in.shamt = 1;
+    EXPECT_FALSE(moveSource(in).has_value());
+}
+
+TEST(MoveDetect, ZeroIdiom)
+{
+    // Materializing zero from R0 also aliases.
+    auto ms = moveSource(i2(Op::ADDI, 4, kRegZero, 0));
+    ASSERT_TRUE(ms.has_value());
+    EXPECT_EQ(*ms, kRegZero);
+}
+
+TEST(MoveDetect, MoveToR0IsDead)
+{
+    EXPECT_FALSE(moveSource(i2(Op::ADDI, kRegZero, 7, 0)).has_value());
+}
+
+// ---- disassembler smoke -------------------------------------------------
+
+TEST(Disasm, Representative)
+{
+    EXPECT_EQ(disassemble(r3(Op::ADD, 3, 1, 2)), "add r3, r1, r2");
+    EXPECT_EQ(disassemble(i2(Op::ADDI, 3, 1, -4)), "addi r3, r1, -4");
+    Instruction lw;
+    lw.op = Op::LW;
+    lw.dest = 5;
+    lw.src1 = 29;
+    lw.imm = 8;
+    EXPECT_EQ(disassemble(lw), "lw r5, 8(r29)");
+    Instruction beq;
+    beq.op = Op::BEQ;
+    beq.src1 = 1;
+    beq.src2 = 0;
+    beq.imm = 3;
+    EXPECT_EQ(disassemble(beq), "beq r1, r0, +3");
+    EXPECT_EQ(disassemble(beq, 0x1000), "beq r1, r0, +3 -> 0x1010");
+}
+
+/** Property sweep: decode(encode(x)) == x over randomized fields. */
+class CodecFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CodecFuzz, RoundTripAllOps)
+{
+    unsigned seed = GetParam();
+    // Walk every op with seed-derived registers and immediates.
+    for (unsigned o = 0; o < unsigned(Op::NumOps); ++o) {
+        Op op = static_cast<Op>(o);
+        Instruction in;
+        in.op = op;
+        RegIndex a = (seed * 7 + o) % 32;
+        RegIndex b = (seed * 13 + o) % 32;
+        RegIndex c = (seed * 29 + o) % 32;
+        std::int32_t imm16 =
+            static_cast<std::int32_t>((seed * 31 + o * 97) % 65536) -
+            32768;
+        switch (opClass(op)) {
+          case OpClass::IntAlu:
+          case OpClass::IntMul:
+          case OpClass::IntDiv:
+            if (op == Op::SLLI || op == Op::SRLI || op == Op::SRAI) {
+                in.dest = a; in.src1 = b;
+                in.shamt = static_cast<std::uint8_t>(seed % 32);
+            } else if (op == Op::LUI) {
+                in.dest = a;
+                in.imm = static_cast<std::int32_t>(seed % 65536);
+            } else if (op == Op::ADDI || op == Op::SLTI ||
+                       op == Op::SLTIU) {
+                in.dest = a; in.src1 = b; in.imm = imm16;
+            } else if (op == Op::ANDI || op == Op::ORI ||
+                       op == Op::XORI) {
+                in.dest = a; in.src1 = b;
+                in.imm = static_cast<std::int32_t>(seed % 65536);
+            } else {
+                in.dest = a; in.src1 = b; in.src2 = c;
+            }
+            break;
+          case OpClass::Load:
+            in.dest = a; in.src1 = b;
+            if (op == Op::LWX)
+                in.src2 = c;
+            else
+                in.imm = imm16;
+            break;
+          case OpClass::Store:
+            in.src1 = b; in.src3 = a;
+            if (op == Op::SWX)
+                in.src2 = c;
+            else
+                in.imm = imm16;
+            break;
+          case OpClass::Control:
+            if (op == Op::J) {
+                in.imm = static_cast<std::int32_t>(seed % (1 << 26));
+            } else if (op == Op::JAL) {
+                in.dest = kRegRA;
+                in.imm = static_cast<std::int32_t>(seed % (1 << 26));
+            } else if (op == Op::JR) {
+                in.src1 = b;
+            } else if (op == Op::JALR) {
+                in.dest = a; in.src1 = b;
+            } else if (op == Op::BEQ || op == Op::BNE) {
+                in.src1 = a; in.src2 = b; in.imm = imm16;
+            } else {
+                in.src1 = a; in.imm = imm16;
+            }
+            break;
+          case OpClass::Other:
+            break;
+        }
+        // NOP with any fields encodes as the canonical zero word.
+        if (op == Op::NOP)
+            in = Instruction{};
+        EXPECT_EQ(decode(encode(in)), in)
+            << mnemonic(op) << " seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Range(1u, 26u));
+
+} // namespace
+} // namespace tcfill

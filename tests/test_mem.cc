@@ -1,0 +1,137 @@
+/** @file Unit tests for the cache models and memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+CacheParams
+tiny()
+{
+    // 2 sets x 2 ways x 16B lines.
+    return {"tiny", 64, 16, 2};
+}
+
+TEST(Cache, Geometry)
+{
+    SetAssocCache c(tiny());
+    EXPECT_EQ(c.numSets(), 2u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(tiny());
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x10f));   // same line
+    EXPECT_FALSE(c.access(0x110));  // next line, other set
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssocCache c(tiny());
+    // Set 0 holds lines with bit 4 clear: 0x000, 0x020, 0x040 ...
+    c.access(0x000);
+    c.access(0x020);
+    c.access(0x000);        // 0x020 is now LRU
+    c.access(0x040);        // evicts 0x020
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x020));
+    EXPECT_TRUE(c.probe(0x040));
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    SetAssocCache c(tiny());
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(Cache, InvalidateAndFlush)
+{
+    SetAssocCache c(tiny());
+    c.access(0x100);
+    c.invalidate(0x100);
+    EXPECT_FALSE(c.probe(0x100));
+    c.access(0x100);
+    c.access(0x200);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_FALSE(c.probe(0x200));
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    CacheParams p{"bad", 100, 24, 2};
+    EXPECT_EXIT(SetAssocCache c(p), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// ---- hierarchy ----------------------------------------------------------
+
+TEST(Hierarchy, PaperGeometryDefaults)
+{
+    MemoryHierarchy::Params p;
+    EXPECT_EQ(p.l1i.sizeBytes, 4u * 1024);
+    EXPECT_EQ(p.l1d.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(p.l2Latency, 6u);
+    EXPECT_EQ(p.memLatency, 50u);
+}
+
+TEST(Hierarchy, LatencyLadder)
+{
+    MemoryHierarchy mem;
+    // Cold: L1 miss, L2 miss -> memory.
+    Cycle t0 = mem.accessData(0x5000, 100);
+    EXPECT_EQ(t0, 100 + 6 + 50);
+    // Warm: L1 hit is free (latency charged by the load pipeline).
+    Cycle t1 = mem.accessData(0x5000, 200);
+    EXPECT_EQ(t1, 200u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemoryHierarchy::Params p;
+    p.l1d = {"l1d", 128, 64, 1};    // 2 sets, direct mapped: tiny
+    MemoryHierarchy mem(p);
+    mem.accessData(0x10000, 0);             // cold miss
+    mem.accessData(0x20000, 200);           // evicts 0x10000 from L1
+    Cycle t = mem.accessData(0x10000, 400); // L1 miss, L2 hit
+    EXPECT_EQ(t, 400 + 6u);
+}
+
+TEST(Hierarchy, BusContentionSerializesMemory)
+{
+    MemoryHierarchy::Params p;
+    p.memBusOccupancy = 8;
+    MemoryHierarchy mem(p);
+    Cycle a = mem.accessData(0x100000, 0);
+    Cycle b = mem.accessData(0x200000, 0);
+    // Both miss to memory at the same instant; the second waits for
+    // the bus.
+    EXPECT_EQ(a, 0 + 6 + 50u);
+    EXPECT_EQ(b, 0 + 6 + 8 + 50u);
+}
+
+TEST(Hierarchy, InstAndDataAreSeparateL1s)
+{
+    MemoryHierarchy mem;
+    mem.accessInst(0x3000, 0);
+    // Same line via the data port still misses L1D (hits L2).
+    Cycle t = mem.accessData(0x3000, 100);
+    EXPECT_EQ(t, 100 + 6u);
+    EXPECT_EQ(mem.l1d().misses(), 1u);
+    EXPECT_EQ(mem.l1i().misses(), 1u);
+    EXPECT_EQ(mem.l2().hits(), 1u);
+}
+
+} // namespace
+} // namespace tcfill

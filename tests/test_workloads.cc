@@ -1,0 +1,104 @@
+/** @file Tests for the benchmark suite kernels. */
+
+#include <gtest/gtest.h>
+
+#include "arch/executor.hh"
+#include "sim/processor.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+TEST(Suite, FifteenBenchmarksInPaperOrder)
+{
+    const auto &s = workloads::suite();
+    ASSERT_EQ(s.size(), 15u);
+    EXPECT_EQ(s.front().name, "compress");
+    EXPECT_EQ(s.back().name, "tex");
+    unsigned specint = 0;
+    for (const auto &w : s)
+        specint += w.specint;
+    EXPECT_EQ(specint, 8u);     // SPECint95 members
+}
+
+TEST(Suite, LookupByEitherName)
+{
+    EXPECT_EQ(workloads::find("m88ksim").shortName, "m88k");
+    EXPECT_EQ(workloads::find("m88k").name, "m88ksim");
+}
+
+TEST(SuiteDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloads::find("nope"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Suite, ProgramsAreDeterministic)
+{
+    Program a = workloads::build("compress", 1);
+    Program b = workloads::build("compress", 1);
+    EXPECT_EQ(a.text, b.text);
+    ASSERT_EQ(a.data.size(), b.data.size());
+    for (std::size_t i = 0; i < a.data.size(); ++i)
+        EXPECT_EQ(a.data[i].bytes, b.data[i].bytes);
+}
+
+/** Every kernel halts within a generous budget and runs a sensible
+ *  number of dynamic instructions at scale 1. */
+class WorkloadHalts
+    : public ::testing::TestWithParam<const workloads::Workload *>
+{
+};
+
+TEST_P(WorkloadHalts, FunctionalRunHalts)
+{
+    const auto &w = *GetParam();
+    Program p = w.build(1);
+    InstSeqNum n = runFunctional(p, 20'000'000);
+    EXPECT_LT(n, 20'000'000u) << w.name << " did not halt";
+    EXPECT_GT(n, 30'000u) << w.name << " is too short";
+}
+
+TEST_P(WorkloadHalts, ScaleIncreasesWork)
+{
+    const auto &w = *GetParam();
+    InstSeqNum n1 = runFunctional(w.build(1), 30'000'000);
+    InstSeqNum n2 = runFunctional(w.build(2), 60'000'000);
+    EXPECT_GT(n2, n1 + n1 / 2) << w.name;
+}
+
+TEST_P(WorkloadHalts, TimingRunCompletes)
+{
+    const auto &w = *GetParam();
+    Program p = w.build(1);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.maxInsts = 30'000;
+    SimResult r = simulate(p, cfg);
+    EXPECT_EQ(r.retired, 30'000u) << w.name;
+    EXPECT_GT(r.ipc(), 0.2) << w.name;
+}
+
+std::vector<const workloads::Workload *>
+allWorkloads()
+{
+    std::vector<const workloads::Workload *> out;
+    for (const auto &w : workloads::suite())
+        out.push_back(&w);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadHalts, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<const workloads::Workload *> &i) {
+        std::string n = i.param->name;
+        for (auto &ch : n) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace tcfill

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * tcfill_sim: command-line driver for the simulator. Runs one
+ * workload under a fully configurable machine and prints the result
+ * summary (optionally the full component statistics).
+ *
+ * Usage:
+ *   tcfill_sim [options] [workload]
+ *
+ * Options:
+ *   --list                 list available workloads and exit
+ *   --scale N              workload scale factor (default 1)
+ *   --max-insts N          retire at most N instructions (0 = all)
+ *   --opts LIST            comma list of moves,reassoc,scaled,
+ *                          placement,dce — or all / none / extended
+ *   --fill-latency N       fill pipeline latency in cycles (default 5)
+ *   --no-trace-cache       fetch from the I-cache only
+ *   --no-inactive-issue    disable inactive issue
+ *   --no-promotion         disable branch promotion
+ *   --tc-entries N         trace cache entries (default 2048)
+ *   --stats                dump full component statistics
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/processor.hh"
+#include "workloads/suite.hh"
+
+using namespace tcfill;
+
+namespace
+{
+
+FillOptimizations
+parseOpts(const std::string &spec)
+{
+    if (spec == "all")
+        return FillOptimizations::all();
+    if (spec == "none")
+        return FillOptimizations::none();
+    if (spec == "extended")
+        return FillOptimizations::extended();
+
+    FillOptimizations opts;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string tok = spec.substr(
+            pos, comma == std::string::npos ? spec.size() - pos
+                                            : comma - pos);
+        if (tok == "moves") {
+            opts.markMoves = true;
+        } else if (tok == "reassoc") {
+            opts.reassociate = true;
+        } else if (tok == "scaled") {
+            opts.scaledAdds = true;
+        } else if (tok == "placement") {
+            opts.placement = true;
+        } else if (tok == "dce") {
+            opts.deadCodeElim = true;
+        } else if (!tok.empty()) {
+            fatal("unknown optimization '%s'", tok.c_str());
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return opts;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: tcfill_sim [options] [workload]\n"
+        "  --list | --scale N | --max-insts N | --opts LIST\n"
+        "  --fill-latency N | --no-trace-cache | --no-inactive-issue\n"
+        "  --no-promotion | --tc-entries N | --stats\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "compress";
+    unsigned scale = 1;
+    bool dump_stats = false;
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = "opts=all";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &w : workloads::suite()) {
+                std::printf("%-14s (%-5s) %s\n", w.name.c_str(),
+                            w.shortName.c_str(), w.traits.c_str());
+            }
+            return 0;
+        } else if (arg == "--scale") {
+            scale = static_cast<unsigned>(std::strtoul(next(),
+                                                       nullptr, 10));
+        } else if (arg == "--max-insts") {
+            cfg.maxInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--opts") {
+            std::string spec = next();
+            cfg.fill.opts = parseOpts(spec);
+            cfg.name = "opts=" + spec;
+            cfg.tcache.moveBits = cfg.fill.opts.markMoves;
+            cfg.tcache.scaledBits = cfg.fill.opts.scaledAdds;
+            cfg.tcache.placementBits = cfg.fill.opts.placement;
+        } else if (arg == "--fill-latency") {
+            cfg.fill.latency = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-trace-cache") {
+            cfg.useTraceCache = false;
+        } else if (arg == "--no-inactive-issue") {
+            cfg.inactiveIssue = false;
+        } else if (arg == "--no-promotion") {
+            cfg.fill.promoteBranches = false;
+        } else if (arg == "--tc-entries") {
+            cfg.tcache.entries = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage();
+        } else {
+            workload = arg;
+        }
+    }
+
+    Program prog = workloads::build(workload, scale);
+    Processor proc(prog, cfg);
+    SimResult res = proc.run();
+    res.dump(std::cout);
+    if (dump_stats) {
+        std::cout << "\n";
+        proc.dumpStats(std::cout);
+    }
+    return 0;
+}
