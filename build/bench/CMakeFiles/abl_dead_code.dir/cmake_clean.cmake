@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dead_code.dir/abl_dead_code.cc.o"
+  "CMakeFiles/abl_dead_code.dir/abl_dead_code.cc.o.d"
+  "abl_dead_code"
+  "abl_dead_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dead_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fill_latency.dir/abl_fill_latency.cc.o"
+  "CMakeFiles/abl_fill_latency.dir/abl_fill_latency.cc.o.d"
+  "abl_fill_latency"
+  "abl_fill_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fill_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

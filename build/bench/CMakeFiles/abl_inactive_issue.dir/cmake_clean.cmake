@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_inactive_issue.dir/abl_inactive_issue.cc.o"
+  "CMakeFiles/abl_inactive_issue.dir/abl_inactive_issue.cc.o.d"
+  "abl_inactive_issue"
+  "abl_inactive_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_inactive_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_inactive_issue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reassoc_scope.dir/abl_reassoc_scope.cc.o"
+  "CMakeFiles/abl_reassoc_scope.dir/abl_reassoc_scope.cc.o.d"
+  "abl_reassoc_scope"
+  "abl_reassoc_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reassoc_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

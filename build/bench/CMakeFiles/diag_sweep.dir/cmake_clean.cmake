@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_sweep.dir/diag_sweep.cc.o"
+  "CMakeFiles/diag_sweep.dir/diag_sweep.cc.o.d"
+  "diag_sweep"
+  "diag_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_register_moves.dir/fig3_register_moves.cc.o"
+  "CMakeFiles/fig3_register_moves.dir/fig3_register_moves.cc.o.d"
+  "fig3_register_moves"
+  "fig3_register_moves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_register_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_reassociation.dir/fig4_reassociation.cc.o"
+  "CMakeFiles/fig4_reassociation.dir/fig4_reassociation.cc.o.d"
+  "fig4_reassociation"
+  "fig4_reassociation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_reassociation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scaled_adds.dir/fig5_scaled_adds.cc.o"
+  "CMakeFiles/fig5_scaled_adds.dir/fig5_scaled_adds.cc.o.d"
+  "fig5_scaled_adds"
+  "fig5_scaled_adds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaled_adds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

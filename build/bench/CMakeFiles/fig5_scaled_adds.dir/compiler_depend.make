@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_scaled_adds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_scaled_adds.
+# This may be replaced when dependencies are built.

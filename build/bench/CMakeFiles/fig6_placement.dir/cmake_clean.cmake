@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_placement.dir/fig6_placement.cc.o"
+  "CMakeFiles/fig6_placement.dir/fig6_placement.cc.o.d"
+  "fig6_placement"
+  "fig6_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bypass_delay.dir/fig7_bypass_delay.cc.o"
+  "CMakeFiles/fig7_bypass_delay.dir/fig7_bypass_delay.cc.o.d"
+  "fig7_bypass_delay"
+  "fig7_bypass_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bypass_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

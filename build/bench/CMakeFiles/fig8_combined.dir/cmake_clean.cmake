@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_combined.dir/fig8_combined.cc.o"
+  "CMakeFiles/fig8_combined.dir/fig8_combined.cc.o.d"
+  "fig8_combined"
+  "fig8_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tcfill_bench_common.dir/bench_common.cc.o.d"
+  "libtcfill_bench_common.a"
+  "libtcfill_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

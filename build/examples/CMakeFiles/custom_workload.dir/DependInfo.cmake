@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_workload.cpp" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o" "gcc" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcfill_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tcfill_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fill/CMakeFiles/tcfill_fill.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/tcfill_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tcfill_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/tcfill_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcfill_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tcfill_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/tcfill_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcfill_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_arch.dir/executor.cc.o"
+  "CMakeFiles/tcfill_arch.dir/executor.cc.o.d"
+  "CMakeFiles/tcfill_arch.dir/memory.cc.o"
+  "CMakeFiles/tcfill_arch.dir/memory.cc.o.d"
+  "libtcfill_arch.a"
+  "libtcfill_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

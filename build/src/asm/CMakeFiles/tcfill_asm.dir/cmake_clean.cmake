@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_asm.dir/builder.cc.o"
+  "CMakeFiles/tcfill_asm.dir/builder.cc.o.d"
+  "libtcfill_asm.a"
+  "libtcfill_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_bpred.dir/predictor.cc.o"
+  "CMakeFiles/tcfill_bpred.dir/predictor.cc.o.d"
+  "libtcfill_bpred.a"
+  "libtcfill_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_common.dir/logging.cc.o"
+  "CMakeFiles/tcfill_common.dir/logging.cc.o.d"
+  "CMakeFiles/tcfill_common.dir/stats.cc.o"
+  "CMakeFiles/tcfill_common.dir/stats.cc.o.d"
+  "CMakeFiles/tcfill_common.dir/table.cc.o"
+  "CMakeFiles/tcfill_common.dir/table.cc.o.d"
+  "libtcfill_common.a"
+  "libtcfill_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_fill.dir/fill_unit.cc.o"
+  "CMakeFiles/tcfill_fill.dir/fill_unit.cc.o.d"
+  "CMakeFiles/tcfill_fill.dir/passes.cc.o"
+  "CMakeFiles/tcfill_fill.dir/passes.cc.o.d"
+  "libtcfill_fill.a"
+  "libtcfill_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

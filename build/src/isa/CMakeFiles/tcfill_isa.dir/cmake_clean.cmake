@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_isa.dir/instruction.cc.o"
+  "CMakeFiles/tcfill_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/tcfill_isa.dir/opcodes.cc.o"
+  "CMakeFiles/tcfill_isa.dir/opcodes.cc.o.d"
+  "libtcfill_isa.a"
+  "libtcfill_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

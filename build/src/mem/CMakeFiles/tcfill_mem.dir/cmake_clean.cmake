@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_mem.dir/cache.cc.o"
+  "CMakeFiles/tcfill_mem.dir/cache.cc.o.d"
+  "libtcfill_mem.a"
+  "libtcfill_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

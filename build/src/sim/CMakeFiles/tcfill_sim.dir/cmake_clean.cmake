@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_sim.dir/processor.cc.o"
+  "CMakeFiles/tcfill_sim.dir/processor.cc.o.d"
+  "CMakeFiles/tcfill_sim.dir/result.cc.o"
+  "CMakeFiles/tcfill_sim.dir/result.cc.o.d"
+  "libtcfill_sim.a"
+  "libtcfill_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_trace.dir/tcache.cc.o"
+  "CMakeFiles/tcfill_trace.dir/tcache.cc.o.d"
+  "libtcfill_trace.a"
+  "libtcfill_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

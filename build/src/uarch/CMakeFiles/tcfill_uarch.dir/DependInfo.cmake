@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/exec_core.cc" "src/uarch/CMakeFiles/tcfill_uarch.dir/exec_core.cc.o" "gcc" "src/uarch/CMakeFiles/tcfill_uarch.dir/exec_core.cc.o.d"
+  "/root/repo/src/uarch/rename.cc" "src/uarch/CMakeFiles/tcfill_uarch.dir/rename.cc.o" "gcc" "src/uarch/CMakeFiles/tcfill_uarch.dir/rename.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tcfill_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcfill_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcfill_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

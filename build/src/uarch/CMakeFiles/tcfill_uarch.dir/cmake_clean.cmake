@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill_uarch.dir/exec_core.cc.o"
+  "CMakeFiles/tcfill_uarch.dir/exec_core.cc.o.d"
+  "CMakeFiles/tcfill_uarch.dir/rename.cc.o"
+  "CMakeFiles/tcfill_uarch.dir/rename.cc.o.d"
+  "libtcfill_uarch.a"
+  "libtcfill_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/k_chess.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_chess.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_chess.cc.o.d"
+  "/root/repo/src/workloads/k_compress.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_compress.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_compress.cc.o.d"
+  "/root/repo/src/workloads/k_gcc.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_gcc.cc.o.d"
+  "/root/repo/src/workloads/k_ghostscript.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_ghostscript.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_ghostscript.cc.o.d"
+  "/root/repo/src/workloads/k_gnuplot.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_gnuplot.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_gnuplot.cc.o.d"
+  "/root/repo/src/workloads/k_go.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_go.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_go.cc.o.d"
+  "/root/repo/src/workloads/k_ijpeg.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_ijpeg.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/k_li.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_li.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_li.cc.o.d"
+  "/root/repo/src/workloads/k_m88ksim.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_m88ksim.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/k_perl.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_perl.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_perl.cc.o.d"
+  "/root/repo/src/workloads/k_pgp.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_pgp.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_pgp.cc.o.d"
+  "/root/repo/src/workloads/k_python.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_python.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_python.cc.o.d"
+  "/root/repo/src/workloads/k_sim_outorder.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_sim_outorder.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_sim_outorder.cc.o.d"
+  "/root/repo/src/workloads/k_tex.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_tex.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_tex.cc.o.d"
+  "/root/repo/src/workloads/k_vortex.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/k_vortex.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/tcfill_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/tcfill_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/tcfill_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcfill_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcfill_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fill.dir/test_fill.cc.o"
+  "CMakeFiles/test_fill.dir/test_fill.cc.o.d"
+  "test_fill"
+  "test_fill.pdb"
+  "test_fill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfill.dir/tcfill_sim.cc.o"
+  "CMakeFiles/tcfill.dir/tcfill_sim.cc.o.d"
+  "tcfill"
+  "tcfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
