@@ -20,6 +20,9 @@ main()
 {
     std::cout << "Extension: +dead-write elision over the paper's "
                  "four optimizations\n\n";
+    prefetchSuite({optConfig(FillOptimizations::all()),
+                   optConfig(FillOptimizations::extended())});
+
     TextTable t({"benchmark", "4 opts IPC", "+DCE IPC", "delta",
                  "insts elided"});
     double log_sum = 0.0;

@@ -21,6 +21,13 @@ main()
                  "(geo-mean IPC vs 1-cycle fill)\n\n";
     const Cycle lats[] = {1, 2, 5, 10, 20};
 
+    {
+        std::vector<SimConfig> cfgs;
+        for (Cycle lat : lats)
+            cfgs.push_back(optConfig(FillOptimizations::all(), lat));
+        prefetchSuite(cfgs);
+    }
+
     // Reference: 1-cycle fill.
     std::vector<double> ref;
     for (const auto &w : workloads::suite())

@@ -19,6 +19,11 @@ int
 main()
 {
     std::cout << "Ablation: inactive issue on (baseline) vs off\n\n";
+    {
+        SimConfig off = baselineConfig();
+        off.inactiveIssue = false;
+        prefetchSuite({off, baselineConfig()});
+    }
     TextTable t({"benchmark", "IPC off", "IPC on", "gain", "rescues"});
     double log_sum = 0.0;
     unsigned n = 0;

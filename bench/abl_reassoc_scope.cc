@@ -24,6 +24,7 @@ main()
     cross.reassociate = true;
     FillOptimizations any = cross;
     any.reassocOptions.crossBlockOnly = false;
+    prefetchSuite({baselineConfig(), optConfig(cross), optConfig(any)});
 
     TextTable t({"benchmark", "base IPC", "cross-block", "unrestricted"});
     double ls_cross = 0.0, ls_any = 0.0;

@@ -27,11 +27,31 @@ optConfig(const FillOptimizations &opts, Cycle fill_latency)
     return cfg;
 }
 
+SimRunner &
+runner()
+{
+    return SimRunner::shared();
+}
+
 SimResult
 run(const workloads::Workload &w, SimConfig cfg)
 {
-    Program prog = w.build(kScale);
-    return simulate(prog, cfg);
+    return runner().run(w.name, cfg, kScale);
+}
+
+std::shared_future<SimResult>
+runAsync(const workloads::Workload &w, SimConfig cfg)
+{
+    return runner().submit(w.name, cfg, kScale);
+}
+
+void
+prefetchSuite(const std::vector<SimConfig> &cfgs)
+{
+    for (const auto &w : workloads::suite()) {
+        for (const auto &cfg : cfgs)
+            runner().submit(w.name, cfg, kScale);
+    }
 }
 
 std::string
@@ -49,6 +69,10 @@ void
 compareSweep(const std::string &title, const SimConfig &variant,
              double *geo_out)
 {
+    // Enqueue the whole sweep up front; the loop below then collects
+    // (mostly cache-hit) results in print order.
+    prefetchSuite({baselineConfig(), variant});
+
     std::cout << "\n### " << title << "\n\n";
     TextTable table({"benchmark", "base IPC", "opt IPC", "gain"});
     double log_sum = 0.0;

@@ -1,18 +1,21 @@
 /**
  * @file
  * Shared harness for the paper-reproduction benchmarks: standard
- * configurations, per-workload runs with caching of the baseline,
- * and paper-style table printing.
+ * configurations, per-workload runs routed through the process-wide
+ * SimRunner (parallel execution + result/program caching), and
+ * paper-style table printing.
  */
 
 #ifndef TCFILL_BENCH_COMMON_HH
 #define TCFILL_BENCH_COMMON_HH
 
+#include <future>
 #include <string>
 #include <vector>
 
 #include "sim/processor.hh"
 #include "sim/result.hh"
+#include "sim/runner.hh"
 #include "workloads/suite.hh"
 
 namespace tcfill::bench
@@ -31,8 +34,29 @@ SimConfig baselineConfig();
 SimConfig optConfig(const FillOptimizations &opts,
                     Cycle fill_latency = 5);
 
-/** Run one (workload, config) pair at the standard budget. */
+/**
+ * The process-wide simulation runner all benches share. Thread count
+ * defaults to the host's cores; override with TCFILL_THREADS.
+ */
+SimRunner &runner();
+
+/**
+ * Run one (workload, config) pair at the standard budget. Served
+ * from the SimRunner result cache; the first request per distinct
+ * point simulates, every later one is a cache hit.
+ */
 SimResult run(const workloads::Workload &w, SimConfig cfg);
+
+/** Enqueue one pair without waiting (same cache as run()). */
+std::shared_future<SimResult>
+runAsync(const workloads::Workload &w, SimConfig cfg);
+
+/**
+ * Warm the cache in parallel: enqueue every suite workload under each
+ * of @p cfgs. Call once at driver start so the subsequent run() loop
+ * prints results in order while the pool simulates ahead.
+ */
+void prefetchSuite(const std::vector<SimConfig> &cfgs);
 
 /** Percentage string for an IPC ratio, e.g. "+17.3%". */
 std::string pctGain(double base_ipc, double opt_ipc);
@@ -40,7 +64,9 @@ std::string pctGain(double base_ipc, double opt_ipc);
 /**
  * Standard sweep: for each suite benchmark, run the baseline and one
  * variant, printing IPCs and the percent improvement — the layout of
- * the paper's figures 3-6 and 8.
+ * the paper's figures 3-6 and 8. All simulations go through the
+ * SimRunner cache, so the baseline column is simulated once per
+ * workload per process no matter how many sweeps are printed.
  *
  * @param title printed header
  * @param variant configuration to compare against the baseline

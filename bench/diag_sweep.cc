@@ -31,6 +31,10 @@ main()
     FillOptimizations pl;
     pl.placement = true;
 
+    prefetchSuite({baselineConfig(), optConfig(mv), optConfig(re),
+                   optConfig(sc), optConfig(pl),
+                   optConfig(FillOptimizations::all())});
+
     for (const auto &w : workloads::suite()) {
         SimResult base = run(w, baselineConfig());
         SimResult rmv = run(w, optConfig(mv));

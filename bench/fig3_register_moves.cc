@@ -21,6 +21,7 @@ main()
                  "(paper mean: +5%; move idioms ~6% of stream)\n\n";
     FillOptimizations mv;
     mv.markMoves = true;
+    prefetchSuite({baselineConfig(), optConfig(mv)});
 
     TextTable t({"benchmark", "base IPC", "move IPC", "gain",
                  "marked", "idioms"});

@@ -21,6 +21,7 @@ main()
                  "(paper: +1-2% typical, +23% outliers)\n\n";
     FillOptimizations re;
     re.reassociate = true;
+    prefetchSuite({baselineConfig(), optConfig(re)});
 
     TextTable t({"benchmark", "base IPC", "reassoc IPC", "gain",
                  "insts reassoc"});

@@ -19,6 +19,7 @@ main()
     std::cout << "Figure 5: scaled adds (paper: +1-8%, mean +3.7%)\n\n";
     FillOptimizations sc;
     sc.scaledAdds = true;
+    prefetchSuite({baselineConfig(), optConfig(sc)});
 
     TextTable t({"benchmark", "base IPC", "scaled IPC", "gain",
                  "insts scaled"});

@@ -20,6 +20,7 @@ main()
                  "(paper: mean +5%, max +11%)\n\n";
     FillOptimizations pl;
     pl.placement = true;
+    prefetchSuite({baselineConfig(), optConfig(pl)});
 
     TextTable t({"benchmark", "base IPC", "placed IPC", "gain"});
     double log_sum = 0.0;

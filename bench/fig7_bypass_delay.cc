@@ -20,6 +20,7 @@ main()
                  "(paper mean: 35% baseline -> 29% placed)\n\n";
     FillOptimizations pl;
     pl.placement = true;
+    prefetchSuite({baselineConfig(), optConfig(pl)});
 
     TextTable t({"benchmark", "baseline", "placed", "reduction"});
     double sum_base = 0.0, sum_plc = 0.0;

@@ -21,6 +21,11 @@ main()
     std::cout << "Figure 8: all optimizations combined at fill "
                  "latency 1/5/10 (paper: ~+18% mean, 13-44%)\n\n";
 
+    prefetchSuite({baselineConfig(),
+                   optConfig(FillOptimizations::all(), 1),
+                   optConfig(FillOptimizations::all(), 5),
+                   optConfig(FillOptimizations::all(), 10)});
+
     TextTable t({"benchmark", "base IPC", "lat1", "lat5", "lat10",
                  "gain@5"});
     std::array<double, 3> log_sum{};

@@ -25,10 +25,39 @@ runWorkload(benchmark::State &state, const char *name,
     SimConfig cfg = SimConfig::withOpts(opts);
     cfg.maxInsts = 50'000;
     std::uint64_t insts = 0;
+    double wall = 0.0;
     for (auto _ : state) {
         SimResult r = simulate(prog, cfg);
         insts += r.retired;
+        wall += r.hostSeconds;
         benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    // SimResult's own folded-in throughput counters (per run).
+    state.counters["run_wall_s"] = benchmark::Counter(
+        wall, benchmark::Counter::kAvgIterations);
+    state.counters["run_insts_per_s"] =
+        wall > 0.0 ? static_cast<double>(insts) / wall : 0.0;
+}
+
+/**
+ * Whole-suite sweep through a fresh SimRunner pool each iteration
+ * (fresh so the result cache cannot hide the simulation cost).
+ */
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.maxInsts = 20'000;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        SimRunner pool(static_cast<unsigned>(state.range(0)));
+        std::vector<std::shared_future<SimResult>> futs;
+        for (const auto &w : workloads::suite())
+            futs.push_back(pool.submit(w.name, cfg));
+        for (auto &f : futs)
+            insts += f.get().retired;
     }
     state.counters["sim_insts_per_s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
@@ -72,6 +101,9 @@ BM_FunctionalOnly(benchmark::State &state)
 
 } // namespace
 
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Baseline)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AllOpts)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Interpreter)->Unit(benchmark::kMillisecond);

@@ -23,10 +23,11 @@ main()
     TextTable t({"benchmark", "suite", "static", "dynamic",
                  "kernel (stands in for the paper's input set)"});
     for (const auto &w : workloads::suite()) {
-        Program p = w.build(kScale);
-        InstSeqNum dyn = runFunctional(p);
+        // Shared, build-once program images from the runner cache.
+        auto p = runner().program(w.name, kScale);
+        InstSeqNum dyn = runFunctional(*p);
         t.addRow({w.name, w.specint ? "SPECint95" : "UNIX",
-                  std::to_string(p.text.size()), std::to_string(dyn),
+                  std::to_string(p->text.size()), std::to_string(dyn),
                   w.traits});
     }
     t.print(std::cout);

@@ -18,6 +18,8 @@ main()
 {
     std::cout << "Table 2: fraction of retired instructions "
                  "transformed (paper mean ~13%)\n\n";
+    prefetchSuite({optConfig(FillOptimizations::all())});
+
     TextTable t({"benchmark", "reg moves", "reassoc", "scaled adds",
                  "total"});
     double sums[4] = {0, 0, 0, 0};

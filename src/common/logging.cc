@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -8,19 +9,21 @@ namespace tcfill
 
 namespace
 {
-bool quiet_flag = false;
+// Atomic: warn()/inform() are called from SimRunner worker threads
+// while a driver may toggle quiet mode on the main thread.
+std::atomic<bool> quiet_flag{false};
 } // namespace
 
 void
 setQuietLogging(bool quiet)
 {
-    quiet_flag = quiet;
+    quiet_flag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quietLogging()
 {
-    return quiet_flag;
+    return quiet_flag.load(std::memory_order_relaxed);
 }
 
 namespace detail

@@ -22,7 +22,14 @@
 namespace tcfill
 {
 
-/** Full simulator configuration. */
+/**
+ * Full simulator configuration.
+ *
+ * NOTE: every behavior-affecting field (including those of the nested
+ * params structs) must also be serialized by configCacheKey() in
+ * sim/runner.cc — the SimRunner result cache treats configs with
+ * equal keys as interchangeable.
+ */
 struct SimConfig
 {
     std::string name = "baseline";

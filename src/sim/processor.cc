@@ -1,6 +1,7 @@
 #include "sim/processor.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 
@@ -63,7 +64,10 @@ DynInstPtr
 Processor::makeDynInst(const Instruction &inst, Addr pc, FetchSource src,
                        Cycle fetch_cycle)
 {
-    auto di = std::make_shared<DynInst>();
+    // Pooled allocation: the DynInst (refcount included) comes from
+    // the per-processor slab arena and recycles when the last
+    // reference drops (see inst_pool.hh) — no per-instruction malloc.
+    DynInstPtr di = allocDynInst(inst_pool_);
     di->seq = seq_next_++;
     di->pc = pc;
     di->inst = inst;
@@ -100,7 +104,6 @@ Processor::buildTraceLine(const TraceSegment &seg, Cycle ready)
     // Consult the multiple-branch predictor: the predicted exit is the
     // first internal branch predicted against the trace's direction.
     std::size_t active_len = n;
-    Addr predicted_next = seg.nextPc;
     std::ptrdiff_t mispredict_idx = -1;
     std::array<int, kSegmentMaxInsts> slot_of;
     slot_of.fill(-1);
@@ -128,10 +131,8 @@ Processor::buildTraceLine(const TraceSegment &seg, Cycle ready)
             if (on_path)
                 bpred_.update(ti.pc, slot, oracleAt(i).taken);
         }
-        if (active_len == n && pred_dir != ti.taken) {
+        if (active_len == n && pred_dir != ti.taken)
             active_len = i + 1;
-            predicted_next = pred_dir ? ti.condTarget() : ti.pc + 4;
-        }
         if (on_path && mispredict_idx < 0 &&
             pred_dir != oracleAt(i).taken) {
             mispredict_idx = static_cast<std::ptrdiff_t>(i);
@@ -202,13 +203,11 @@ Processor::buildTraceLine(const TraceSegment &seg, Cycle ready)
         const TraceInst &last = seg.insts[n - 1];
         Addr target =
             last.inst.isReturn() ? ras_pred : ipred_.predict(last.pc);
-        predicted_next = target;
         if (mispredict_idx < 0 && target != oracleAt(n - 1).nextPc)
             mispredict_idx = static_cast<std::ptrdiff_t>(n) - 1;
         if (!last.inst.isReturn())
             ipred_.update(last.pc, oracleAt(n - 1).nextPc);
     }
-    (void)predicted_next;
 
     // Attach misprediction / inactive-issue metadata to branches.
     const std::size_t consumed = std::min(fetch_n, match_len);
@@ -232,8 +231,14 @@ Processor::buildTraceLine(const TraceSegment &seg, Cycle ready)
         }
         stall_branch_ = br;
     } else {
-        fetch_pc_ = consumed > 0 ? oracleAt(consumed - 1).nextPc
-                                 : predicted_next;
+        // Invariant: match_len >= 1 (checked at entry) and
+        // fetch_n >= 1, so at least one oracle record was consumed
+        // and the no-mispredict redirect always follows the committed
+        // path. A predicted exit address influences timing only
+        // through mispredict detection, never through this redirect.
+        panic_if(consumed == 0,
+                 "no-mispredict redirect with nothing consumed");
+        fetch_pc_ = oracleAt(consumed - 1).nextPc;
     }
 
     // The predicted-exit branch discards trailing inactive work when
@@ -699,6 +704,7 @@ Processor::doCycle()
 SimResult
 Processor::run()
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     while (true) {
         if (cfg_.maxInsts && retired_ >= cfg_.maxInsts)
             break;
@@ -757,6 +763,8 @@ Processor::run()
     res.workload = exec_.program().name;
     res.retired = retired_;
     res.cycles = cycle_;
+    res.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
     res.tcHits = tcache_.hits();
     res.tcMisses = tcache_.misses();
     res.mispredicts = mispredicts_;

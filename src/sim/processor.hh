@@ -29,6 +29,7 @@
 #include "sim/result.hh"
 #include "trace/tcache.hh"
 #include "uarch/exec_core.hh"
+#include "uarch/inst_pool.hh"
 #include "uarch/rename.hh"
 
 namespace tcfill
@@ -87,6 +88,10 @@ class Processor
                       InstSeqNum rescue_hi);
 
     // ---- members ----------------------------------------------------------
+    // Declared first so it is destroyed last: every DynInstPtr held
+    // by the members below lives in storage owned by this arena.
+    SlabArena inst_pool_;
+
     SimConfig cfg_;
     Executor exec_;
 

@@ -24,7 +24,10 @@ SimResult::dump(std::ostream &os) const
        << "  reassociated     " << fracReassoc() << "\n"
        << "  scaled           " << fracScaled() << "\n"
        << "  move idioms      " << fracMoveIdioms() << "\n"
-       << "  bypass delayed   " << fracBypassDelayed() << "\n";
+       << "  bypass delayed   " << fracBypassDelayed() << "\n"
+       << "  host wall        " << hostSeconds << " s ("
+       << std::setprecision(0) << simInstsPerSec()
+       << std::setprecision(4) << " inst/s)\n";
 }
 
 } // namespace tcfill

@@ -25,6 +25,22 @@ struct SimResult
     InstSeqNum retired = 0;
     Cycle cycles = 0;
 
+    /**
+     * Host wall-clock seconds spent inside Processor::run() for this
+     * result. Purely observational (simulated state never depends on
+     * it); a cached SimRunner hit reports the original run's time.
+     */
+    double hostSeconds = 0.0;
+
+    /** Simulator throughput: simulated instructions per host second. */
+    double
+    simInstsPerSec() const
+    {
+        return hostSeconds <= 0.0
+            ? 0.0
+            : static_cast<double>(retired) / hostSeconds;
+    }
+
     double
     ipc() const
     {

@@ -1,0 +1,231 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/processor.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill
+{
+
+// --------------------------------------------------------------------
+// Cache keying
+// --------------------------------------------------------------------
+
+namespace
+{
+
+void
+keyCache(std::ostream &os, const CacheParams &c)
+{
+    os << c.sizeBytes << ',' << c.lineBytes << ',' << c.ways << ';';
+}
+
+} // namespace
+
+std::string
+configCacheKey(const SimConfig &cfg)
+{
+    std::ostringstream os;
+    // Top-level machine knobs.
+    os << "tc=" << cfg.useTraceCache << ";ii=" << cfg.inactiveIssue
+       << ";fw=" << cfg.fetchWidth << ";fq=" << cfg.fetchQueueLines
+       << ";rw=" << cfg.retireWidth << ";win=" << cfg.windowCap
+       << ";ras=" << cfg.rasDepth << ";mi=" << cfg.maxInsts
+       << ";mc=" << cfg.maxCycles;
+    // Fill unit.
+    const FillUnitConfig &f = cfg.fill;
+    os << "|fill=" << f.latency << ',' << f.packTraces << ','
+       << f.alignLoopHeads << ',' << f.restartAtMissTargets << ','
+       << f.promoteBranches << ',' << f.maxInsts << ','
+       << f.maxCondBranches;
+    const FillOptimizations &o = f.opts;
+    os << "|opts=" << o.markMoves << o.reassociate << o.scaledAdds
+       << o.placement << o.deadCodeElim << ','
+       << o.reassocOptions.crossBlockOnly
+       << o.reassocOptions.foldMemDisplacement;
+    // Trace cache.
+    os << "|tcache=" << cfg.tcache.entries << ',' << cfg.tcache.ways
+       << ',' << cfg.tcache.moveBits << cfg.tcache.scaledBits
+       << cfg.tcache.placementBits;
+    // Memory hierarchy.
+    os << "|mem=";
+    keyCache(os, cfg.mem.l1i);
+    keyCache(os, cfg.mem.l1d);
+    keyCache(os, cfg.mem.l2);
+    os << cfg.mem.l2Latency << ',' << cfg.mem.memLatency << ','
+       << cfg.mem.memBusOccupancy;
+    // Predictors.
+    os << "|bp=" << cfg.bpred.pht0Entries << ','
+       << cfg.bpred.pht1Entries << ',' << cfg.bpred.pht2Entries << ','
+       << cfg.bpred.historyBits;
+    os << "|bias=" << cfg.bias.entries << ','
+       << cfg.bias.promoteThreshold;
+    // Execution core.
+    os << "|core=" << cfg.core.numClusters << ','
+       << cfg.core.fusPerCluster << ',' << cfg.core.rsEntries << ','
+       << cfg.core.crossClusterDelay;
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Pool lifecycle
+// --------------------------------------------------------------------
+
+unsigned
+SimRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("TCFILL_THREADS")) {
+        unsigned n =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (n > 0)
+            return n;
+        warn("ignoring invalid TCFILL_THREADS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SimRunner &
+SimRunner::shared()
+{
+    static SimRunner instance;
+    return instance;
+}
+
+SimRunner::SimRunner(unsigned threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SimRunner::~SimRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+SimRunner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_work_.wait(lk,
+                          [this] { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return;  // stop_ set and queue drained
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+            ++running_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --running_;
+        }
+        cv_idle_.notify_all();
+    }
+}
+
+void
+SimRunner::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_idle_.wait(lk,
+                  [this] { return jobs_.empty() && running_ == 0; });
+}
+
+// --------------------------------------------------------------------
+// Program cache
+// --------------------------------------------------------------------
+
+std::shared_ptr<SimRunner::ProgramSlot>
+SimRunner::programSlot(const std::string &workload, unsigned scale)
+{
+    const std::string key =
+        workload + '@' + std::to_string(scale);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = programs_.find(key);
+    if (it != programs_.end())
+        return it->second;
+    auto slot = std::make_shared<ProgramSlot>();
+    programs_.emplace(key, slot);
+    return slot;
+}
+
+std::shared_ptr<const Program>
+SimRunner::program(const std::string &workload, unsigned scale)
+{
+    auto slot = programSlot(workload, scale);
+    std::call_once(slot->once, [&] {
+        slot->prog = std::make_shared<const Program>(
+            workloads::build(workload, scale));
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.programsBuilt;
+    });
+    return slot->prog;
+}
+
+// --------------------------------------------------------------------
+// Simulation submission
+// --------------------------------------------------------------------
+
+std::shared_future<SimResult>
+SimRunner::submit(const std::string &workload, const SimConfig &cfg,
+                  unsigned scale)
+{
+    const std::string key = workload + '@' + std::to_string(scale) +
+        '#' + configCacheKey(cfg);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = results_.find(key);
+    if (it != results_.end()) {
+        ++stats_.resultHits;
+        return it->second;
+    }
+    ++stats_.resultMisses;
+
+    auto promise = std::make_shared<std::promise<SimResult>>();
+    std::shared_future<SimResult> fut =
+        promise->get_future().share();
+    results_.emplace(key, fut);
+
+    jobs_.push_back([this, workload, scale, cfg,
+                     promise = std::move(promise)] {
+        auto prog = program(workload, scale);
+        Processor proc(*prog, cfg);
+        promise->set_value(proc.run());
+    });
+    lk.unlock();
+    cv_work_.notify_one();
+    return fut;
+}
+
+SimResult
+SimRunner::run(const std::string &workload, const SimConfig &cfg,
+               unsigned scale)
+{
+    SimResult res = submit(workload, cfg, scale).get();
+    res.config = cfg.name;
+    return res;
+}
+
+SimRunner::CacheStats
+SimRunner::cacheStats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace tcfill

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SimRunner: a fixed-size worker-thread pool that executes
+ * independent (workload, SimConfig) simulations concurrently.
+ *
+ * Three layers make large design-space sweeps cheap:
+ *
+ *  - a keyed result cache: each distinct (workload, scale, config)
+ *    point is simulated once per process; every later request —
+ *    including one issued while the first is still running — shares
+ *    the same future. A baseline config is therefore simulated once
+ *    per workload no matter how many variant sweeps reference it.
+ *
+ *  - a Program build cache: workload kernels are constructed once and
+ *    shared read-only across all runs of that workload.
+ *
+ *  - per-run wall-clock / throughput counters folded into SimResult
+ *    (see SimResult::hostSeconds).
+ *
+ * Determinism: a simulation's outcome depends only on its Program and
+ * SimConfig — Processor instances share no mutable state — so every
+ * cycle/IPC figure is bit-identical to a serial run regardless of
+ * thread count, scheduling order, or cache hits.
+ */
+
+#ifndef TCFILL_SIM_RUNNER_HH
+#define TCFILL_SIM_RUNNER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asm/program.hh"
+#include "sim/config.hh"
+#include "sim/result.hh"
+
+namespace tcfill
+{
+
+/**
+ * Stable, exhaustive serialization of every behavior-affecting field
+ * of a SimConfig (everything except the cosmetic name). Two configs
+ * with equal keys produce bit-identical simulations, so this is the
+ * SimRunner result-cache key. Must be extended whenever SimConfig or
+ * a nested params struct grows a field (see the note in config.hh).
+ */
+std::string configCacheKey(const SimConfig &cfg);
+
+/** Worker-thread pool with result and program caches. */
+class SimRunner
+{
+  public:
+    struct CacheStats
+    {
+        std::uint64_t resultHits = 0;       ///< submits served from cache
+        std::uint64_t resultMisses = 0;     ///< simulations enqueued
+        std::uint64_t programsBuilt = 0;    ///< distinct kernels built
+    };
+
+    /** @param threads worker count; 0 = defaultThreads(). */
+    explicit SimRunner(unsigned threads = 0);
+
+    /** Drains all queued work, then joins the workers. */
+    ~SimRunner();
+
+    SimRunner(const SimRunner &) = delete;
+    SimRunner &operator=(const SimRunner &) = delete;
+
+    /**
+     * Enqueue one simulation (or attach to the cached/in-flight one).
+     * The returned future never throws for cache hits; a panicking
+     * simulation aborts the process as it would serially.
+     *
+     * Note: a cached result keeps the config *name* of the first
+     * submission; use run() when the label matters.
+     */
+    std::shared_future<SimResult>
+    submit(const std::string &workload, const SimConfig &cfg,
+           unsigned scale = 1);
+
+    /**
+     * Blocking convenience: submit + wait, with the result's config
+     * label rewritten to @p cfg's name.
+     */
+    SimResult run(const std::string &workload, const SimConfig &cfg,
+                  unsigned scale = 1);
+
+    /** Build (once) and share the workload's program image. */
+    std::shared_ptr<const Program>
+    program(const std::string &workload, unsigned scale = 1);
+
+    /** Block until every queued simulation has finished. */
+    void wait();
+
+    unsigned threads() const { return threads_; }
+
+    CacheStats cacheStats() const;
+
+    /**
+     * Worker count used when none is requested: the TCFILL_THREADS
+     * environment variable if set, else std::hardware_concurrency.
+     */
+    static unsigned defaultThreads();
+
+    /**
+     * Process-wide runner (default thread count) shared by the bench
+     * drivers and tools so the result cache spans a whole process.
+     */
+    static SimRunner &shared();
+
+  private:
+    struct ProgramSlot
+    {
+        std::once_flag once;
+        std::shared_ptr<const Program> prog;
+    };
+
+    void workerLoop();
+    std::shared_ptr<ProgramSlot>
+    programSlot(const std::string &workload, unsigned scale);
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_idle_;
+    bool stop_ = false;
+    unsigned running_ = 0;
+    std::deque<std::function<void()>> jobs_;
+
+    std::map<std::string, std::shared_future<SimResult>> results_;
+    std::map<std::string, std::shared_ptr<ProgramSlot>> programs_;
+    CacheStats stats_;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_SIM_RUNNER_HH

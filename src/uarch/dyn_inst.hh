@@ -1,21 +1,89 @@
 /**
  * @file
  * Dynamic (in-flight) instruction state for the timing model.
+ *
+ * DynInstPtr is an intrusive reference-counted smart pointer with a
+ * deliberately NON-atomic count: every DynInst is owned by exactly one
+ * Processor and never crosses a thread boundary, so the count needs no
+ * synchronization. (SimRunner parallelism is between Processors, never
+ * inside one.) This matters because copying instruction handles is the
+ * hottest pointer traffic in the simulator, and linking the thread
+ * runtime would otherwise force shared_ptr's refcounts to atomic RMW
+ * ops on the whole fetch/issue/retire path.
  */
 
 #ifndef TCFILL_UARCH_DYN_INST_HH
 #define TCFILL_UARCH_DYN_INST_HH
 
-#include <memory>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
 
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "uarch/inst_pool.hh"
 
 namespace tcfill
 {
 
 struct DynInst;
-using DynInstPtr = std::shared_ptr<DynInst>;
+
+/**
+ * Intrusive refcounted handle to a DynInst. Semantics match
+ * shared_ptr (last reference destroys the object), but the count is a
+ * plain integer and destruction returns pooled blocks to the owning
+ * SlabArena instead of the heap.
+ */
+class DynInstPtr
+{
+  public:
+    DynInstPtr() = default;
+    DynInstPtr(std::nullptr_t) {}
+    /** Wrap a freshly constructed instruction (see allocDynInst). */
+    explicit DynInstPtr(DynInst *p) : p_(p) { retain(); }
+
+    DynInstPtr(const DynInstPtr &o) : p_(o.p_) { retain(); }
+    DynInstPtr(DynInstPtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    DynInstPtr &
+    operator=(const DynInstPtr &o)
+    {
+        DynInstPtr tmp(o);
+        std::swap(p_, tmp.p_);
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(DynInstPtr &&o) noexcept
+    {
+        std::swap(p_, o.p_);
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(std::nullptr_t)
+    {
+        release();
+        return *this;
+    }
+
+    ~DynInstPtr() { release(); }
+
+    DynInst *get() const { return p_; }
+    DynInst &operator*() const { return *p_; }
+    DynInst *operator->() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+    bool operator==(const DynInstPtr &o) const { return p_ == o.p_; }
+    bool operator==(std::nullptr_t) const { return p_ == nullptr; }
+
+  private:
+    void retain();
+    void release();
+
+    DynInst *p_ = nullptr;
+};
 
 /** Lifecycle of a dynamic instruction in the window. */
 enum class InstPhase : std::uint8_t
@@ -132,6 +200,12 @@ struct DynInst
     /** Move idiom in the architectural stream (optimized or not). */
     bool moveIdiom = false;
 
+    // ---- intrusive lifetime (managed by DynInstPtr) ---------------------
+    /** Reference count; non-atomic — see the file comment. */
+    std::uint32_t ptrRefs = 0;
+    /** Owning arena, or nullptr for heap-backed instances. */
+    SlabArena *ptrArena = nullptr;
+
     unsigned
     cluster(unsigned fus_per_cluster) const
     {
@@ -141,6 +215,51 @@ struct DynInst
     bool complete() const { return phase == InstPhase::Complete; }
     bool squashed() const { return phase == InstPhase::Squashed; }
 };
+
+inline void
+DynInstPtr::retain()
+{
+    if (p_)
+        ++p_->ptrRefs;
+}
+
+inline void
+DynInstPtr::release()
+{
+    if (!p_)
+        return;
+    if (--p_->ptrRefs == 0) {
+        if (SlabArena *arena = p_->ptrArena) {
+            p_->~DynInst();
+            arena->deallocate(p_);
+        } else {
+            delete p_;
+        }
+    }
+    p_ = nullptr;
+}
+
+/**
+ * Allocate a DynInst from @p arena. The block returns to the arena's
+ * free list when the last DynInstPtr drops — for an instruction, at or
+ * shortly after retirement, once no Operand, window slot or resolution
+ * event still references it.
+ */
+inline DynInstPtr
+allocDynInst(SlabArena &arena)
+{
+    void *mem = arena.allocate(sizeof(DynInst), alignof(DynInst));
+    DynInst *p = new (mem) DynInst();
+    p->ptrArena = &arena;
+    return DynInstPtr(p);
+}
+
+/** Heap-backed variant for tests and tools. */
+inline DynInstPtr
+allocDynInst()
+{
+    return DynInstPtr(new DynInst());
+}
 
 } // namespace tcfill
 

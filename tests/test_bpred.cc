@@ -71,7 +71,6 @@ TEST(MultiBpred, LearnsPerSlot)
 TEST(MultiBpred, HistoryAffectsIndex)
 {
     MultiBranchPredictor bp;
-    Addr pc = 0x400200;
     EXPECT_EQ(bp.history(), 0u);
     bp.pushHistory(true);
     EXPECT_EQ(bp.history(), 1u);

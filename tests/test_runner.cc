@@ -1,0 +1,218 @@
+/**
+ * @file
+ * SimRunner tests: parallel results bit-identical to serial runs,
+ * result-cache behavior, config-key coverage, and DynInst slab-pool
+ * recycling (run under ASan/TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/processor.hh"
+#include "sim/runner.hh"
+#include "uarch/inst_pool.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+constexpr InstSeqNum kTestInsts = 20'000;
+
+SimConfig
+cfgAt(const FillOptimizations &opts, const std::string &name)
+{
+    SimConfig cfg = SimConfig::withOpts(opts);
+    cfg.name = name;
+    cfg.maxInsts = kTestInsts;
+    return cfg;
+}
+
+std::vector<SimConfig>
+testConfigs()
+{
+    return {cfgAt(FillOptimizations::none(), "none"),
+            cfgAt(FillOptimizations::all(), "all"),
+            cfgAt(FillOptimizations::extended(), "extended")};
+}
+
+/** Every deterministic field two runs of the same point must share. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.tcHits, b.tcHits);
+    EXPECT_EQ(a.tcMisses, b.tcMisses);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.inactiveRescues, b.inactiveRescues);
+    EXPECT_EQ(a.mispredictStallCycles, b.mispredictStallCycles);
+    EXPECT_EQ(a.segmentsBuilt, b.segmentsBuilt);
+    EXPECT_EQ(a.dynMoves, b.dynMoves);
+    EXPECT_EQ(a.dynReassoc, b.dynReassoc);
+    EXPECT_EQ(a.dynScaled, b.dynScaled);
+    EXPECT_EQ(a.dynElided, b.dynElided);
+    EXPECT_EQ(a.dynMoveIdioms, b.dynMoveIdioms);
+    EXPECT_EQ(a.bypassDelayed, b.bypassDelayed);
+    EXPECT_DOUBLE_EQ(a.ipc(), b.ipc());
+}
+
+TEST(SimRunner, ParallelMatchesSerial)
+{
+    const char *names[] = {"compress", "li", "perl"};
+    SimRunner pool(4);
+
+    // Enqueue all 9 points first so they genuinely run concurrently.
+    std::vector<std::shared_future<SimResult>> futs;
+    for (const char *name : names)
+        for (const auto &cfg : testConfigs())
+            futs.push_back(pool.submit(name, cfg));
+
+    std::size_t i = 0;
+    for (const char *name : names) {
+        Program prog = workloads::build(name, 1);
+        for (const auto &cfg : testConfigs()) {
+            SimResult serial = simulate(prog, cfg);
+            SimResult parallel = futs[i++].get();
+            SCOPED_TRACE(std::string(name) + "/" + cfg.name);
+            expectIdentical(serial, parallel);
+        }
+    }
+}
+
+TEST(SimRunner, CacheReturnsHitsForRepeatedConfigs)
+{
+    SimRunner pool(2);
+    SimConfig cfg = cfgAt(FillOptimizations::all(), "all");
+
+    SimResult first = pool.run("compress", cfg);
+    EXPECT_EQ(pool.cacheStats().resultMisses, 1u);
+    EXPECT_EQ(pool.cacheStats().resultHits, 0u);
+
+    SimResult second = pool.run("compress", cfg);
+    EXPECT_EQ(pool.cacheStats().resultMisses, 1u);
+    EXPECT_EQ(pool.cacheStats().resultHits, 1u);
+    expectIdentical(first, second);
+
+    // The cosmetic name is not part of the key, but the label on the
+    // returned copy follows the request.
+    SimConfig renamed = cfg;
+    renamed.name = "same-params-different-name";
+    SimResult third = pool.run("compress", renamed);
+    EXPECT_EQ(pool.cacheStats().resultHits, 2u);
+    EXPECT_EQ(third.config, "same-params-different-name");
+    expectIdentical(first, third);
+
+    // Any parameter change must miss.
+    SimConfig changed = cfg;
+    changed.fill.latency = cfg.fill.latency + 1;
+    pool.run("compress", changed);
+    EXPECT_EQ(pool.cacheStats().resultMisses, 2u);
+}
+
+TEST(SimRunner, ConfigKeyCoversEveryKnob)
+{
+    const SimConfig base;
+    // Each mutation below must change the cache key; a knob the key
+    // misses would silently alias distinct design points.
+    std::vector<SimConfig> variants(20, base);
+    variants[0].useTraceCache = false;
+    variants[1].inactiveIssue = false;
+    variants[2].fetchWidth = 8;
+    variants[3].windowCap = 64;
+    variants[4].maxInsts = 123;
+    variants[5].maxCycles = 456;
+    variants[6].fill.latency = 9;
+    variants[7].fill.promoteBranches = false;
+    variants[8].fill.opts.markMoves = true;
+    variants[9].fill.opts.reassociate = true;
+    variants[10].fill.opts.deadCodeElim = true;
+    variants[11].fill.opts.reassocOptions.crossBlockOnly = false;
+    variants[12].tcache.entries = 64;
+    variants[13].mem.l1d.sizeBytes = 1024;
+    variants[14].mem.memLatency = 99;
+    variants[15].bpred.historyBits = 7;
+    variants[16].bias.promoteThreshold = 3;
+    variants[17].core.crossClusterDelay = 4;
+    variants[18].retireWidth = 4;
+    variants[19].rasDepth = 2;
+
+    const std::string base_key = configCacheKey(base);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_NE(configCacheKey(variants[i]), base_key);
+    }
+
+    // The name alone must NOT change the key (baseline sharing).
+    SimConfig renamed = base;
+    renamed.name = "renamed";
+    EXPECT_EQ(configCacheKey(renamed), base_key);
+}
+
+TEST(SimRunner, ProgramCacheBuildsOnce)
+{
+    SimRunner pool(2);
+    auto a = pool.program("compress", 1);
+    auto b = pool.program("compress", 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(pool.cacheStats().programsBuilt, 1u);
+    auto c = pool.program("compress", 2);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(pool.cacheStats().programsBuilt, 2u);
+}
+
+TEST(SlabArena, RecyclesBlocksThroughTheFreeList)
+{
+    SlabArena arena;
+    // Churn instruction handles the way the fetch/retire loop does:
+    // allocate a line's worth, drop them, allocate again. Under ASan
+    // this also proves recycling introduces no use-after-free.
+    std::vector<DynInstPtr> line;
+    for (int round = 0; round < 64; ++round) {
+        for (int i = 0; i < 16; ++i) {
+            DynInstPtr di = allocDynInst(arena);
+            di->seq = static_cast<InstSeqNum>(round * 16 + i);
+            di->pc = 0x400000 + 4 * static_cast<Addr>(i);
+            line.push_back(std::move(di));
+        }
+        // Cross-reference operands like rename does, then retire.
+        for (std::size_t i = 1; i < line.size(); ++i)
+            line[i]->src[0] = Operand{line[i - 1], 0};
+        for (auto &di : line)
+            EXPECT_FALSE(di->squashed());
+        line.clear();
+    }
+    EXPECT_EQ(arena.live(), 0u);
+    // After the first round every allocation is a free-list reuse.
+    EXPECT_GE(arena.reused(), 16u * 63u);
+    EXPECT_EQ(arena.slabs(), 1u);
+}
+
+TEST(SlabArena, FullSimulationRecyclesAndStaysDeterministic)
+{
+    // A full simulation allocates far more DynInsts than it ever has
+    // in flight, so pooled recycling must engage; and a second run
+    // must be bit-identical to the first (recycled blocks carry no
+    // state across instructions).
+    Program prog = workloads::build("compress", 1);
+    SimConfig cfg = cfgAt(FillOptimizations::all(), "all");
+    SimResult a = simulate(prog, cfg);
+    SimResult b = simulate(prog, cfg);
+    EXPECT_EQ(a.retired, kTestInsts);
+    expectIdentical(a, b);
+}
+
+TEST(SimRunner, ThreadCountDoesNotChangeResults)
+{
+    SimConfig cfg = cfgAt(FillOptimizations::all(), "all");
+    SimRunner one(1);
+    SimRunner eight(8);
+    SimResult a = one.run("m88ksim", cfg);
+    SimResult b = eight.run("m88ksim", cfg);
+    expectIdentical(a, b);
+}
+
+} // namespace
+} // namespace tcfill

@@ -14,7 +14,7 @@ namespace
 DynInstPtr
 makeInst(InstSeqNum seq, Op op = Op::ADD, int fu = 0)
 {
-    auto di = std::make_shared<DynInst>();
+    DynInstPtr di = allocDynInst();
     di->seq = seq;
     di->inst.op = op;
     di->inst.dest = 3;

@@ -5,10 +5,13 @@
  * summary (optionally the full component statistics).
  *
  * Usage:
- *   tcfill_sim [options] [workload]
+ *   tcfill_sim [options] [workload[,workload...] | all]
  *
  * Options:
  *   --list                 list available workloads and exit
+ *   --threads N, -j N      worker threads for multi-workload runs
+ *                          (default: all cores; TCFILL_THREADS also
+ *                          honored)
  *   --scale N              workload scale factor (default 1)
  *   --max-insts N          retire at most N instructions (0 = all)
  *   --opts LIST            comma list of moves,reassoc,scaled,
@@ -23,11 +26,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "sim/processor.hh"
+#include "sim/runner.hh"
 #include "workloads/suite.hh"
 
 using namespace tcfill;
@@ -76,11 +82,38 @@ parseOpts(const std::string &spec)
 usage()
 {
     std::cerr <<
-        "usage: tcfill_sim [options] [workload]\n"
-        "  --list | --scale N | --max-insts N | --opts LIST\n"
-        "  --fill-latency N | --no-trace-cache | --no-inactive-issue\n"
-        "  --no-promotion | --tc-entries N | --stats\n";
+        "usage: tcfill_sim [options] [workload[,workload...] | all]\n"
+        "  --list | --threads N | -j N | --scale N | --max-insts N\n"
+        "  --opts LIST | --fill-latency N | --no-trace-cache\n"
+        "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
+        "  --stats\n";
     std::exit(2);
+}
+
+std::vector<std::string>
+parseWorkloads(const std::string &spec)
+{
+    std::vector<std::string> names;
+    if (spec == "all") {
+        for (const auto &w : workloads::suite())
+            names.push_back(w.name);
+        return names;
+    }
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string tok = spec.substr(
+            pos, comma == std::string::npos ? spec.size() - pos
+                                            : comma - pos);
+        if (!tok.empty())
+            names.push_back(workloads::find(tok).name);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (names.empty())
+        fatal("no workloads in '%s'", spec.c_str());
+    return names;
 }
 
 } // namespace
@@ -90,6 +123,7 @@ main(int argc, char **argv)
 {
     std::string workload = "compress";
     unsigned scale = 1;
+    unsigned threads = 0;  // 0 = SimRunner::defaultThreads()
     bool dump_stats = false;
     SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
     cfg.name = "opts=all";
@@ -107,6 +141,9 @@ main(int argc, char **argv)
                             w.shortName.c_str(), w.traits.c_str());
             }
             return 0;
+        } else if (arg == "--threads" || arg == "-j") {
+            threads = static_cast<unsigned>(std::strtoul(next(),
+                                                         nullptr, 10));
         } else if (arg == "--scale") {
             scale = static_cast<unsigned>(std::strtoul(next(),
                                                        nullptr, 10));
@@ -138,13 +175,36 @@ main(int argc, char **argv)
         }
     }
 
-    Program prog = workloads::build(workload, scale);
-    Processor proc(prog, cfg);
-    SimResult res = proc.run();
-    res.dump(std::cout);
-    if (dump_stats) {
+    std::vector<std::string> names = parseWorkloads(workload);
+
+    if (names.size() == 1 && dump_stats) {
+        // Component statistics need the live Processor, so the
+        // single-workload stats path runs in-process.
+        Program prog = workloads::build(names[0], scale);
+        Processor proc(prog, cfg);
+        SimResult res = proc.run();
+        res.dump(std::cout);
         std::cout << "\n";
         proc.dumpStats(std::cout);
+        return 0;
+    }
+    fatal_if(dump_stats && names.size() > 1,
+             "--stats works with a single workload only");
+
+    // One simulation per workload, executed concurrently on the
+    // runner pool; results print in the requested order.
+    SimRunner pool(threads);
+    std::vector<std::shared_future<SimResult>> futs;
+    for (const auto &name : names)
+        futs.push_back(pool.submit(name, cfg, scale));
+    bool first = true;
+    for (auto &fut : futs) {
+        if (!first)
+            std::cout << "\n";
+        first = false;
+        SimResult res = fut.get();
+        res.config = cfg.name;
+        res.dump(std::cout);
     }
     return 0;
 }
