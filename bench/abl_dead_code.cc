@@ -16,8 +16,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Extension: +dead-write elision over the paper's "
                  "four optimizations\n\n";
     prefetchSuite({optConfig(FillOptimizations::all()),

@@ -15,8 +15,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Ablation: fill-pipeline latency sweep "
                  "(geo-mean IPC vs 1-cycle fill)\n\n";
     const Cycle lats[] = {1, 2, 5, 10, 20};

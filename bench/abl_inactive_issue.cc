@@ -16,8 +16,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Ablation: inactive issue on (baseline) vs off\n\n";
     {
         SimConfig off = baselineConfig();

@@ -16,8 +16,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Ablation: reassociation cross-block-only vs "
                  "unrestricted (paper: no significant difference)\n\n";
     FillOptimizations cross;

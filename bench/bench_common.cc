@@ -2,9 +2,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/progress.hh"
+#include "sim/stats_io.hh"
 
 namespace tcfill::bench
 {
@@ -36,7 +44,9 @@ runner()
 SimResult
 run(const workloads::Workload &w, SimConfig cfg)
 {
-    return runner().run(w.name, cfg, kScale);
+    SimResult res = runner().run(w.name, cfg, kScale);
+    recordResult(res);
+    return res;
 }
 
 std::shared_future<SimResult>
@@ -93,6 +103,104 @@ compareSweep(const std::string &title, const SimConfig &variant,
     table.print(std::cout);
     if (geo_out)
         *geo_out = geo;
+}
+
+// --------------------------------------------------------------------
+// Observability session
+// --------------------------------------------------------------------
+
+namespace
+{
+
+struct SessionState
+{
+    std::mutex mu;
+    std::string statsJson;
+    std::string generator;
+    bool progress = false;
+    std::vector<SimResult> results;
+    std::unique_ptr<obs::ConsoleProgress> console;
+};
+
+SessionState *g_session = nullptr;
+
+} // namespace
+
+Session::Session(int &argc, char **argv)
+{
+    panic_if(g_session, "only one bench::Session may be active");
+    auto st = std::make_unique<SessionState>();
+
+    st->generator = argc > 0 ? argv[0] : "bench";
+    std::size_t slash = st->generator.find_last_of('/');
+    if (slash != std::string::npos)
+        st->generator.erase(0, slash + 1);
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            st->statsJson = arg.substr(std::strlen("--stats-json="));
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            st->statsJson = argv[++i];
+        } else if (arg == "--progress") {
+            st->progress = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    if (st->statsJson.empty()) {
+        if (const char *env = std::getenv("TCFILL_STATS_JSON"))
+            st->statsJson = env;
+    }
+    if (!st->progress) {
+        if (const char *env = std::getenv("TCFILL_PROGRESS"))
+            st->progress = env[0] != '\0' && env[0] != '0';
+    }
+
+    if (st->progress) {
+        st->console = std::make_unique<obs::ConsoleProgress>(
+            std::cerr, st->generator);
+        obs::ConsoleProgress *console = st->console.get();
+        runner().setProgress(
+            [console](const obs::SweepProgress &p) { (*console)(p); });
+    }
+    g_session = st.release();
+}
+
+Session::~Session()
+{
+    SessionState *st = g_session;
+    g_session = nullptr;
+    if (st->console) {
+        runner().setProgress(nullptr);
+        st->console->update(runner().progress());
+        st->console->finish();
+    }
+    if (!st->statsJson.empty()) {
+        std::ofstream os(st->statsJson);
+        if (!os) {
+            warn("cannot open '%s': stats JSON not written",
+                 st->statsJson.c_str());
+        } else {
+            obs::SweepProgress snap = runner().progress();
+            writeStatsJson(os, st->generator, st->results, &snap,
+                           /*include_host=*/true);
+        }
+    }
+    delete st;
+}
+
+void
+recordResult(const SimResult &res)
+{
+    if (!g_session)
+        return;
+    std::lock_guard<std::mutex> lk(g_session->mu);
+    g_session->results.push_back(res);
 }
 
 } // namespace tcfill::bench

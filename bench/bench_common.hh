@@ -75,6 +75,37 @@ std::string pctGain(double base_ipc, double opt_ipc);
 void compareSweep(const std::string &title, const SimConfig &variant,
                   double *geo_out = nullptr);
 
+/**
+ * Per-driver observability session. Construct first thing in main():
+ * parses and strips the shared observability flags from argv so the
+ * driver's own parsing (if any) never sees them, records every result
+ * bench::run() returns, and at destruction writes the stats JSON
+ * (schema tcfill-stats-v1, host sections included — bench output is a
+ * perf trajectory, not a determinism artifact) and finishes the
+ * progress line.
+ *
+ * Flags / environment:
+ *   --stats-json=FILE | --stats-json FILE   (env TCFILL_STATS_JSON)
+ *   --progress                              (env TCFILL_PROGRESS=1)
+ */
+class Session
+{
+  public:
+    /** Strips recognized flags from @p argc / @p argv in place. */
+    Session(int &argc, char **argv);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+};
+
+/**
+ * Record one result into the active Session's stats document (no-op
+ * without a Session). bench::run() records automatically; drivers
+ * that collect through runAsync() futures call this directly.
+ */
+void recordResult(const SimResult &res);
+
 } // namespace tcfill::bench
 
 #endif // TCFILL_BENCH_COMMON_HH

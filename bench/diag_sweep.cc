@@ -16,8 +16,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     TextTable table({"benchmark", "base", "+mov", "+rea", "+sca",
                      "+plc", "all", "mov%", "rea%", "sca%", "byp0",
                      "byp1", "tc%", "bp%"});

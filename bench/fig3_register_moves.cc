@@ -15,8 +15,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Figure 3: register-move marking "
                  "(paper mean: +5%; move idioms ~6% of stream)\n\n";
     FillOptimizations mv;

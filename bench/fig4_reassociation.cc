@@ -15,8 +15,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Figure 4: reassociation, cross-block only "
                  "(paper: +1-2% typical, +23% outliers)\n\n";
     FillOptimizations re;

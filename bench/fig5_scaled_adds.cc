@@ -14,8 +14,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Figure 5: scaled adds (paper: +1-8%, mean +3.7%)\n\n";
     FillOptimizations sc;
     sc.scaledAdds = true;

@@ -14,8 +14,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Figure 6: instruction placement "
                  "(paper: mean +5%, max +11%)\n\n";
     FillOptimizations pl;

@@ -14,8 +14,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Figure 7: bypass-delayed on-path instructions "
                  "(paper mean: 35% baseline -> 29% placed)\n\n";
     FillOptimizations pl;

@@ -16,8 +16,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Figure 8: all optimizations combined at fill "
                  "latency 1/5/10 (paper: ~+18% mean, 13-44%)\n\n";
 

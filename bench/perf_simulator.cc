@@ -17,8 +17,8 @@ namespace
 {
 
 void
-runWorkload(benchmark::State &state, const char *name,
-            FillOptimizations opts)
+runWorkload(benchmark::State &state, const char *label,
+            const char *name, FillOptimizations opts)
 {
     const auto &w = workloads::find(name);
     Program prog = w.build(1);
@@ -26,11 +26,13 @@ runWorkload(benchmark::State &state, const char *name,
     cfg.maxInsts = 50'000;
     std::uint64_t insts = 0;
     double wall = 0.0;
+    SimResult last;
     for (auto _ : state) {
         SimResult r = simulate(prog, cfg);
         insts += r.retired;
         wall += r.hostSeconds;
         benchmark::DoNotOptimize(r.cycles);
+        last = std::move(r);
     }
     state.counters["sim_insts_per_s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
@@ -39,6 +41,10 @@ runWorkload(benchmark::State &state, const char *name,
         wall, benchmark::Counter::kAvgIterations);
     state.counters["run_insts_per_s"] =
         wall > 0.0 ? static_cast<double>(insts) / wall : 0.0;
+    // One record per benchmark in the session's stats JSON, labeled
+    // with the benchmark name so trajectories can be diffed by key.
+    last.config = label;
+    recordResult(last);
 }
 
 /**
@@ -66,25 +72,29 @@ BM_ParallelSweep(benchmark::State &state)
 void
 BM_Baseline(benchmark::State &state)
 {
-    runWorkload(state, "compress", FillOptimizations::none());
+    runWorkload(state, "BM_Baseline", "compress",
+                FillOptimizations::none());
 }
 
 void
 BM_AllOpts(benchmark::State &state)
 {
-    runWorkload(state, "compress", FillOptimizations::all());
+    runWorkload(state, "BM_AllOpts", "compress",
+                FillOptimizations::all());
 }
 
 void
 BM_Interpreter(benchmark::State &state)
 {
-    runWorkload(state, "m88ksim", FillOptimizations::all());
+    runWorkload(state, "BM_Interpreter", "m88ksim",
+                FillOptimizations::all());
 }
 
 void
 BM_PointerChase(benchmark::State &state)
 {
-    runWorkload(state, "li", FillOptimizations::all());
+    runWorkload(state, "BM_PointerChase", "li",
+                FillOptimizations::all());
 }
 
 void
@@ -110,4 +120,17 @@ BENCHMARK(BM_Interpreter)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PointerChase)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FunctionalOnly)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() rejects argv it does not recognize, so the Session
+// must strip the shared observability flags (--stats-json, --progress)
+// before google-benchmark parses the command line.
+int
+main(int argc, char **argv)
+{
+    tcfill::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

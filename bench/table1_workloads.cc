@@ -15,8 +15,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Table 1: benchmarks (paper: SPECint95 + UNIX apps, "
                  "41M-500M insts;\nhere: like-named kernels at bench "
                  "scale, dynamic counts below)\n\n";

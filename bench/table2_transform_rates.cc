@@ -14,8 +14,9 @@ using namespace tcfill;
 using namespace tcfill::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcfill::bench::Session session(argc, argv);
     std::cout << "Table 2: fraction of retired instructions "
                  "transformed (paper mean ~13%)\n\n";
     prefetchSuite({optConfig(FillOptimizations::all())});

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace tcfill::stats
 {
@@ -34,6 +37,73 @@ Group::dump(std::ostream &os) const
            << std::setprecision(4) << e.eval()
            << "  # " << e.desc << "\n";
     }
+}
+
+namespace
+{
+
+/** Dotted-name tree used only while emitting JSON. */
+struct StatNode
+{
+    std::vector<std::pair<std::string, StatNode>> children;
+    const std::function<double()> *leaf = nullptr;
+
+    StatNode &
+    child(const std::string &name)
+    {
+        for (auto &[n, c] : children) {
+            if (n == name)
+                return c;
+        }
+        children.emplace_back(name, StatNode{});
+        return children.back().second;
+    }
+};
+
+void
+emitNode(obs::JsonWriter &w, const StatNode &node)
+{
+    w.beginObject();
+    for (const auto &[name, child] : node.children) {
+        w.key(name);
+        if (child.leaf) {
+            panic_if(!child.children.empty(),
+                     "stat '%s' is both a value and a prefix",
+                     name.c_str());
+            w.value((*child.leaf)());
+        } else {
+            emitNode(w, child);
+        }
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    StatNode root;
+    for (const auto &e : entries_) {
+        StatNode *node = &root;
+        std::size_t pos = 0;
+        while (pos <= e.name.size()) {
+            std::size_t dot = e.name.find('.', pos);
+            std::string part = e.name.substr(
+                pos, dot == std::string::npos ? e.name.size() - pos
+                                              : dot - pos);
+            node = &node->child(part);
+            if (dot == std::string::npos)
+                break;
+            pos = dot + 1;
+        }
+        panic_if(node->leaf, "stat '%s.%s' registered twice",
+                 name_.c_str(), e.name.c_str());
+        node->leaf = &e.eval;
+    }
+    obs::JsonWriter w(os);
+    emitNode(w, root);
+    w.finish();
 }
 
 } // namespace tcfill::stats

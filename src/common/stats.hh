@@ -112,6 +112,15 @@ class Group
 
     void dump(std::ostream &os) const;
 
+    /**
+     * Hierarchical machine-readable dump: dotted stat names become
+     * nested JSON objects ("l1i.hits" -> {"l1i": {"hits": ...}}),
+     * preserving registration order, so output is byte-deterministic
+     * for a deterministic simulation. Descriptions are omitted — the
+     * text dump() remains the human-facing format.
+     */
+    void dumpJson(std::ostream &os) const;
+
     const std::string &name() const { return name_; }
 
   private:

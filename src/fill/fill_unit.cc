@@ -137,6 +137,24 @@ FillUnit::finalize(Cycle now)
     insts_ += seg.size();
     seg_length_.sample(seg.size());
 
+#if TCFILL_PIPE_TRACE_ENABLED
+    if (tracer_) {
+        obs::FillEvent ev;
+        ev.startPc = seg.startPc;
+        ev.cycle = now;
+        ev.insts = static_cast<unsigned>(seg.size());
+        ev.blocks = seg.numBlocks;
+        for (const TraceInst &ti : seg.insts) {
+            ev.movesMarked += ti.isMove;
+            ev.reassociated += ti.reassociated;
+            ev.scaledAdds += ti.hasScale();
+            ev.deadElided += ti.deadElided;
+            ev.promotedBranches += ti.promoted;
+        }
+        tracer_->fillEvent(ev);
+    }
+#endif
+
     fill_pipe_.push_back({now + config_.latency, std::move(seg)});
 }
 

@@ -16,6 +16,7 @@
 #include "bpred/predictor.hh"
 #include "common/stats.hh"
 #include "fill/passes.hh"
+#include "obs/pipe_trace.hh"
 #include "trace/segment.hh"
 #include "trace/tcache.hh"
 
@@ -124,6 +125,13 @@ class FillUnit
 
     void regStats(stats::Group &group);
 
+    /**
+     * Attach a lifecycle tracer (usually via Processor::setTracer);
+     * emits one FillEvent per finalized segment, summarizing the
+     * transforms each optimization pass applied.
+     */
+    void setTracer(obs::PipeTracer *tracer) { tracer_ = tracer; }
+
   private:
     void finalize(Cycle now);
 
@@ -152,6 +160,8 @@ class FillUnit
     stats::Counter dce_;
     stats::Counter promoted_branches_;
     stats::Histogram seg_length_{kSegmentMaxInsts + 1};
+
+    obs::PipeTracer *tracer_ = nullptr;
 };
 
 } // namespace tcfill

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Minimal, dependency-free JSON support for the observability layer:
+ * a deterministic streaming writer (stable key order is the caller's,
+ * number formatting is round-trip shortest and locale-independent) and
+ * a small recursive-descent parser used by tests and tools to validate
+ * round-trips. Header-only so lower layers (common/stats) can emit
+ * JSON without a link dependency on tcfill_obs.
+ */
+
+#ifndef TCFILL_OBS_JSON_HH
+#define TCFILL_OBS_JSON_HH
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tcfill::obs
+{
+
+/** Escape and quote @p s as a JSON string into @p os. */
+inline void
+jsonQuote(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Deterministic decimal rendering of a double: shortest round-trip
+ * form via to_chars where available, else %.17g. Both are stable for
+ * a given binary, which is what the byte-identical-output guarantees
+ * rest on.
+ */
+inline std::string
+jsonNumber(double v)
+{
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec == std::errc())
+        return std::string(buf, ptr);
+#endif
+    char fbuf[64];
+    std::snprintf(fbuf, sizeof(fbuf), "%.17g", v);
+    return fbuf;
+}
+
+/**
+ * Streaming JSON writer with two-space pretty printing. Keys are
+ * emitted in call order, so output is byte-deterministic whenever the
+ * caller's values are.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        preValue();
+        os_ << '{';
+        stack_.push_back({true, 0});
+        return *this;
+    }
+
+    JsonWriter &
+    beginObject(std::string_view k)
+    {
+        key(k);
+        return beginObject();
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        closeScope('}');
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        preValue();
+        os_ << '[';
+        stack_.push_back({false, 0});
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray(std::string_view k)
+    {
+        key(k);
+        return beginArray();
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        closeScope(']');
+        return *this;
+    }
+
+    JsonWriter &
+    key(std::string_view k)
+    {
+        panic_if(stack_.empty() || !stack_.back().isObject,
+                 "JsonWriter: key outside an object");
+        separator();
+        jsonQuote(os_, k);
+        os_ << ": ";
+        have_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &value(std::string_view v) { preValue(); jsonQuote(os_, v); return *this; }
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(const std::string &v) { return value(std::string_view(v)); }
+    JsonWriter &value(bool v) { preValue(); os_ << (v ? "true" : "false"); return *this; }
+    JsonWriter &value(double v) { preValue(); os_ << jsonNumber(v); return *this; }
+    JsonWriter &value(std::uint64_t v) { preValue(); os_ << v; return *this; }
+    JsonWriter &value(std::int64_t v) { preValue(); os_ << v; return *this; }
+    JsonWriter &value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Terminate the document with a trailing newline. */
+    void
+    finish()
+    {
+        panic_if(!stack_.empty(), "JsonWriter: unclosed scopes");
+        os_ << '\n';
+    }
+
+  private:
+    struct Scope
+    {
+        bool isObject;
+        unsigned count;
+    };
+
+    void
+    separator()
+    {
+        if (!stack_.empty() && stack_.back().count++ > 0)
+            os_ << ',';
+        newlineIndent();
+    }
+
+    void
+    preValue()
+    {
+        if (have_key_) {
+            have_key_ = false;  // key() already positioned us
+            return;
+        }
+        if (!stack_.empty()) {
+            panic_if(stack_.back().isObject,
+                     "JsonWriter: value without a key inside an object");
+            separator();
+        }
+    }
+
+    void
+    closeScope(char c)
+    {
+        panic_if(stack_.empty(), "JsonWriter: unbalanced close");
+        bool empty = stack_.back().count == 0;
+        stack_.pop_back();
+        if (!empty)
+            newlineIndent();
+        os_ << c;
+    }
+
+    void
+    newlineIndent()
+    {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+
+    std::ostream &os_;
+    std::vector<Scope> stack_;
+    bool have_key_ = false;
+};
+
+/**
+ * Parsed JSON document node. Objects preserve insertion order (so a
+ * parse-and-reserialize of our own output is stable).
+ */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null, Bool, Number, String, Array, Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isBool() const { return kind == Kind::Bool; }
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *
+    find(std::string_view k) const
+    {
+        for (const auto &[name, v] : obj) {
+            if (name == k)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    /** Object member lookup; fatals when absent. */
+    const JsonValue &
+    at(std::string_view k) const
+    {
+        const JsonValue *v = find(k);
+        if (!v)
+            fatal("JSON object has no member '%.*s'",
+                  static_cast<int>(k.size()), k.data());
+        return *v;
+    }
+
+    double num() const { return number; }
+    std::uint64_t u64() const { return static_cast<std::uint64_t>(number); }
+
+    /** Parse @p text; nullopt on malformed input. */
+    static std::optional<JsonValue> tryParse(std::string_view text);
+
+    /** Parse @p text; fatals on malformed input. */
+    static JsonValue
+    parse(std::string_view text)
+    {
+        auto v = tryParse(text);
+        if (!v)
+            fatal("malformed JSON document (%zu bytes)", text.size());
+        return *std::move(v);
+    }
+};
+
+namespace detail
+{
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : s_(text) {}
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (s_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return false;
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else return false;
+                }
+                // Only BMP escapes are produced by our writer; encode
+                // as UTF-8 without surrogate-pair handling.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return false;
+        std::string tok(s_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(tok.c_str(), &end);
+        return end && *end == '\0';
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                skipWs();
+                std::string name;
+                if (!parseString(name))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.obj.emplace_back(std::move(name), std::move(member));
+                skipWs();
+                if (consume('}'))
+                    return true;
+                if (!consume(','))
+                    return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue elem;
+                if (!parseValue(elem))
+                    return false;
+                out.arr.push_back(std::move(elem));
+                skipWs();
+                if (consume(']'))
+                    return true;
+                if (!consume(','))
+                    return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (literal("true")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+inline std::optional<JsonValue>
+JsonValue::tryParse(std::string_view text)
+{
+    JsonValue v;
+    detail::JsonParser p(text);
+    if (!p.parseDocument(v))
+        return std::nullopt;
+    return v;
+}
+
+} // namespace tcfill::obs
+
+#endif // TCFILL_OBS_JSON_HH

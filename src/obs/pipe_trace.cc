@@ -1,0 +1,70 @@
+#include "obs/pipe_trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace tcfill::obs
+{
+
+const char *
+pipeStageName(PipeStage s)
+{
+    switch (s) {
+      case PipeStage::Fetch: return "fetch";
+      case PipeStage::Rename: return "rename";
+      case PipeStage::Issue: return "issue";
+      case PipeStage::Execute: return "execute";
+      case PipeStage::Complete: return "complete";
+      case PipeStage::Retire: return "retire";
+      case PipeStage::Squash: return "squash";
+    }
+    return "?";
+}
+
+void
+JsonlPipeTracer::instEvent(const PipeEvent &ev)
+{
+    // Hand-rolled formatting: this is the hottest observability path
+    // (one line per instruction per stage), so avoid ostream state
+    // churn and intermediate strings.
+    char buf[256];
+    int n = std::snprintf(buf, sizeof(buf),
+        "{\"ev\":\"%s\",\"seq\":%" PRIu64 ",\"pc\":\"0x%" PRIx64
+        "\",\"cycle\":%" PRIu64 ",\"src\":\"%s\"",
+        pipeStageName(ev.stage), ev.seq, ev.pc, ev.cycle,
+        ev.fromTrace ? "tc" : "ic");
+    auto flag = [&](const char *name, bool set) {
+        if (set && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+            n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                               ",\"%s\":true", name);
+        }
+    };
+    flag("inactive", ev.inactive);
+    flag("wrongPath", !ev.onCorrectPath);
+    flag("move", ev.moveMarked);
+    flag("reassoc", ev.reassociated);
+    flag("scaled", ev.scaled);
+    flag("elided", ev.elided);
+    flag("mispredict", ev.mispredicted);
+    os_ << buf << "}\n";
+    ++events_;
+}
+
+void
+JsonlPipeTracer::fillEvent(const FillEvent &ev)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+        "{\"ev\":\"fill.segment\",\"startPc\":\"0x%" PRIx64
+        "\",\"cycle\":%" PRIu64 ",\"insts\":%u,\"blocks\":%u,"
+        "\"moves\":%u,\"reassoc\":%u,\"scaled\":%u,\"elided\":%u,"
+        "\"promoted\":%u}",
+        ev.startPc, ev.cycle, ev.insts, ev.blocks, ev.movesMarked,
+        ev.reassociated, ev.scaledAdds, ev.deadElided,
+        ev.promotedBranches);
+    os_ << buf << "\n";
+    ++events_;
+}
+
+} // namespace tcfill::obs

@@ -1,0 +1,61 @@
+#include "obs/progress.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace tcfill::obs
+{
+
+ConsoleProgress::ConsoleProgress(std::ostream &os, std::string label)
+    : os_(os), label_(std::move(label))
+{
+}
+
+void
+ConsoleProgress::update(const SweepProgress &p)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    last_ = p;
+    if (finished_)
+        return;
+    // Repaint only when a point completes; submissions alone would
+    // spam one line per enqueue on large sweeps.
+    if (p.done == painted_done_)
+        return;
+    painted_done_ = p.done;
+    paint(p, false);
+}
+
+void
+ConsoleProgress::finish()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_)
+        return;
+    finished_ = true;
+    paint(last_, true);
+}
+
+void
+ConsoleProgress::paint(const SweepProgress &p, bool final_line)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+        "\r%s %" PRIu64 "/%" PRIu64 " | %" PRIu64 " hits, %" PRIu64
+        " live (%u running) | util %3.0f%%",
+        label_.c_str(), p.done, p.points, p.cacheHits, p.liveRuns,
+        p.running, 100.0 * p.utilization());
+    os_ << buf;
+    open_line_ = true;
+    if (final_line) {
+        std::snprintf(buf, sizeof(buf),
+            " | %.1f points/s, %.2fs busy / %.2fs wall\n",
+            p.pointsPerSec(), p.busySeconds, p.wallSeconds);
+        os_ << buf;
+        open_line_ = false;
+    }
+    os_.flush();
+}
+
+} // namespace tcfill::obs

@@ -30,6 +30,7 @@ Processor::Processor(const Program &prog, const SimConfig &cfg)
     tcache_.regStats(stats_);
     fill_.regStats(stats_);
     core_.regStats(stats_);
+    rename_.regStats(stats_);
 }
 
 // --------------------------------------------------------------------
@@ -378,6 +379,13 @@ Processor::fetchStage()
         if (const TraceSegment *seg = tcache_.lookup(fetch_pc_)) {
             line = buildTraceLine(*seg, cycle_);
             fetch_avail_ = cycle_ + 1;
+#if TCFILL_PIPE_TRACE_ENABLED
+            if (tracer_) {
+                for (const auto &di : line.insts)
+                    traceInst(obs::PipeStage::Fetch, *di,
+                              di->fetchCycle);
+            }
+#endif
             if (!line.insts.empty())
                 fetch_queue_.push_back(std::move(line));
             return;
@@ -389,6 +397,12 @@ Processor::fetchStage()
     Cycle done = mem_.accessInst(fetch_pc_, cycle_);
     line = buildICacheLine(done);
     fetch_avail_ = done + 1;
+#if TCFILL_PIPE_TRACE_ENABLED
+    if (tracer_) {
+        for (const auto &di : line.insts)
+            traceInst(obs::PipeStage::Fetch, *di, di->fetchCycle);
+    }
+#endif
     if (!line.insts.empty())
         fetch_queue_.push_back(std::move(line));
 }
@@ -464,15 +478,19 @@ Processor::issueStage()
         // Phase 2: apply destination mappings in program order.
         for (auto &di : line.insts) {
             di->issueCycle = cycle_;
+            traceInst(obs::PipeStage::Rename, *di, cycle_);
+            traceInst(obs::PipeStage::Issue, *di, cycle_);
             if (di->elided) {
                 // Dead write: completes at issue, maps nothing (its
                 // same-region overwriter later in this line supplies
                 // the register's next mapping).
                 di->completeCycle = cycle_;
                 di->phase = InstPhase::Complete;
+                traceInst(obs::PipeStage::Complete, *di, cycle_);
             } else if (di->moveMarked) {
                 di->completeCycle = cycle_;
                 di->phase = InstPhase::Complete;
+                traceInst(obs::PipeStage::Complete, *di, cycle_);
                 if (!di->inactive)
                     rename_.alias(di->inst.dest, di->moveAlias);
                 if (di->isBranch)
@@ -490,6 +508,8 @@ Processor::issueStage()
             di->numSrcs = di->inst.numSrcs();
             for (unsigned k = 0; k < di->numSrcs; ++k)
                 di->src[k] = rename_.read(di->inst.srcReg(k));
+            traceInst(obs::PipeStage::Rename, *di, cycle_);
+            traceInst(obs::PipeStage::Issue, *di, cycle_);
             if (di->inst.hasDest())
                 rename_.write(di->inst.dest, di);
             core_.dispatch(di);
@@ -525,6 +545,7 @@ Processor::retireStage()
         ++count;
         ++retired_;
         last_retire_cycle_ = cycle_;
+        traceInst(obs::PipeStage::Retire, *di, cycle_);
 
         // Predictors train at fetch (see buildTraceLine); retirement
         // only drives the fill unit and bookkeeping.
@@ -585,6 +606,7 @@ Processor::squashWindow(InstSeqNum lo, InstSeqNum hi,
         if (di->seq >= rescue_lo && di->seq < rescue_hi)
             continue;
         di->phase = InstPhase::Squashed;
+        traceInst(obs::PipeStage::Squash, *di, cycle_);
     }
     core_.squashRange(lo, hi, rescue_lo, rescue_hi);
 
@@ -788,6 +810,20 @@ void
 Processor::dumpStats(std::ostream &os)
 {
     stats_.dump(os);
+}
+
+void
+Processor::dumpStatsJson(std::ostream &os)
+{
+    stats_.dumpJson(os);
+}
+
+void
+Processor::setTracer(obs::PipeTracer *tracer)
+{
+    tracer_ = tracer;
+    core_.setTracer(tracer);
+    fill_.setTracer(tracer);
 }
 
 SimResult

@@ -25,11 +25,13 @@
 #include "bpred/predictor.hh"
 #include "fill/fill_unit.hh"
 #include "mem/cache.hh"
+#include "obs/pipe_trace.hh"
 #include "sim/config.hh"
 #include "sim/result.hh"
 #include "trace/tcache.hh"
 #include "uarch/exec_core.hh"
 #include "uarch/inst_pool.hh"
+#include "uarch/pipe_hooks.hh"
 #include "uarch/rename.hh"
 
 namespace tcfill
@@ -54,6 +56,17 @@ class Processor
 
     /** Dump all registered component statistics. */
     void dumpStats(std::ostream &os);
+
+    /** Hierarchical JSON form of the component statistics. */
+    void dumpStatsJson(std::ostream &os);
+
+    /**
+     * Attach a pipeline lifecycle tracer (nullptr detaches); must be
+     * called before run(). Forwarded to the execution core and fill
+     * unit. Purely observational — a traced run's cycles and IPC are
+     * bit-identical to an untraced run (asserted in tests/test_obs).
+     */
+    void setTracer(obs::PipeTracer *tracer);
 
   private:
     struct FetchLine
@@ -86,6 +99,14 @@ class Processor
     void resolveBranch(const DynInstPtr &di);
     void squashWindow(InstSeqNum lo, InstSeqNum hi, InstSeqNum rescue_lo,
                       InstSeqNum rescue_hi);
+
+    // ---- observability ---------------------------------------------------
+    /** Emit one lifecycle event for @p di (no-op without a tracer). */
+    void
+    traceInst(obs::PipeStage stage, const DynInst &di, Cycle cycle)
+    {
+        tracePipe(tracer_, stage, di, cycle);
+    }
 
     // ---- members ----------------------------------------------------------
     // Declared first so it is destroyed last: every DynInstPtr held
@@ -152,6 +173,7 @@ class Processor
     std::uint64_t bypass_delayed_retired_ = 0;
 
     stats::Group stats_;
+    obs::PipeTracer *tracer_ = nullptr;
 };
 
 /** Build, run and summarize one (program, config) pair. */

@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "obs/json.hh"
+
 namespace tcfill
 {
 
@@ -27,7 +29,49 @@ SimResult::dump(std::ostream &os) const
        << "  bypass delayed   " << fracBypassDelayed() << "\n"
        << "  host wall        " << hostSeconds << " s ("
        << std::setprecision(0) << simInstsPerSec()
-       << std::setprecision(4) << " inst/s)\n";
+       << std::setprecision(4) << " inst/s)"
+       << (cacheHit ? " [cached]" : "") << "\n";
+}
+
+void
+SimResult::toJson(obs::JsonWriter &w, bool include_host) const
+{
+    w.beginObject();
+    w.field("config", config);
+    w.field("workload", workload);
+    w.field("cacheHit", cacheHit);
+    w.field("retired", retired);
+    w.field("cycles", cycles);
+    w.field("ipc", ipc());
+    w.field("tcHits", tcHits);
+    w.field("tcMisses", tcMisses);
+    w.field("tcHitRate", tcHitRate());
+    w.field("bpredAccuracy", bpredAccuracy);
+    w.field("mispredicts", mispredicts);
+    w.field("inactiveRescues", inactiveRescues);
+    w.field("mispredictStallCycles", mispredictStallCycles);
+    w.field("segmentsBuilt", segmentsBuilt);
+    w.field("avgSegmentLength", avgSegmentLength);
+    w.field("dynMoves", dynMoves);
+    w.field("dynReassoc", dynReassoc);
+    w.field("dynScaled", dynScaled);
+    w.field("dynMoveIdioms", dynMoveIdioms);
+    w.field("dynElided", dynElided);
+    w.field("bypassDelayed", bypassDelayed);
+    w.field("fracMoves", fracMoves());
+    w.field("fracReassoc", fracReassoc());
+    w.field("fracScaled", fracScaled());
+    w.field("fracTransformed", fracTransformed());
+    w.field("fracMoveIdioms", fracMoveIdioms());
+    w.field("fracElided", fracElided());
+    w.field("fracBypassDelayed", fracBypassDelayed());
+    if (include_host) {
+        w.beginObject("host");
+        w.field("hostSeconds", hostSeconds);
+        w.field("simInstsPerSec", simInstsPerSec());
+        w.endObject();
+    }
+    w.endObject();
 }
 
 } // namespace tcfill

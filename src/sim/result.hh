@@ -16,6 +16,8 @@
 namespace tcfill
 {
 
+namespace obs { class JsonWriter; }
+
 /** Results of a Processor::run(). */
 struct SimResult
 {
@@ -31,6 +33,15 @@ struct SimResult
      * it); a cached SimRunner hit reports the original run's time.
      */
     double hostSeconds = 0.0;
+
+    /**
+     * Provenance: true when this copy was served from the SimRunner
+     * result cache rather than freshly simulated — in which case
+     * hostSeconds / simInstsPerSec describe the *original* run, not a
+     * new measurement. Set by SimRunner::run(); excluded from the
+     * determinism equality checks in tests/test_runner.cc.
+     */
+    bool cacheHit = false;
 
     /** Simulator throughput: simulated instructions per host second. */
     double
@@ -98,6 +109,16 @@ struct SimResult
     }
 
     void dump(std::ostream &os) const;
+
+    /**
+     * Emit this result as one JSON object (the caller owns the
+     * surrounding document structure — see sim/stats_io.hh).
+     * @param include_host also emit the host-timing section
+     *        (hostSeconds, simInstsPerSec), which is wall-clock noise
+     *        and breaks byte-identical reruns; deterministic fields
+     *        only when false.
+     */
+    void toJson(obs::JsonWriter &w, bool include_host = true) const;
 
   private:
     double

@@ -25,6 +25,38 @@ keyCache(std::ostream &os, const CacheParams &c)
 
 } // namespace
 
+// Tripwire: configCacheKey() must serialize every behavior-affecting
+// field, so any growth of SimConfig or a nested params struct has to
+// pass through here. If one of these fires, you added (or removed) a
+// field: extend configCacheKey() below AND the exhaustive knob test in
+// tests/test_runner.cc (ConfigKeyCoversEveryKnob), then update the
+// expected size. Sizes assume the LP64 Itanium ABI both CI and the dev
+// containers use; other ABIs skip the check (the unit test still runs).
+#if defined(__x86_64__) || defined(__aarch64__)
+static_assert(sizeof(ReassocOptions) == 2,
+              "ReassocOptions changed: update configCacheKey()");
+static_assert(sizeof(FillOptimizations) == 7,
+              "FillOptimizations changed: update configCacheKey()");
+static_assert(sizeof(FillUnitConfig) == 32,
+              "FillUnitConfig changed: update configCacheKey()");
+static_assert(sizeof(TraceCache::Params) == 24,
+              "TraceCache::Params changed: update configCacheKey()");
+static_assert(sizeof(CacheParams) == sizeof(std::string) + 24,
+              "CacheParams changed: update configCacheKey()");
+static_assert(sizeof(MemoryHierarchy::Params) ==
+                  3 * sizeof(CacheParams) + 24,
+              "MemoryHierarchy::Params changed: update configCacheKey()");
+static_assert(sizeof(MultiBranchPredictor::Params) == 32,
+              "MultiBranchPredictor::Params changed: update "
+              "configCacheKey()");
+static_assert(sizeof(BiasTable::Params) == 16,
+              "BiasTable::Params changed: update configCacheKey()");
+static_assert(sizeof(ExecCoreParams) == 24,
+              "ExecCoreParams changed: update configCacheKey()");
+static_assert(sizeof(SimConfig) == sizeof(std::string) + 360,
+              "SimConfig changed: update configCacheKey()");
+#endif
+
 std::string
 configCacheKey(const SimConfig &cfg)
 {
@@ -183,18 +215,31 @@ SimRunner::program(const std::string &workload, unsigned scale)
 
 std::shared_future<SimResult>
 SimRunner::submit(const std::string &workload, const SimConfig &cfg,
-                  unsigned scale)
+                  unsigned scale, bool *cache_hit)
 {
     const std::string key = workload + '@' + std::to_string(scale) +
         '#' + configCacheKey(cfg);
 
     std::unique_lock<std::mutex> lk(mu_);
+    if (!sweep_started_) {
+        sweep_started_ = true;
+        sweep_start_ = std::chrono::steady_clock::now();
+    }
     auto it = results_.find(key);
     if (it != results_.end()) {
         ++stats_.resultHits;
-        return it->second;
+        if (cache_hit)
+            *cache_hit = true;
+        std::shared_future<SimResult> fut = it->second;
+        obs::SweepProgress snap = progressLocked();
+        obs::ProgressFn fn = progress_fn_;
+        lk.unlock();
+        notifyProgress(snap, fn);
+        return fut;
     }
     ++stats_.resultMisses;
+    if (cache_hit)
+        *cache_hit = false;
 
     auto promise = std::make_shared<std::promise<SimResult>>();
     std::shared_future<SimResult> fut =
@@ -203,12 +248,33 @@ SimRunner::submit(const std::string &workload, const SimConfig &cfg,
 
     jobs_.push_back([this, workload, scale, cfg,
                      promise = std::move(promise)] {
+        const auto t0 = std::chrono::steady_clock::now();
         auto prog = program(workload, scale);
         Processor proc(*prog, cfg);
-        promise->set_value(proc.run());
+        SimResult res = proc.run();
+        const double busy = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        obs::SweepProgress snap;
+        obs::ProgressFn fn;
+        // Counters update before the promise resolves, so any thread
+        // that has observed the future ready also observes this
+        // completion in progress() — keeping the deterministic
+        // "done" count exact once every submitted future returned.
+        {
+            std::lock_guard<std::mutex> jlk(mu_);
+            ++live_done_;
+            busy_seconds_ += busy;
+            snap = progressLocked();
+            fn = progress_fn_;
+        }
+        promise->set_value(std::move(res));
+        notifyProgress(snap, fn);
     });
+    obs::SweepProgress snap = progressLocked();
+    obs::ProgressFn fn = progress_fn_;
     lk.unlock();
     cv_work_.notify_one();
+    notifyProgress(snap, fn);
     return fut;
 }
 
@@ -216,8 +282,10 @@ SimResult
 SimRunner::run(const std::string &workload, const SimConfig &cfg,
                unsigned scale)
 {
-    SimResult res = submit(workload, cfg, scale).get();
+    bool hit = false;
+    SimResult res = submit(workload, cfg, scale, &hit).get();
     res.config = cfg.name;
+    res.cacheHit = hit;
     return res;
 }
 
@@ -226,6 +294,51 @@ SimRunner::cacheStats() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     return stats_;
+}
+
+// --------------------------------------------------------------------
+// Sweep progress / metrics
+// --------------------------------------------------------------------
+
+void
+SimRunner::setProgress(obs::ProgressFn fn)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    progress_fn_ = std::move(fn);
+}
+
+obs::SweepProgress
+SimRunner::progressLocked() const
+{
+    obs::SweepProgress p;
+    p.cacheHits = stats_.resultHits;
+    p.liveRuns = stats_.resultMisses;
+    p.liveDone = live_done_;
+    p.points = stats_.resultHits + stats_.resultMisses;
+    p.done = stats_.resultHits + live_done_;
+    p.running = running_;
+    p.workers = threads_;
+    p.busySeconds = busy_seconds_;
+    p.wallSeconds = sweep_started_
+        ? std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - sweep_start_).count()
+        : 0.0;
+    return p;
+}
+
+obs::SweepProgress
+SimRunner::progress() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return progressLocked();
+}
+
+void
+SimRunner::notifyProgress(const obs::SweepProgress &snap,
+                          const obs::ProgressFn &fn)
+{
+    if (fn)
+        fn(snap);
 }
 
 } // namespace tcfill

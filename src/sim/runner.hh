@@ -26,6 +26,7 @@
 #ifndef TCFILL_SIM_RUNNER_HH
 #define TCFILL_SIM_RUNNER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "asm/program.hh"
+#include "obs/progress.hh"
 #include "sim/config.hh"
 #include "sim/result.hh"
 
@@ -81,14 +83,20 @@ class SimRunner
      *
      * Note: a cached result keeps the config *name* of the first
      * submission; use run() when the label matters.
+     *
+     * @param cache_hit optional out-param: set true when this submit
+     *        attached to an already-known point instead of enqueuing
+     *        a fresh simulation (result provenance; see
+     *        SimResult::cacheHit).
      */
     std::shared_future<SimResult>
     submit(const std::string &workload, const SimConfig &cfg,
-           unsigned scale = 1);
+           unsigned scale = 1, bool *cache_hit = nullptr);
 
     /**
      * Blocking convenience: submit + wait, with the result's config
-     * label rewritten to @p cfg's name.
+     * label rewritten to @p cfg's name and SimResult::cacheHit
+     * recording whether this call was served from the result cache.
      */
     SimResult run(const std::string &workload, const SimConfig &cfg,
                   unsigned scale = 1);
@@ -103,6 +111,18 @@ class SimRunner
     unsigned threads() const { return threads_; }
 
     CacheStats cacheStats() const;
+
+    /**
+     * Install (or clear, with nullptr) a progress callback, invoked
+     * after every submission and every job completion with a
+     * SweepProgress snapshot. Called outside the runner lock, from
+     * submitting and worker threads alike: the callback must be
+     * thread-safe and must not call back into this runner.
+     */
+    void setProgress(obs::ProgressFn fn);
+
+    /** Current sweep counters / throughput metrics snapshot. */
+    obs::SweepProgress progress() const;
 
     /**
      * Worker count used when none is requested: the TCFILL_THREADS
@@ -127,6 +147,12 @@ class SimRunner
     std::shared_ptr<ProgramSlot>
     programSlot(const std::string &workload, unsigned scale);
 
+    /** Snapshot progress under mu_ (caller holds the lock). */
+    obs::SweepProgress progressLocked() const;
+    /** Invoke the progress callback (outside the lock) if set. */
+    void notifyProgress(const obs::SweepProgress &snap,
+                        const obs::ProgressFn &fn);
+
     unsigned threads_;
     std::vector<std::thread> workers_;
 
@@ -140,6 +166,13 @@ class SimRunner
     std::map<std::string, std::shared_future<SimResult>> results_;
     std::map<std::string, std::shared_ptr<ProgramSlot>> programs_;
     CacheStats stats_;
+
+    // ---- sweep progress / throughput metrics (observational) --------
+    obs::ProgressFn progress_fn_;
+    std::uint64_t live_done_ = 0;
+    double busy_seconds_ = 0.0;
+    bool sweep_started_ = false;
+    std::chrono::steady_clock::time_point sweep_start_{};
 };
 
 } // namespace tcfill

@@ -1,0 +1,42 @@
+#include "sim/stats_io.hh"
+
+#include "obs/json.hh"
+
+namespace tcfill
+{
+
+void
+writeStatsJson(std::ostream &os, const std::string &generator,
+               const std::vector<SimResult> &results,
+               const obs::SweepProgress *sweep, bool include_host)
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kStatsJsonSchema);
+    w.field("generator", generator);
+    w.beginArray("results");
+    for (const auto &r : results)
+        r.toJson(w, include_host);
+    w.endArray();
+    if (sweep) {
+        w.beginObject("sweep");
+        w.field("points", sweep->points);
+        w.field("done", sweep->done);
+        w.field("cacheHits", sweep->cacheHits);
+        w.field("liveRuns", sweep->liveRuns);
+        w.endObject();
+        if (include_host) {
+            w.beginObject("host");
+            w.field("workers", sweep->workers);
+            w.field("wallSeconds", sweep->wallSeconds);
+            w.field("busySeconds", sweep->busySeconds);
+            w.field("utilization", sweep->utilization());
+            w.field("pointsPerSec", sweep->pointsPerSec());
+            w.endObject();
+        }
+    }
+    w.endObject();
+    w.finish();
+}
+
+} // namespace tcfill

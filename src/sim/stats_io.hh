@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Machine-readable stats emission shared by the CLI, the bench
+ * drivers and the tests: one JSON document per sweep, schema
+ * "tcfill-stats-v1", validated by tools/check_stats_json.py.
+ *
+ * Layout:
+ *   {
+ *     "schema": "tcfill-stats-v1",
+ *     "generator": "<tool name>",
+ *     "results": [ <SimResult::toJson records, submission order> ],
+ *     "sweep":   { points, done, cacheHits, liveRuns },   // optional
+ *     "host":    { workers, wallSeconds, busySeconds,     // optional,
+ *                  utilization, pointsPerSec }            // wall-clock
+ *   }
+ *
+ * Everything outside "host" (and the per-result "host" sections) is a
+ * pure function of the simulated points and their submission order,
+ * so default emission is byte-identical across reruns and across
+ * SimRunner thread counts.
+ */
+
+#ifndef TCFILL_SIM_STATS_IO_HH
+#define TCFILL_SIM_STATS_IO_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/progress.hh"
+#include "sim/result.hh"
+
+namespace tcfill
+{
+
+/** Schema identifier stamped into every stats JSON document. */
+inline constexpr const char *kStatsJsonSchema = "tcfill-stats-v1";
+
+/**
+ * Write one stats document.
+ * @param generator tool name recorded in the document.
+ * @param results   per-point records, in submission order.
+ * @param sweep     optional sweep counters (deterministic subset is
+ *                  always written; host-side fields only with
+ *                  @p include_host).
+ * @param include_host include wall-clock sections (hostSeconds,
+ *        worker utilization...). Leave false when byte-identical
+ *        reruns matter more than throughput trajectories.
+ */
+void writeStatsJson(std::ostream &os, const std::string &generator,
+                    const std::vector<SimResult> &results,
+                    const obs::SweepProgress *sweep = nullptr,
+                    bool include_host = false);
+
+} // namespace tcfill
+
+#endif // TCFILL_SIM_STATS_IO_HH

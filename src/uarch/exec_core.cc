@@ -105,6 +105,7 @@ ExecCore::startExecution(const DynInstPtr &di, Cycle now,
 {
     di->startCycle = now;
     ++selected_;
+    tracePipe(tracer_, obs::PipeStage::Execute, *di, now);
 
     // Bypass-delay accounting (paper figure 7): did the last-arriving
     // source value arrive later than it would have with a free
@@ -157,6 +158,8 @@ ExecCore::startExecution(const DynInstPtr &di, Cycle now,
                 di->completeCycle = std::max(di->addrKnown, data);
                 di->phase = InstPhase::Complete;
                 di->src[di->dataOperand].producer = nullptr;
+                tracePipe(tracer_, obs::PipeStage::Complete, *di,
+                          di->completeCycle);
                 onComplete(di);
             } else {
                 pending_stores_.push_back(di);
@@ -164,6 +167,8 @@ ExecCore::startExecution(const DynInstPtr &di, Cycle now,
         } else {
             di->completeCycle = di->addrKnown;
             di->phase = InstPhase::Complete;
+            tracePipe(tracer_, obs::PipeStage::Complete, *di,
+                      di->completeCycle);
             onComplete(di);
         }
         return;
@@ -182,12 +187,16 @@ ExecCore::startExecution(const DynInstPtr &di, Cycle now,
             di->completeCycle = done == agen_done ? agen_done + 1 : done;
         }
         di->phase = InstPhase::Complete;
+        tracePipe(tracer_, obs::PipeStage::Complete, *di,
+                  di->completeCycle);
         onComplete(di);
         return;
     }
 
     di->completeCycle = now + di->latency;
     di->phase = InstPhase::Complete;
+    tracePipe(tracer_, obs::PipeStage::Complete, *di,
+              di->completeCycle);
     onComplete(di);
 }
 
@@ -208,6 +217,8 @@ ExecCore::finalizePendingStores(
             s->completeCycle = std::max(s->addrKnown, data);
             s->phase = InstPhase::Complete;
             s->src[s->dataOperand].producer = nullptr;
+            tracePipe(tracer_, obs::PipeStage::Complete, *s,
+                      s->completeCycle);
             onComplete(s);
             it = pending_stores_.erase(it);
         } else {

@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "mem/cache.hh"
 #include "uarch/dyn_inst.hh"
+#include "uarch/pipe_hooks.hh"
 
 namespace tcfill
 {
@@ -80,6 +81,13 @@ class ExecCore
 
     void regStats(stats::Group &group);
 
+    /**
+     * Attach a lifecycle tracer (usually via Processor::setTracer);
+     * emits Execute at FU selection and Complete when an
+     * instruction's completion cycle becomes known.
+     */
+    void setTracer(obs::PipeTracer *tracer) { tracer_ = tracer; }
+
   private:
     bool operandsReady(const DynInstPtr &di, Cycle now) const;
     bool memScheduleOk(const DynInstPtr &di, Cycle now,
@@ -108,6 +116,8 @@ class ExecCore
     stats::Counter bypass_delayed_;
     stats::Counter load_forwards_;
     stats::Counter mem_sched_stalls_;
+
+    obs::PipeTracer *tracer_ = nullptr;
 };
 
 } // namespace tcfill

@@ -13,6 +13,7 @@ RenameTable::read(RegIndex r) const
 {
     if (r == kRegZero || r >= kNumArchRegs)
         return Operand{};
+    ++reads_;
     return map_[r];
 }
 
@@ -21,6 +22,7 @@ RenameTable::write(RegIndex r, const DynInstPtr &producer)
 {
     if (r == kRegZero || r >= kNumArchRegs)
         return;
+    ++writes_;
     map_[r].producer = producer;
     map_[r].rfAvail = 0;
 }
@@ -30,6 +32,7 @@ RenameTable::alias(RegIndex dest, const Operand &src)
 {
     if (dest == kRegZero || dest >= kNumArchRegs)
         return;
+    ++aliases_;
     map_[dest] = src;
 }
 
@@ -45,6 +48,7 @@ RenameTable::reset()
 void
 RenameTable::rebuild(const std::deque<DynInstPtr> &window)
 {
+    ++rebuilds_;
     reset();
     for (const auto &di : window) {
         // Skip squashed work and instructions still inactive: an
@@ -59,6 +63,19 @@ RenameTable::rebuild(const std::deque<DynInstPtr> &window)
             write(di->inst.dest, di);
         }
     }
+}
+
+void
+RenameTable::regStats(stats::Group &group)
+{
+    group.addCounter("rename.reads", reads_,
+                     "source-operand mapping lookups");
+    group.addCounter("rename.writes", writes_,
+                     "destination mappings installed");
+    group.addCounter("rename.aliases", aliases_,
+                     "moves executed by aliasing in rename");
+    group.addCounter("rename.rebuilds", rebuilds_,
+                     "checkpoint-repair table rebuilds");
 }
 
 } // namespace tcfill

@@ -14,6 +14,7 @@
 #include <array>
 #include <deque>
 
+#include "common/stats.hh"
 #include "uarch/dyn_inst.hh"
 
 namespace tcfill
@@ -48,8 +49,18 @@ class RenameTable
      */
     void rebuild(const std::deque<DynInstPtr> &window);
 
+    /** Register "rename.*" activity counters with @p group. */
+    void regStats(stats::Group &group);
+
   private:
     std::array<Operand, kNumArchRegs> map_;
+
+    // Activity counters (observational only). reads_ is mutable so
+    // the logically-const read() can count lookups.
+    mutable stats::Counter reads_;
+    stats::Counter writes_;
+    stats::Counter aliases_;
+    stats::Counter rebuilds_;
 };
 
 } // namespace tcfill

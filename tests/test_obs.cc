@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Observability layer tests: JSON writer/parser round-trips, stats
+ * group JSON hierarchy, SimResult serialization, per-instruction
+ * pipeline tracing (event ordering and the trace-never-perturbs
+ * guarantee), and byte-identical stats documents across SimRunner
+ * thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "asm/builder.hh"
+#include "common/stats.hh"
+#include "obs/json.hh"
+#include "obs/pipe_trace.hh"
+#include "sim/processor.hh"
+#include "sim/runner.hh"
+#include "sim/stats_io.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+/** Counted loop with loads, stores and a bit of arithmetic. */
+Program
+loopProgram(int iters)
+{
+    ProgramBuilder pb("loop");
+    Addr buf = pb.allocData(256, 8);
+    pb.la(1, buf);
+    pb.li(2, iters);
+    pb.li(3, 0);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.add(3, 3, 2);
+    pb.andi(4, 2, 7);
+    pb.slli(5, 4, 2);
+    pb.lwx(6, 1, 5);
+    pb.add(3, 3, 6);
+    pb.swx(3, 1, 5);
+    pb.move(7, 3);
+    pb.addi(2, 2, -1);
+    pb.bgtz(2, top);
+    pb.halt();
+    return pb.finish();
+}
+
+// --------------------------------------------------------------------
+// JSON writer / parser
+// --------------------------------------------------------------------
+
+TEST(Json, WriterParserRoundTrip)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss);
+    w.beginObject();
+    w.field("name", "trace \"cache\"\n\t\\");
+    w.field("count", std::uint64_t(42));
+    w.field("ratio", 0.375);
+    w.field("neg", std::int64_t(-7));
+    w.field("flag", true);
+    w.beginArray("seq");
+    w.value(std::uint64_t(1));
+    w.value(std::uint64_t(2));
+    w.value(std::uint64_t(3));
+    w.endArray();
+    w.beginObject("nested");
+    w.field("deep", false);
+    w.endObject();
+    w.endObject();
+    w.finish();
+
+    JsonValue v = JsonValue::parse(ss.str());
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("name").str, "trace \"cache\"\n\t\\");
+    EXPECT_EQ(v.at("count").u64(), 42u);
+    EXPECT_DOUBLE_EQ(v.at("ratio").num(), 0.375);
+    EXPECT_DOUBLE_EQ(v.at("neg").num(), -7.0);
+    EXPECT_TRUE(v.at("flag").boolean);
+    ASSERT_TRUE(v.at("seq").isArray());
+    ASSERT_EQ(v.at("seq").arr.size(), 3u);
+    EXPECT_EQ(v.at("seq").arr[2].u64(), 3u);
+    EXPECT_FALSE(v.at("nested").at("deep").boolean);
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_FALSE(JsonValue::tryParse("{").has_value());
+    EXPECT_FALSE(JsonValue::tryParse("{\"a\":}").has_value());
+    EXPECT_FALSE(JsonValue::tryParse("[1,]").has_value());
+    EXPECT_FALSE(JsonValue::tryParse("\"unterminated").has_value());
+    EXPECT_FALSE(JsonValue::tryParse("{} trailing").has_value());
+    EXPECT_TRUE(JsonValue::tryParse("  {\"a\": [1, 2]}  ").has_value());
+}
+
+TEST(Json, NumberFormattingRoundTrips)
+{
+    // The writer's shortest-round-trip rendering must parse back to
+    // the same double — that is what byte-stable documents rest on.
+    for (double d : {0.0, 1.0, 0.1, 1.0 / 3.0, 12345.6789, 1e-9,
+                     2.2250738585072014e-308}) {
+        std::ostringstream ss;
+        JsonWriter w(ss);
+        w.beginObject();
+        w.field("v", d);
+        w.endObject();
+        w.finish();
+        JsonValue v = JsonValue::parse(ss.str());
+        EXPECT_EQ(v.at("v").num(), d) << ss.str();
+    }
+}
+
+// --------------------------------------------------------------------
+// stats::Group JSON
+// --------------------------------------------------------------------
+
+TEST(StatsGroup, DumpJsonNestsDottedNames)
+{
+    stats::Group g("proc");
+    stats::Counter hits, misses;
+    ++hits; ++hits; ++hits;
+    ++misses;
+    g.addCounter("l1i.hits", hits, "hits");
+    g.addCounter("l1i.misses", misses, "misses");
+    g.addFormula("l1i.hitRate", [&] {
+        return static_cast<double>(hits.value()) /
+               static_cast<double>(hits.value() + misses.value());
+    }, "rate");
+    g.addCounter("retired", hits, "top-level alias");
+
+    std::ostringstream ss;
+    g.dumpJson(ss);
+    JsonValue v = JsonValue::parse(ss.str());
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("l1i").at("hits").u64(), 3u);
+    EXPECT_EQ(v.at("l1i").at("misses").u64(), 1u);
+    EXPECT_DOUBLE_EQ(v.at("l1i").at("hitRate").num(), 0.75);
+    EXPECT_EQ(v.at("retired").u64(), 3u);
+}
+
+TEST(StatsGroup, ProcessorDumpStatsJsonParses)
+{
+    Program p = loopProgram(200);
+    Processor proc(p, SimConfig::withOpts(FillOptimizations::all()));
+    proc.run();
+    std::ostringstream ss;
+    proc.dumpStatsJson(ss);
+    JsonValue v = JsonValue::parse(ss.str());
+    ASSERT_TRUE(v.isObject());
+    // Spot-check a nested group registered by a subcomponent.
+    EXPECT_GT(v.at("rename").at("reads").u64(), 0u);
+    EXPECT_GT(v.at("rename").at("writes").u64(), 0u);
+}
+
+// --------------------------------------------------------------------
+// SimResult JSON
+// --------------------------------------------------------------------
+
+TEST(SimResultJson, RoundTripMatchesRun)
+{
+    Program p = loopProgram(300);
+    SimResult r = simulate(p, SimConfig::withOpts(
+                                  FillOptimizations::all()));
+    r.config = "all";
+
+    std::ostringstream ss;
+    JsonWriter w(ss);
+    r.toJson(w, /*include_host=*/true);
+    w.finish();
+
+    JsonValue v = JsonValue::parse(ss.str());
+    EXPECT_EQ(v.at("config").str, "all");
+    EXPECT_EQ(v.at("retired").u64(), r.retired);
+    EXPECT_EQ(v.at("cycles").u64(), r.cycles);
+    EXPECT_EQ(v.at("ipc").num(), r.ipc());
+    EXPECT_EQ(v.at("tcHits").u64(), r.tcHits);
+    EXPECT_EQ(v.at("tcHitRate").num(), r.tcHitRate());
+    EXPECT_EQ(v.at("dynMoves").u64(), r.dynMoves);
+    EXPECT_EQ(v.at("fracTransformed").num(), r.fracTransformed());
+    EXPECT_FALSE(v.at("cacheHit").boolean);
+    EXPECT_EQ(v.at("host").at("hostSeconds").num(), r.hostSeconds);
+
+    // Deterministic mode omits the wall-clock section.
+    std::ostringstream det;
+    JsonWriter wd(det);
+    r.toJson(wd, /*include_host=*/false);
+    wd.finish();
+    EXPECT_EQ(JsonValue::parse(det.str()).find("host"), nullptr);
+}
+
+// --------------------------------------------------------------------
+// Pipeline tracer
+// --------------------------------------------------------------------
+
+#if TCFILL_PIPE_TRACE_ENABLED
+
+TEST(PipeTrace, EventOrderingPerInstruction)
+{
+    Program p = loopProgram(300);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    obs::RecordingPipeTracer rec;
+    Processor proc(p, cfg);
+    proc.setTracer(&rec);
+    SimResult r = proc.run();
+
+    ASSERT_FALSE(rec.insts.empty());
+
+    struct Life
+    {
+        std::map<obs::PipeStage, Cycle> stamp;
+        std::map<obs::PipeStage, unsigned> count;
+    };
+    std::map<InstSeqNum, Life> lives;
+    for (const obs::PipeEvent &ev : rec.insts) {
+        lives[ev.seq].stamp[ev.stage] = ev.cycle;
+        ++lives[ev.seq].count[ev.stage];
+    }
+
+    std::uint64_t retired = 0;
+    for (const auto &[seq, life] : lives) {
+        auto has = [&](obs::PipeStage s) {
+            return life.stamp.count(s) != 0;
+        };
+        auto at = [&](obs::PipeStage s) { return life.stamp.at(s); };
+        if (!has(obs::PipeStage::Retire)) {
+            // Squashed or still in flight at the run limit.
+            continue;
+        }
+        ++retired;
+        SCOPED_TRACE(seq);
+        // A retired instruction went through each stage exactly once
+        // and never reported a squash.
+        for (auto s : {obs::PipeStage::Fetch, obs::PipeStage::Rename,
+                       obs::PipeStage::Issue, obs::PipeStage::Retire}) {
+            ASSERT_TRUE(has(s));
+            EXPECT_EQ(life.count.at(s), 1u);
+        }
+        EXPECT_FALSE(has(obs::PipeStage::Squash));
+        // Lifecycle stamps are monotone through the pipeline.
+        EXPECT_LE(at(obs::PipeStage::Fetch), at(obs::PipeStage::Rename));
+        EXPECT_LE(at(obs::PipeStage::Rename), at(obs::PipeStage::Issue));
+        EXPECT_LE(at(obs::PipeStage::Issue), at(obs::PipeStage::Retire));
+        if (has(obs::PipeStage::Execute)) {
+            EXPECT_LE(at(obs::PipeStage::Issue),
+                      at(obs::PipeStage::Execute));
+            EXPECT_LE(at(obs::PipeStage::Execute),
+                      at(obs::PipeStage::Complete));
+        }
+    }
+    // Every architected retirement produced a Retire event.
+    EXPECT_EQ(retired, r.retired);
+}
+
+TEST(PipeTrace, FillEventsCountTransforms)
+{
+    Program p = loopProgram(300);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    obs::RecordingPipeTracer rec;
+    Processor proc(p, cfg);
+    proc.setTracer(&rec);
+    SimResult r = proc.run();
+
+    ASSERT_FALSE(rec.fills.empty());
+    EXPECT_EQ(rec.fills.size(), r.segmentsBuilt);
+    unsigned moves = 0;
+    for (const obs::FillEvent &ev : rec.fills) {
+        EXPECT_GT(ev.insts, 0u);
+        EXPECT_GT(ev.blocks, 0u);
+        EXPECT_LE(ev.movesMarked, ev.insts);
+        EXPECT_LE(ev.reassociated, ev.insts);
+        EXPECT_LE(ev.deadElided, ev.insts);
+        moves += ev.movesMarked;
+    }
+    // The loop body contains an architectural move; with markMoves on
+    // the fill unit must have annotated some.
+    EXPECT_GT(moves, 0u);
+}
+
+TEST(PipeTrace, TracedAnnotationsMatchResultCounters)
+{
+    Program p = loopProgram(300);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    obs::RecordingPipeTracer rec;
+    Processor proc(p, cfg);
+    proc.setTracer(&rec);
+    SimResult r = proc.run();
+
+    std::uint64_t retired_moves = 0;
+    for (const obs::PipeEvent &ev : rec.insts) {
+        if (ev.stage == obs::PipeStage::Retire && ev.moveMarked)
+            ++retired_moves;
+    }
+    EXPECT_EQ(retired_moves, r.dynMoves);
+}
+
+TEST(PipeTrace, JsonlEmitterProducesParseableLines)
+{
+    Program p = loopProgram(100);
+    std::ostringstream ss;
+    obs::JsonlPipeTracer tracer(ss);
+    Processor proc(p, SimConfig::withOpts(FillOptimizations::all()));
+    proc.setTracer(&tracer);
+    proc.run();
+
+    EXPECT_GT(tracer.events(), 0u);
+    std::istringstream lines(ss.str());
+    std::string line;
+    std::uint64_t n = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_TRUE(JsonValue::tryParse(line).has_value()) << line;
+        ++n;
+    }
+    EXPECT_EQ(n, tracer.events());
+}
+
+#endif // TCFILL_PIPE_TRACE_ENABLED
+
+TEST(PipeTrace, TracingNeverPerturbsTiming)
+{
+    // The acceptance bar: a traced run is bit-identical to an
+    // untraced run of the same point (tracer compiled in, and both
+    // attached and detached at runtime).
+    Program p = loopProgram(300);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+
+    Processor plain(p, cfg);
+    SimResult base = plain.run();
+
+#if TCFILL_PIPE_TRACE_ENABLED
+    obs::RecordingPipeTracer rec;
+    Processor traced(p, cfg);
+    traced.setTracer(&rec);
+    SimResult r = traced.run();
+#else
+    Processor traced(p, cfg);
+    SimResult r = traced.run();
+#endif
+
+    EXPECT_EQ(r.retired, base.retired);
+    EXPECT_EQ(r.cycles, base.cycles);
+    EXPECT_EQ(r.ipc(), base.ipc());  // bitwise, not approximate
+    EXPECT_EQ(r.tcHits, base.tcHits);
+    EXPECT_EQ(r.mispredicts, base.mispredicts);
+    EXPECT_EQ(r.dynMoves, base.dynMoves);
+    EXPECT_EQ(r.dynReassoc, base.dynReassoc);
+}
+
+// --------------------------------------------------------------------
+// Stats documents
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Run a fixed submission sequence through a pool; return the doc. */
+std::string
+statsDocument(unsigned threads)
+{
+    SimRunner pool(threads);
+    SimConfig base = SimConfig::withOpts(FillOptimizations::none());
+    base.name = "baseline";
+    base.maxInsts = 20'000;
+    SimConfig all = SimConfig::withOpts(FillOptimizations::all());
+    all.name = "all";
+    all.maxInsts = 20'000;
+
+    std::vector<SimResult> results;
+    for (const char *w : {"compress", "li"}) {
+        for (const SimConfig *cfg : {&base, &all})
+            results.push_back(pool.run(w, *cfg));
+    }
+    // One deliberate repeat: exercises the cacheHit provenance path.
+    results.push_back(pool.run("compress", base));
+
+    obs::SweepProgress snap = pool.progress();
+    std::ostringstream ss;
+    writeStatsJson(ss, "test_obs", results, &snap,
+                   /*include_host=*/false);
+    return ss.str();
+}
+
+} // namespace
+
+TEST(StatsJson, ByteIdenticalAcrossThreadCounts)
+{
+    const std::string doc1 = statsDocument(1);
+    const std::string doc8 = statsDocument(8);
+    EXPECT_EQ(doc1, doc8);
+
+    JsonValue v = JsonValue::parse(doc1);
+    EXPECT_EQ(v.at("schema").str, "tcfill-stats-v1");
+    EXPECT_EQ(v.at("generator").str, "test_obs");
+    ASSERT_TRUE(v.at("results").isArray());
+    ASSERT_EQ(v.at("results").arr.size(), 5u);
+    // Deterministic documents carry no wall-clock section anywhere.
+    EXPECT_EQ(v.find("host"), nullptr);
+    for (const JsonValue &r : v.at("results").arr)
+        EXPECT_EQ(r.find("host"), nullptr);
+    // Sweep counters: 5 submissions (4 distinct + 1 cache hit).
+    const JsonValue &sweep = v.at("sweep");
+    EXPECT_EQ(sweep.at("points").u64(), 5u);
+    EXPECT_EQ(sweep.at("done").u64(), 5u);
+    EXPECT_EQ(sweep.at("cacheHits").u64(), 1u);
+    EXPECT_EQ(sweep.at("liveRuns").u64(), 4u);
+    // Provenance: the repeat is flagged, the first run is not.
+    EXPECT_FALSE(v.at("results").arr[0].at("cacheHit").boolean);
+    EXPECT_TRUE(v.at("results").arr[4].at("cacheHit").boolean);
+}
+
+TEST(StatsJson, HostSectionsAppearOnRequest)
+{
+    SimRunner pool(2);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = "all";
+    cfg.maxInsts = 20'000;
+    std::vector<SimResult> results{pool.run("compress", cfg)};
+    obs::SweepProgress snap = pool.progress();
+
+    std::ostringstream ss;
+    writeStatsJson(ss, "test_obs", results, &snap,
+                   /*include_host=*/true);
+    JsonValue v = JsonValue::parse(ss.str());
+    const JsonValue &host = v.at("host");
+    EXPECT_EQ(host.at("workers").u64(), 2u);
+    EXPECT_GT(host.at("wallSeconds").num(), 0.0);
+    EXPECT_GT(v.at("results").arr[0].at("host")
+                  .at("hostSeconds").num(), 0.0);
+}
+
+} // namespace
+} // namespace tcfill

@@ -38,7 +38,12 @@ testConfigs()
             cfgAt(FillOptimizations::extended(), "extended")};
 }
 
-/** Every deterministic field two runs of the same point must share. */
+/**
+ * Every deterministic field two runs of the same point must share.
+ * Provenance fields (cacheHit) and wall-clock fields (hostSeconds)
+ * are deliberately excluded: they describe how a result was obtained,
+ * not what was simulated.
+ */
 void
 expectIdentical(const SimResult &a, const SimResult &b)
 {
@@ -114,41 +119,139 @@ TEST(SimRunner, CacheReturnsHitsForRepeatedConfigs)
 
 TEST(SimRunner, ConfigKeyCoversEveryKnob)
 {
-    const SimConfig base;
-    // Each mutation below must change the cache key; a knob the key
-    // misses would silently alias distinct design points.
-    std::vector<SimConfig> variants(20, base);
-    variants[0].useTraceCache = false;
-    variants[1].inactiveIssue = false;
-    variants[2].fetchWidth = 8;
-    variants[3].windowCap = 64;
-    variants[4].maxInsts = 123;
-    variants[5].maxCycles = 456;
-    variants[6].fill.latency = 9;
-    variants[7].fill.promoteBranches = false;
-    variants[8].fill.opts.markMoves = true;
-    variants[9].fill.opts.reassociate = true;
-    variants[10].fill.opts.deadCodeElim = true;
-    variants[11].fill.opts.reassocOptions.crossBlockOnly = false;
-    variants[12].tcache.entries = 64;
-    variants[13].mem.l1d.sizeBytes = 1024;
-    variants[14].mem.memLatency = 99;
-    variants[15].bpred.historyBits = 7;
-    variants[16].bias.promoteThreshold = 3;
-    variants[17].core.crossClusterDelay = 4;
-    variants[18].retireWidth = 4;
-    variants[19].rasDepth = 2;
+    // One mutation per behavior-affecting field of SimConfig and every
+    // nested params struct; each must change the cache key, or the
+    // SimRunner would silently alias distinct design points. The
+    // static_assert tripwires next to configCacheKey() force this list
+    // to grow with the structs. (CacheParams::name is cosmetic, like
+    // SimConfig::name, and intentionally absent.)
+    struct Knob
+    {
+        const char *name;
+        void (*mutate)(SimConfig &);
+    };
+    const Knob knobs[] = {
+        // SimConfig scalars.
+        {"useTraceCache", [](SimConfig &c) { c.useTraceCache = false; }},
+        {"inactiveIssue", [](SimConfig &c) { c.inactiveIssue = false; }},
+        {"fetchWidth", [](SimConfig &c) { c.fetchWidth = 8; }},
+        {"fetchQueueLines", [](SimConfig &c) { c.fetchQueueLines = 2; }},
+        {"retireWidth", [](SimConfig &c) { c.retireWidth = 4; }},
+        {"windowCap", [](SimConfig &c) { c.windowCap = 64; }},
+        {"rasDepth", [](SimConfig &c) { c.rasDepth = 2; }},
+        {"maxInsts", [](SimConfig &c) { c.maxInsts = 123; }},
+        {"maxCycles", [](SimConfig &c) { c.maxCycles = 456; }},
+        // FillUnitConfig.
+        {"fill.latency", [](SimConfig &c) { c.fill.latency = 9; }},
+        {"fill.packTraces",
+         [](SimConfig &c) { c.fill.packTraces = false; }},
+        {"fill.alignLoopHeads",
+         [](SimConfig &c) { c.fill.alignLoopHeads = true; }},
+        {"fill.restartAtMissTargets",
+         [](SimConfig &c) { c.fill.restartAtMissTargets = false; }},
+        {"fill.promoteBranches",
+         [](SimConfig &c) { c.fill.promoteBranches = false; }},
+        {"fill.maxInsts", [](SimConfig &c) { c.fill.maxInsts = 8; }},
+        {"fill.maxCondBranches",
+         [](SimConfig &c) { c.fill.maxCondBranches = 1; }},
+        // FillOptimizations.
+        {"opts.markMoves",
+         [](SimConfig &c) { c.fill.opts.markMoves = true; }},
+        {"opts.reassociate",
+         [](SimConfig &c) { c.fill.opts.reassociate = true; }},
+        {"opts.scaledAdds",
+         [](SimConfig &c) { c.fill.opts.scaledAdds = true; }},
+        {"opts.placement",
+         [](SimConfig &c) { c.fill.opts.placement = true; }},
+        {"opts.deadCodeElim",
+         [](SimConfig &c) { c.fill.opts.deadCodeElim = true; }},
+        // ReassocOptions.
+        {"reassoc.crossBlockOnly",
+         [](SimConfig &c) {
+             c.fill.opts.reassocOptions.crossBlockOnly = false;
+         }},
+        {"reassoc.foldMemDisplacement",
+         [](SimConfig &c) {
+             c.fill.opts.reassocOptions.foldMemDisplacement = false;
+         }},
+        // TraceCache::Params.
+        {"tcache.entries", [](SimConfig &c) { c.tcache.entries = 64; }},
+        {"tcache.ways", [](SimConfig &c) { c.tcache.ways = 2; }},
+        {"tcache.moveBits",
+         [](SimConfig &c) { c.tcache.moveBits = true; }},
+        {"tcache.scaledBits",
+         [](SimConfig &c) { c.tcache.scaledBits = true; }},
+        {"tcache.placementBits",
+         [](SimConfig &c) { c.tcache.placementBits = true; }},
+        // MemoryHierarchy::Params (every CacheParams field × level).
+        {"mem.l1i.sizeBytes",
+         [](SimConfig &c) { c.mem.l1i.sizeBytes = 1024; }},
+        {"mem.l1i.lineBytes",
+         [](SimConfig &c) { c.mem.l1i.lineBytes = 32; }},
+        {"mem.l1i.ways", [](SimConfig &c) { c.mem.l1i.ways = 1; }},
+        {"mem.l1d.sizeBytes",
+         [](SimConfig &c) { c.mem.l1d.sizeBytes = 1024; }},
+        {"mem.l1d.lineBytes",
+         [](SimConfig &c) { c.mem.l1d.lineBytes = 32; }},
+        {"mem.l1d.ways", [](SimConfig &c) { c.mem.l1d.ways = 1; }},
+        {"mem.l2.sizeBytes",
+         [](SimConfig &c) { c.mem.l2.sizeBytes = 65536; }},
+        {"mem.l2.lineBytes",
+         [](SimConfig &c) { c.mem.l2.lineBytes = 32; }},
+        {"mem.l2.ways", [](SimConfig &c) { c.mem.l2.ways = 1; }},
+        {"mem.l2Latency", [](SimConfig &c) { c.mem.l2Latency = 11; }},
+        {"mem.memLatency", [](SimConfig &c) { c.mem.memLatency = 99; }},
+        {"mem.memBusOccupancy",
+         [](SimConfig &c) { c.mem.memBusOccupancy = 3; }},
+        // MultiBranchPredictor::Params.
+        {"bpred.pht0Entries",
+         [](SimConfig &c) { c.bpred.pht0Entries = 512; }},
+        {"bpred.pht1Entries",
+         [](SimConfig &c) { c.bpred.pht1Entries = 512; }},
+        {"bpred.pht2Entries",
+         [](SimConfig &c) { c.bpred.pht2Entries = 512; }},
+        {"bpred.historyBits",
+         [](SimConfig &c) { c.bpred.historyBits = 7; }},
+        // BiasTable::Params.
+        {"bias.entries", [](SimConfig &c) { c.bias.entries = 512; }},
+        {"bias.promoteThreshold",
+         [](SimConfig &c) { c.bias.promoteThreshold = 3; }},
+        // ExecCoreParams.
+        {"core.numClusters",
+         [](SimConfig &c) { c.core.numClusters = 2; }},
+        {"core.fusPerCluster",
+         [](SimConfig &c) { c.core.fusPerCluster = 2; }},
+        {"core.rsEntries", [](SimConfig &c) { c.core.rsEntries = 8; }},
+        {"core.crossClusterDelay",
+         [](SimConfig &c) { c.core.crossClusterDelay = 4; }},
+    };
 
+    const SimConfig base;
     const std::string base_key = configCacheKey(base);
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-        SCOPED_TRACE(i);
-        EXPECT_NE(configCacheKey(variants[i]), base_key);
+    for (const Knob &k : knobs) {
+        SimConfig mutated = base;
+        k.mutate(mutated);
+        SCOPED_TRACE(k.name);
+        EXPECT_NE(configCacheKey(mutated), base_key);
     }
 
     // The name alone must NOT change the key (baseline sharing).
     SimConfig renamed = base;
     renamed.name = "renamed";
     EXPECT_EQ(configCacheKey(renamed), base_key);
+}
+
+TEST(SimRunner, CacheHitProvenanceIsRecorded)
+{
+    SimRunner pool(2);
+    SimConfig cfg = cfgAt(FillOptimizations::all(), "all");
+
+    SimResult first = pool.run("compress", cfg);
+    EXPECT_FALSE(first.cacheHit);
+    SimResult second = pool.run("compress", cfg);
+    EXPECT_TRUE(second.cacheHit);
+    // Provenance never changes the simulated outcome.
+    expectIdentical(first, second);
 }
 
 TEST(SimRunner, ProgramCacheBuildsOnce)

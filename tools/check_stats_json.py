@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Validate (and optionally diff) tcfill stats JSON documents.
+
+Usage:
+    check_stats_json.py STATS.json
+        Validate one document against the tcfill-stats-v1 schema:
+        required fields and types, internal consistency (ipc ==
+        retired/cycles, rates inside [0, 1], sweep counters add up).
+
+    check_stats_json.py OLD.json NEW.json [--ipc-tol FRAC]
+        Validate both documents, then compare IPC per
+        (workload, config) key and report every point whose relative
+        change exceeds --ipc-tol (default 0: report any difference).
+        Exits non-zero when a shared point regressed beyond tolerance;
+        points present in only one document are reported but are not
+        an error (sweeps grow).
+
+Exit status: 0 clean, 1 validation/diff failure, 2 usage error.
+Stdlib only, so it runs in CI and on dev machines without a venv.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "tcfill-stats-v1"
+
+# field name -> required type(s). bool is checked before int because
+# bool is a subclass of int in Python.
+RESULT_FIELDS = {
+    "config": str,
+    "workload": str,
+    "cacheHit": bool,
+    "retired": int,
+    "cycles": int,
+    "ipc": (int, float),
+    "tcHits": int,
+    "tcMisses": int,
+    "tcHitRate": (int, float),
+    "bpredAccuracy": (int, float),
+    "mispredicts": int,
+    "inactiveRescues": int,
+    "mispredictStallCycles": int,
+    "segmentsBuilt": int,
+    "avgSegmentLength": (int, float),
+    "dynMoves": int,
+    "dynReassoc": int,
+    "dynScaled": int,
+    "dynMoveIdioms": int,
+    "dynElided": int,
+    "bypassDelayed": int,
+    "fracMoves": (int, float),
+    "fracReassoc": (int, float),
+    "fracScaled": (int, float),
+    "fracTransformed": (int, float),
+    "fracMoveIdioms": (int, float),
+    "fracElided": (int, float),
+    "fracBypassDelayed": (int, float),
+}
+
+RATE_FIELDS = [
+    "tcHitRate", "bpredAccuracy", "fracMoves", "fracReassoc",
+    "fracScaled", "fracTransformed", "fracMoveIdioms", "fracElided",
+    "fracBypassDelayed",
+]
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, where, msg):
+        self.errors.append(f"{self.path}: {where}: {msg}")
+
+    def check_type(self, where, obj, field, types):
+        if field not in obj:
+            self.error(where, f"missing field '{field}'")
+            return False
+        v = obj[field]
+        if types is int and isinstance(v, bool):
+            self.error(where, f"'{field}' is bool, expected int")
+            return False
+        if types is bool:
+            ok = isinstance(v, bool)
+        else:
+            ok = isinstance(v, types) and not isinstance(v, bool)
+        if not ok:
+            self.error(where,
+                       f"'{field}' has type {type(v).__name__}")
+            return False
+        return True
+
+    def check_result(self, i, r):
+        where = f"results[{i}]"
+        if not isinstance(r, dict):
+            self.error(where, "not an object")
+            return
+        for field, types in RESULT_FIELDS.items():
+            self.check_type(where, r, field, types)
+        if self.errors:
+            return
+        # Internal consistency.
+        if r["cycles"] > 0:
+            want = r["retired"] / r["cycles"]
+            if not math.isclose(r["ipc"], want, rel_tol=1e-12):
+                self.error(where,
+                           f"ipc {r['ipc']} != retired/cycles {want}")
+        elif r["ipc"] != 0:
+            self.error(where, "ipc nonzero with zero cycles")
+        total = r["tcHits"] + r["tcMisses"]
+        if total > 0:
+            want = r["tcHits"] / total
+            if not math.isclose(r["tcHitRate"], want, rel_tol=1e-12):
+                self.error(where, "tcHitRate inconsistent")
+        for f in RATE_FIELDS:
+            if not 0.0 <= r[f] <= 1.0:
+                self.error(where, f"'{f}' = {r[f]} outside [0, 1]")
+        if "host" in r:
+            h = r["host"]
+            self.check_type(f"{where}.host", h, "hostSeconds",
+                            (int, float))
+            self.check_type(f"{where}.host", h, "simInstsPerSec",
+                            (int, float))
+
+    def check_document(self, doc):
+        if not isinstance(doc, dict):
+            self.error("document", "top level is not an object")
+            return
+        if doc.get("schema") != SCHEMA:
+            self.error("schema",
+                       f"expected '{SCHEMA}', got {doc.get('schema')!r}")
+        self.check_type("document", doc, "generator", str)
+        results = doc.get("results")
+        if not isinstance(results, list):
+            self.error("results", "missing or not an array")
+            return
+        for i, r in enumerate(results):
+            self.check_result(i, r)
+        if "sweep" in doc:
+            s = doc["sweep"]
+            where = "sweep"
+            for f in ("points", "done", "cacheHits", "liveRuns"):
+                self.check_type(where, s, f, int)
+            if not self.errors:
+                if s["cacheHits"] + s["liveRuns"] != s["points"]:
+                    self.error(where,
+                               "cacheHits + liveRuns != points")
+                if s["done"] > s["points"]:
+                    self.error(where, "done > points")
+        if "host" in doc:
+            h = doc["host"]
+            for f in ("workers", "wallSeconds", "busySeconds",
+                      "utilization", "pointsPerSec"):
+                self.check_type("host", h, f, (int, float))
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: cannot load: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def validate(path):
+    doc = load(path)
+    c = Checker(path)
+    c.check_document(doc)
+    for e in c.errors:
+        print(e, file=sys.stderr)
+    return doc, not c.errors
+
+
+def by_point(doc):
+    """Index results by (workload, config); last record wins so a
+    deliberate cache-hit repeat compares against the same physics."""
+    return {(r["workload"], r["config"]): r for r in doc["results"]}
+
+
+def diff(old_path, old, new_path, new, tol):
+    old_pts, new_pts = by_point(old), by_point(new)
+    regressed = False
+    for key in sorted(old_pts.keys() | new_pts.keys()):
+        label = f"{key[0]}/{key[1]}"
+        if key not in old_pts:
+            print(f"  + {label}: only in {new_path}")
+            continue
+        if key not in new_pts:
+            print(f"  - {label}: only in {old_path}")
+            continue
+        a, b = old_pts[key]["ipc"], new_pts[key]["ipc"]
+        if a == b:
+            continue
+        rel = abs(b - a) / a if a else math.inf
+        mark = "!!" if rel > tol else "~"
+        print(f"  {mark} {label}: ipc {a:.6f} -> {b:.6f} "
+              f"({(b / a - 1) * 100 if a else math.inf:+.3f}%)")
+        if rel > tol:
+            regressed = True
+    return not regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate / diff tcfill stats JSON documents.")
+    ap.add_argument("files", nargs="+", metavar="STATS.json",
+                    help="one file to validate, two to diff")
+    ap.add_argument("--ipc-tol", type=float, default=0.0,
+                    help="relative IPC change tolerated in diff mode "
+                         "(default 0: any change fails)")
+    opts = ap.parse_args()
+    if len(opts.files) > 2:
+        ap.error("expected one or two files")
+
+    ok = True
+    docs = []
+    for path in opts.files:
+        doc, valid = validate(path)
+        docs.append(doc)
+        ok = ok and valid
+        if valid:
+            n = len(doc["results"])
+            print(f"{path}: OK ({n} result{'s' if n != 1 else ''})")
+    if ok and len(docs) == 2:
+        ok = diff(opts.files[0], docs[0], opts.files[1], docs[1],
+                  opts.ipc_tol)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

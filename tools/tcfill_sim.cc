@@ -22,18 +22,31 @@
  *   --no-promotion         disable branch promotion
  *   --tc-entries N         trace cache entries (default 2048)
  *   --stats                dump full component statistics
+ *   --stats-dump           dump component statistics as JSON
+ *   --stats-json FILE      write a tcfill-stats-v1 JSON document with
+ *                          one record per workload (byte-identical
+ *                          across reruns and -j values by default)
+ *   --stats-host           include wall-clock sections in --stats-json
+ *   --pipe-trace FILE      write a JSONL pipeline lifecycle trace
+ *                          (single workload; see DESIGN.md §10)
+ *   --progress             live sweep progress on stderr
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
+#include "obs/progress.hh"
 #include "sim/processor.hh"
 #include "sim/runner.hh"
+#include "sim/stats_io.hh"
 #include "workloads/suite.hh"
 
 using namespace tcfill;
@@ -86,7 +99,8 @@ usage()
         "  --list | --threads N | -j N | --scale N | --max-insts N\n"
         "  --opts LIST | --fill-latency N | --no-trace-cache\n"
         "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
-        "  --stats\n";
+        "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
+        "  --pipe-trace FILE | --progress\n";
     std::exit(2);
 }
 
@@ -125,6 +139,11 @@ main(int argc, char **argv)
     unsigned scale = 1;
     unsigned threads = 0;  // 0 = SimRunner::defaultThreads()
     bool dump_stats = false;
+    bool stats_dump_json = false;
+    bool stats_host = false;
+    bool show_progress = false;
+    std::string stats_json;
+    std::string pipe_trace;
     SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
     cfg.name = "opts=all";
 
@@ -168,6 +187,16 @@ main(int argc, char **argv)
             cfg.tcache.entries = std::strtoul(next(), nullptr, 10);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-dump") {
+            stats_dump_json = true;
+        } else if (arg == "--stats-json") {
+            stats_json = next();
+        } else if (arg == "--stats-host") {
+            stats_host = true;
+        } else if (arg == "--pipe-trace") {
+            pipe_trace = next();
+        } else if (arg == "--progress") {
+            show_progress = true;
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {
@@ -177,34 +206,88 @@ main(int argc, char **argv)
 
     std::vector<std::string> names = parseWorkloads(workload);
 
-    if (names.size() == 1 && dump_stats) {
-        // Component statistics need the live Processor, so the
-        // single-workload stats path runs in-process.
+    const bool in_process =
+        dump_stats || stats_dump_json || !pipe_trace.empty();
+    if (names.size() == 1 && in_process) {
+        // Component statistics and the pipeline tracer need the live
+        // Processor, so this path runs in-process.
         Program prog = workloads::build(names[0], scale);
         Processor proc(prog, cfg);
+
+        std::ofstream trace_os;
+        std::unique_ptr<obs::JsonlPipeTracer> tracer;
+        if (!pipe_trace.empty()) {
+#if !TCFILL_PIPE_TRACE_ENABLED
+            warn("tracer hooks compiled out (TCFILL_PIPE_TRACE=OFF): "
+                 "'%s' will only hold the header-free empty stream",
+                 pipe_trace.c_str());
+#endif
+            trace_os.open(pipe_trace);
+            fatal_if(!trace_os, "cannot open '%s'",
+                     pipe_trace.c_str());
+            tracer = std::make_unique<obs::JsonlPipeTracer>(trace_os);
+            proc.setTracer(tracer.get());
+        }
+
         SimResult res = proc.run();
         res.dump(std::cout);
         std::cout << "\n";
-        proc.dumpStats(std::cout);
+        if (dump_stats)
+            proc.dumpStats(std::cout);
+        if (stats_dump_json)
+            proc.dumpStatsJson(std::cout);
+        if (!stats_json.empty()) {
+            std::ofstream os(stats_json);
+            fatal_if(!os, "cannot open '%s'", stats_json.c_str());
+            writeStatsJson(os, "tcfill_sim", {res}, nullptr,
+                           stats_host);
+        }
         return 0;
     }
-    fatal_if(dump_stats && names.size() > 1,
-             "--stats works with a single workload only");
+    fatal_if(in_process && names.size() > 1,
+             "--stats/--stats-dump/--pipe-trace work with a single "
+             "workload only");
 
     // One simulation per workload, executed concurrently on the
     // runner pool; results print in the requested order.
     SimRunner pool(threads);
+    obs::ConsoleProgress console(std::cerr);
+    if (show_progress) {
+        pool.setProgress(
+            [&console](const obs::SweepProgress &p) { console(p); });
+    }
     std::vector<std::shared_future<SimResult>> futs;
-    for (const auto &name : names)
-        futs.push_back(pool.submit(name, cfg, scale));
+    std::vector<bool> hits(names.size(), false);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        bool hit = false;
+        futs.push_back(pool.submit(names[i], cfg, scale, &hit));
+        hits[i] = hit;
+    }
+    std::vector<SimResult> results;
+    results.reserve(futs.size());
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        SimResult res = futs[i].get();
+        res.config = cfg.name;
+        res.cacheHit = hits[i];
+        results.push_back(std::move(res));
+    }
+    if (show_progress) {
+        pool.setProgress(nullptr);
+        console.update(pool.progress());
+        console.finish();
+    }
     bool first = true;
-    for (auto &fut : futs) {
+    for (const auto &res : results) {
         if (!first)
             std::cout << "\n";
         first = false;
-        SimResult res = fut.get();
-        res.config = cfg.name;
         res.dump(std::cout);
+    }
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        fatal_if(!os, "cannot open '%s'", stats_json.c_str());
+        obs::SweepProgress snap = pool.progress();
+        writeStatsJson(os, "tcfill_sim", results, &snap, stats_host);
     }
     return 0;
 }
