@@ -21,6 +21,19 @@ Group::value(const std::string &name) const
     fatal("stat '%s.%s' not registered", name_.c_str(), name.c_str());
 }
 
+std::uint64_t
+Group::counterValue(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name) {
+            fatal_if(!e.counter, "stat '%s.%s' is not a counter",
+                     name_.c_str(), name.c_str());
+            return e.counter->value();
+        }
+    }
+    fatal("stat '%s.%s' not registered", name_.c_str(), name.c_str());
+}
+
 bool
 Group::has(const std::string &name) const
 {

@@ -93,7 +93,7 @@ class Group
                const std::string &desc)
     {
         entries_.push_back({name, desc,
-            [&c]() { return static_cast<double>(c.value()); }});
+            [&c]() { return static_cast<double>(c.value()); }, &c});
     }
 
     /** Register a derived value computed on demand (e.g. IPC). */
@@ -106,6 +106,13 @@ class Group
 
     /** Look up a registered value by name; fatals if missing. */
     double value(const std::string &name) const;
+
+    /**
+     * Exact 64-bit value of a registered Counter (no double rounding,
+     * unlike value()); fatals if the name is missing or names a
+     * formula. This is how SimResult is assembled from the registry.
+     */
+    std::uint64_t counterValue(const std::string &name) const;
 
     /** True iff a stat of that name was registered. */
     bool has(const std::string &name) const;
@@ -129,6 +136,8 @@ class Group
         std::string name;
         std::string desc;
         std::function<double()> eval;
+        /** Backing counter when the entry is one (else nullptr). */
+        const Counter *counter = nullptr;
     };
 
     std::string name_;

@@ -86,6 +86,13 @@ struct FillEvent
  * Tracer interface the pipeline hook points call. Implementations
  * must not mutate simulator state; events for one Processor arrive
  * from that Processor's thread only.
+ *
+ * Stage attribution: Fetch events come from pipeline::FetchEngine;
+ * Rename/Issue from pipeline::DispatchRename; Execute/Complete from
+ * the ExecCore inside pipeline::IssueStage; Retire from
+ * pipeline::RetireUnit; Squash from pipeline::RecoveryController;
+ * fillEvent() from the FillUnit. Processor::setTracer fans one
+ * tracer out to all of them.
  */
 class PipeTracer
 {

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The rename/dispatch stage of the decomposed pipeline (DESIGN.md
+ * §10): pops the oldest ready line from the FetchLatch, checks window
+ * and reservation-station capacity against the issue stage's
+ * structural view, resolves source operands against the RenameTable
+ * (explicit intra-line dependency marking makes trace lines rename in
+ * parallel; I-cache lines rename serially), executes marked moves by
+ * aliasing at rename (paper §4.2), inserts everything into the
+ * in-flight window, and hands instructions that need a reservation
+ * station to the issue stage through the DispatchLatch.
+ *
+ * Owns the RenameTable; recovery borrows it (renameTable()) for
+ * checkpoint-repair rebuilds.
+ */
+
+#ifndef TCFILL_PIPELINE_DISPATCH_RENAME_HH
+#define TCFILL_PIPELINE_DISPATCH_RENAME_HH
+
+#include "pipeline/issue_stage.hh"
+#include "pipeline/latches.hh"
+#include "pipeline/stage.hh"
+#include "sim/config.hh"
+#include "uarch/pipe_hooks.hh"
+#include "uarch/rename.hh"
+
+namespace tcfill::pipeline
+{
+
+/** Everything the dispatch stage sees of the rest of the machine. */
+struct DispatchEnv
+{
+    const SimConfig &cfg;
+    FetchLatch &in;
+    DispatchLatch &out;
+    InstWindow &window;
+    IssueStage &issue;
+};
+
+/** Rename (+ move execution at rename) and window insertion. */
+class DispatchRename : public Stage
+{
+  public:
+    explicit DispatchRename(const DispatchEnv &env);
+
+    /** One dispatch cycle: rename at most one fetched line. */
+    virtual void tick(Cycle now);
+
+    /** The mapping table (recovery rebuilds it after a squash). */
+    RenameTable &renameTable() { return rename_; }
+
+    void regStats(stats::Group &master) override;
+
+  private:
+    void renameTraceLine(FetchLine &line, Cycle now);
+    void renameSerialLine(FetchLine &line, Cycle now);
+
+    const SimConfig &cfg_;
+    FetchLatch &in_;
+    DispatchLatch &out_;
+    InstWindow &window_;
+    IssueStage &issue_;
+
+    RenameTable rename_;
+
+    stats::Counter lines_;
+    stats::Counter insts_;
+};
+
+} // namespace tcfill::pipeline
+
+#endif // TCFILL_PIPELINE_DISPATCH_RENAME_HH

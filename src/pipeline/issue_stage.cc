@@ -1,0 +1,50 @@
+#include "pipeline/issue_stage.hh"
+
+namespace tcfill::pipeline
+{
+
+IssueStage::IssueStage(const IssueEnv &env)
+    : Stage("issue"), core_(env.core, env.mem), in_(env.in),
+      events_(env.events)
+{
+    stats_.addCounter("dispatched", dispatched_,
+                      "instructions inserted into reservation stations");
+}
+
+void
+IssueStage::regStats(stats::Group &master)
+{
+    core_.regStats(master);
+    master.addCounter("issue.dispatched", dispatched_,
+                      "instructions inserted into reservation stations");
+}
+
+void
+IssueStage::setTracer(obs::PipeTracer *tracer)
+{
+    Stage::setTracer(tracer);
+    core_.setTracer(tracer);
+}
+
+void
+IssueStage::dispatchPending()
+{
+    for (const DynInstPtr &di : in_.toCore) {
+        core_.dispatch(di);
+        ++dispatched_;
+    }
+    in_.toCore.clear();
+}
+
+void
+IssueStage::tick(Cycle now)
+{
+    core_.tick(now, [this](const DynInstPtr &di) {
+        if (di->isBranch || di->discardHi > di->discardLo ||
+            di->mispredicted) {
+            events_.push(di->completeCycle, di);
+        }
+    });
+}
+
+} // namespace tcfill::pipeline

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The committed-path oracle stream shared by the front and back ends
+ * of the decomposed pipeline (DESIGN.md §10). Wraps the functional
+ * Executor and the deque of committed-path records not yet retired:
+ * records [0, fetchOffset) are fetched and in flight; records
+ * [fetchOffset, size) are available to fetch.
+ *
+ * Ownership: the Processor composition root owns the stream; the
+ * fetch engine advances the tail (stepping the Executor and consuming
+ * records as lines are built) and the retire unit pops the head as
+ * instructions commit. No other stage touches it.
+ */
+
+#ifndef TCFILL_PIPELINE_ORACLE_HH
+#define TCFILL_PIPELINE_ORACLE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "arch/executor.hh"
+#include "common/logging.hh"
+
+namespace tcfill::pipeline
+{
+
+/** Committed-path records between the Executor and retirement. */
+class OracleStream
+{
+  public:
+    explicit OracleStream(Executor &exec) : exec_(exec) {}
+
+    /** Ensure >= n unfetched records exist; returns how many do. */
+    std::size_t
+    ensure(std::size_t n)
+    {
+        while (records_.size() < fetch_off_ + n && !exec_.halted())
+            records_.push_back(exec_.step());
+        return records_.size() - fetch_off_;
+    }
+
+    /** The i-th not-yet-fetched record (i < ensure(i + 1)). */
+    const ExecRecord &
+    at(std::size_t i) const
+    {
+        return records_[fetch_off_ + i];
+    }
+
+    /** True when no unfetched record remains and the program halted. */
+    bool exhausted() { return ensure(1) == 0; }
+
+    /** Mark the next n unfetched records as fetched (in flight). */
+    void consume(std::size_t n) { fetch_off_ += n; }
+
+    /** Oldest in-flight record (the next one to retire). */
+    const ExecRecord &
+    front() const
+    {
+        panic_if(records_.empty(), "oracle underflow at retire");
+        return records_.front();
+    }
+
+    /** Retire the oldest in-flight record. */
+    void
+    popRetired()
+    {
+        panic_if(records_.empty(), "oracle underflow at retire");
+        records_.pop_front();
+        --fetch_off_;
+    }
+
+    /** Nothing in flight and nothing left to fetch. */
+    bool drained() const { return records_.empty(); }
+
+  private:
+    Executor &exec_;
+    std::deque<ExecRecord> records_;
+    std::size_t fetch_off_ = 0;
+};
+
+} // namespace tcfill::pipeline
+
+#endif // TCFILL_PIPELINE_ORACLE_HH

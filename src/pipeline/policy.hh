@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The StagePolicy seam (DESIGN.md §10): a bundle of per-stage factory
+ * functions the Processor composition root consults when wiring the
+ * pipeline. A null factory means "build the standard stage". Future
+ * front ends or schedulers (wrong-path-aware fetch, alternate issue
+ * policies, program-map-guided fetch) subclass a stage, override its
+ * virtual tick()/builder hooks, and supply a factory here — no other
+ * stage, latch, or Processor change required.
+ */
+
+#ifndef TCFILL_PIPELINE_POLICY_HH
+#define TCFILL_PIPELINE_POLICY_HH
+
+#include <functional>
+#include <memory>
+
+#include "pipeline/dispatch_rename.hh"
+#include "pipeline/fetch_engine.hh"
+#include "pipeline/issue_stage.hh"
+#include "pipeline/recovery.hh"
+#include "pipeline/retire_unit.hh"
+
+namespace tcfill::pipeline
+{
+
+/** Factory overrides for the five pipeline stages. */
+struct StagePolicy
+{
+    std::function<std::unique_ptr<FetchEngine>(const FetchEnv &)>
+        makeFetch;
+    std::function<std::unique_ptr<DispatchRename>(const DispatchEnv &)>
+        makeDispatch;
+    std::function<std::unique_ptr<IssueStage>(const IssueEnv &)>
+        makeIssue;
+    std::function<std::unique_ptr<RetireUnit>(const RetireEnv &)>
+        makeRetire;
+    std::function<std::unique_ptr<RecoveryController>(
+        const RecoveryEnv &)>
+        makeRecovery;
+};
+
+} // namespace tcfill::pipeline
+
+#endif // TCFILL_PIPELINE_POLICY_HH

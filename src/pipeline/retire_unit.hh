@@ -1,0 +1,84 @@
+/**
+ * @file
+ * In-order retirement (DESIGN.md §10): drains completed instructions
+ * from the head of the in-flight window, feeds each architectural
+ * instruction to the FillUnit (the paper's retire→fill handoff),
+ * releases serialize stalls, pops the committed-path oracle, and owns
+ * the dynamic-optimization result counters (Table 2 / figures 3-5, 7).
+ */
+
+#ifndef TCFILL_PIPELINE_RETIRE_UNIT_HH
+#define TCFILL_PIPELINE_RETIRE_UNIT_HH
+
+#include "fill/fill_unit.hh"
+#include "pipeline/issue_stage.hh"
+#include "pipeline/latches.hh"
+#include "pipeline/oracle.hh"
+#include "pipeline/stage.hh"
+#include "sim/config.hh"
+#include "uarch/pipe_hooks.hh"
+
+namespace tcfill::pipeline
+{
+
+/** Everything the retire unit sees of the rest of the machine. */
+struct RetireEnv
+{
+    const SimConfig &cfg;
+    InstWindow &window;
+    OracleStream &oracle;
+    FillUnit &fill;
+    IssueStage &issue;
+    FetchControl &ctrl;
+};
+
+/** In-order retire, fill-unit handoff and result accounting. */
+class RetireUnit : public Stage
+{
+  public:
+    explicit RetireUnit(const RetireEnv &env);
+
+    /** One retire cycle: commit up to retireWidth instructions. */
+    virtual void tick(Cycle now);
+
+    std::uint64_t retired() const { return retired_.value(); }
+    Cycle lastRetireCycle() const { return last_retire_cycle_; }
+
+    /** True once the configured maxInsts cap has been reached. */
+    bool
+    instCapReached() const
+    {
+        return cfg_.maxInsts && retired() >= cfg_.maxInsts;
+    }
+
+    /**
+     * Fatal with a window-head diagnostic when nothing has retired
+     * for longer than the deadlock window (a model bug, never a
+     * legitimate stall).
+     */
+    void panicIfDeadlocked(Cycle now) const;
+
+    void regStats(stats::Group &master) override;
+
+  private:
+    const SimConfig &cfg_;
+    InstWindow &window_;
+    OracleStream &oracle_;
+    FillUnit &fill_;
+    IssueStage &issue_;
+    FetchControl &ctrl_;
+
+    Cycle last_retire_cycle_ = 0;
+
+    stats::Counter retired_;
+    stats::Counter dyn_moves_;
+    stats::Counter dyn_reassoc_;
+    stats::Counter dyn_scaled_;
+    stats::Counter dyn_elided_;
+    stats::Counter dyn_move_idioms_;
+    stats::Counter bypass_delayed_;
+};
+
+} // namespace tcfill::pipeline
+
+#endif // TCFILL_PIPELINE_RETIRE_UNIT_HH

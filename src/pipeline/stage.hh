@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Common base for the first-class pipeline stages (DESIGN.md §10).
+ * Each stage owns a stats::Group named after itself — queryable in
+ * isolation, which is what the per-stage unit tests drive — and the
+ * composition root additionally re-exports every stage counter into
+ * the processor-wide "sim" registry via regStats() so dumps and
+ * SimResult assembly see one flat namespace.
+ */
+
+#ifndef TCFILL_PIPELINE_STAGE_HH
+#define TCFILL_PIPELINE_STAGE_HH
+
+#include <string>
+#include <utility>
+
+#include "common/stats.hh"
+#include "obs/pipe_trace.hh"
+
+namespace tcfill::pipeline
+{
+
+/** A pipeline stage: named stats group + optional lifecycle tracer. */
+class Stage
+{
+  public:
+    explicit Stage(std::string name) : stats_(std::move(name)) {}
+    virtual ~Stage() = default;
+
+    Stage(const Stage &) = delete;
+    Stage &operator=(const Stage &) = delete;
+
+    /** This stage's own statistics (also re-exported into "sim"). */
+    const stats::Group &stats() const { return stats_; }
+
+    /**
+     * Re-export this stage's counters (prefixed with the stage name)
+     * and any components it owns into the processor-wide registry.
+     */
+    virtual void regStats(stats::Group &master) = 0;
+
+    /**
+     * Attach a pipeline lifecycle tracer (nullptr detaches). Purely
+     * observational; stages forward to owned components as needed.
+     */
+    virtual void setTracer(obs::PipeTracer *tracer) { tracer_ = tracer; }
+
+  protected:
+    stats::Group stats_;
+    obs::PipeTracer *tracer_ = nullptr;
+};
+
+} // namespace tcfill::pipeline
+
+#endif // TCFILL_PIPELINE_STAGE_HH

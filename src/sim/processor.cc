@@ -1,705 +1,70 @@
 #include "sim/processor.hh"
 
-#include <algorithm>
 #include <chrono>
-
-#include "common/logging.hh"
 
 namespace tcfill
 {
 
-namespace
-{
+// --------------------------------------------------------------------
+// Construction: wire the stages through the latches
+// --------------------------------------------------------------------
 
-/** Cycles of no retirement after which we declare a model deadlock. */
-constexpr Cycle kDeadlockWindow = 200000;
-
-} // namespace
-
-Processor::Processor(const Program &prog, const SimConfig &cfg)
-    : cfg_(cfg), exec_(prog), mem_(cfg.mem), bpred_(cfg.bpred),
-      bias_(cfg.bias), ras_(cfg.rasDepth), ipred_(),
+Processor::Processor(const Program &prog, const SimConfig &cfg,
+                     const pipeline::StagePolicy &policy)
+    : cfg_(cfg), exec_(prog), mem_(cfg.mem), bias_(cfg.bias),
       tcache_(cfg.tcache), fill_(cfg.fill, tcache_, bias_),
-      core_(cfg.core, mem_), stats_("sim")
+      oracle_(exec_), stats_("sim")
 {
-    fetch_pc_ = prog.entry;
+    ctrl_.pc = prog.entry;
 
+    // The issue stage goes first: fetch needs its FU count for
+    // round-robin I-cache slotting.
+    pipeline::IssueEnv issue_env{cfg_.core, mem_, dispatch_latch_,
+                                 events_};
+    issue_ = policy.makeIssue
+                 ? policy.makeIssue(issue_env)
+                 : std::make_unique<pipeline::IssueStage>(issue_env);
+
+    pipeline::FetchEnv fetch_env{cfg_,    oracle_,      inst_pool_,
+                                 mem_,    tcache_,      ctrl_,
+                                 fetch_latch_, issue_->numFus()};
+    fetch_ = policy.makeFetch
+                 ? policy.makeFetch(fetch_env)
+                 : std::make_unique<pipeline::FetchEngine>(fetch_env);
+
+    pipeline::DispatchEnv dispatch_env{cfg_, fetch_latch_,
+                                       dispatch_latch_, window_,
+                                       *issue_};
+    dispatch_ =
+        policy.makeDispatch
+            ? policy.makeDispatch(dispatch_env)
+            : std::make_unique<pipeline::DispatchRename>(dispatch_env);
+
+    pipeline::RetireEnv retire_env{cfg_, window_, oracle_,
+                                   fill_, *issue_, ctrl_};
+    retire_ = policy.makeRetire
+                  ? policy.makeRetire(retire_env)
+                  : std::make_unique<pipeline::RetireUnit>(retire_env);
+
+    pipeline::RecoveryEnv recovery_env{window_, dispatch_->renameTable(),
+                                       ctrl_,   fetch_latch_,
+                                       *issue_, events_};
+    recovery_ = policy.makeRecovery
+                    ? policy.makeRecovery(recovery_env)
+                    : std::make_unique<pipeline::RecoveryController>(
+                          recovery_env);
+
+    // Registration order fixes the text/JSON stats layout; keep it
+    // stable (the golden-fixture CI job compares bytes).
     mem_.regStats(stats_);
-    bpred_.regStats(stats_);
+    fetch_->regStats(stats_);    // bpred.* + fetch.*
     bias_.regStats(stats_);
     tcache_.regStats(stats_);
     fill_.regStats(stats_);
-    core_.regStats(stats_);
-    rename_.regStats(stats_);
-}
-
-// --------------------------------------------------------------------
-// Oracle management
-// --------------------------------------------------------------------
-
-std::size_t
-Processor::ensureOracle(std::size_t n)
-{
-    while (oracle_.size() < fetch_off_ + n && !exec_.halted())
-        oracle_.push_back(exec_.step());
-    return oracle_.size() - fetch_off_;
-}
-
-const ExecRecord &
-Processor::oracleAt(std::size_t i) const
-{
-    return oracle_[fetch_off_ + i];
-}
-
-bool
-Processor::oracleExhausted()
-{
-    return ensureOracle(1) == 0;
-}
-
-// --------------------------------------------------------------------
-// Dynamic instruction construction
-// --------------------------------------------------------------------
-
-DynInstPtr
-Processor::makeDynInst(const Instruction &inst, Addr pc, FetchSource src,
-                       Cycle fetch_cycle)
-{
-    // Pooled allocation: the DynInst (refcount included) comes from
-    // the per-processor slab arena and recycles when the last
-    // reference drops (see inst_pool.hh) — no per-instruction malloc.
-    DynInstPtr di = allocDynInst(inst_pool_);
-    di->seq = seq_next_++;
-    di->pc = pc;
-    di->inst = inst;
-    di->archInst = inst;
-    di->source = src;
-    di->fetchCycle = fetch_cycle;
-    di->latency = opInfo(inst.op).latency;
-    di->isLoad = inst.isLoad();
-    di->isStore = inst.isStore();
-    di->isBranch = inst.isControl();
-    if (di->isStore)
-        di->dataOperand = static_cast<int>(inst.numSrcs()) - 1;
-    return di;
-}
-
-// --------------------------------------------------------------------
-// Fetch: trace cache path
-// --------------------------------------------------------------------
-
-Processor::FetchLine
-Processor::buildTraceLine(const TraceSegment &seg, Cycle ready)
-{
-    const std::size_t n = seg.size();
-    const std::size_t avail = ensureOracle(n);
-
-    // How far the committed path matches the trace's recorded path.
-    std::size_t match_len = 0;
-    while (match_len < n && match_len < avail &&
-           oracleAt(match_len).pc == seg.insts[match_len].pc) {
-        ++match_len;
-    }
-    panic_if(match_len == 0, "trace line start does not match fetch PC");
-
-    // Consult the multiple-branch predictor: the predicted exit is the
-    // first internal branch predicted against the trace's direction.
-    std::size_t active_len = n;
-    std::ptrdiff_t mispredict_idx = -1;
-    std::array<int, kSegmentMaxInsts> slot_of;
-    slot_of.fill(-1);
-    unsigned pred_count = 0;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceInst &ti = seg.insts[i];
-        if (!ti.inst.isCondBranch())
-            continue;
-        const bool on_path = i < match_len;
-        bool pred_dir;
-        if (ti.promoted) {
-            pred_dir = ti.promotedDir;
-            if (on_path)
-                bpred_.pushHistory(oracleAt(i).taken);
-        } else {
-            unsigned slot = std::min(pred_count, 2u);
-            slot_of[i] = static_cast<int>(slot);
-            pred_dir = bpred_.predict(ti.pc, slot);
-            ++pred_count;
-            // Fetch-time training with the resolved outcome (models
-            // speculative history update with perfect repair; retire-
-            // time training adds an in-flight staleness artifact that
-            // swamps the optimization effects being measured).
-            if (on_path)
-                bpred_.update(ti.pc, slot, oracleAt(i).taken);
-        }
-        if (active_len == n && pred_dir != ti.taken)
-            active_len = i + 1;
-        if (on_path && mispredict_idx < 0 &&
-            pred_dir != oracleAt(i).taken) {
-            mispredict_idx = static_cast<std::ptrdiff_t>(i);
-        }
-    }
-
-    // How much of the line issues: everything (inactive issue) or just
-    // the predicted-active prefix.
-    const std::size_t fetch_n =
-        cfg_.inactiveIssue ? n : std::min(n, active_len);
-
-    FetchLine line;
-    line.readyCycle = ready;
-    line.fromTrace = true;
-    line.insts.reserve(fetch_n);
-
-    // RAS prediction for a segment-ending return (the only place a
-    // return can appear, since indirect control terminates segments).
-    Addr ras_pred = kNoAddr;
-
-    for (std::size_t i = 0; i < fetch_n; ++i) {
-        const TraceInst &ti = seg.insts[i];
-        const bool correct = i < match_len;
-
-        DynInstPtr di = makeDynInst(ti.inst, ti.pc,
-                                    FetchSource::TraceCache, ready);
-        di->fu = ti.slot;
-        di->lineIdx = static_cast<std::uint8_t>(i);
-        for (unsigned k = 0; k < 3; ++k)
-            di->lineDep[k] = ti.srcDep[k];
-        di->moveMarked = ti.isMove;
-        di->elided = ti.deadElided;
-        di->moveSrcReg =
-            ti.moveSrc == Instruction::kNoReg ? kRegZero : ti.moveSrc;
-        di->moveSrcDep = ti.moveSrcDep;
-        di->reassociated = ti.reassociated;
-        di->scaled = ti.hasScale();
-        di->promotedBranch = ti.promoted;
-        di->predSlot = slot_of[i];
-        di->onCorrectPath = correct;
-        di->inactive = i >= active_len;
-
-        if (correct) {
-            const ExecRecord &rec = oracleAt(i);
-            di->archInst = rec.inst;
-            di->nextPc = rec.nextPc;
-            di->taken = rec.taken;
-            di->effAddr = rec.effAddr;
-            di->moveIdiom = moveSource(rec.inst).has_value();
-
-            // Return address stack tracks the committed path.
-            if (rec.inst.isCall())
-                ras_.push(rec.pc + 4);
-            else if (rec.inst.isReturn())
-                ras_pred = ras_.pop();
-        } else {
-            di->taken = ti.taken;
-        }
-        line.insts.push_back(std::move(di));
-    }
-
-    // End-of-segment indirect control: predict the next fetch address
-    // through the RAS (returns) or the indirect predictor (computed
-    // jumps / indirect calls). Only meaningful when predictions
-    // follow the whole trace and the trace matched to its end.
-    if (active_len == n && match_len == n &&
-        seg.insts[n - 1].inst.isIndirect()) {
-        const TraceInst &last = seg.insts[n - 1];
-        Addr target =
-            last.inst.isReturn() ? ras_pred : ipred_.predict(last.pc);
-        if (mispredict_idx < 0 && target != oracleAt(n - 1).nextPc)
-            mispredict_idx = static_cast<std::ptrdiff_t>(n) - 1;
-        if (!last.inst.isReturn())
-            ipred_.update(last.pc, oracleAt(n - 1).nextPc);
-    }
-
-    // Attach misprediction / inactive-issue metadata to branches.
-    const std::size_t consumed = std::min(fetch_n, match_len);
-    if (mispredict_idx >= 0) {
-        auto bi = static_cast<std::size_t>(mispredict_idx);
-        panic_if(bi >= line.insts.size(),
-                 "mispredicted branch outside the fetched prefix");
-        DynInstPtr &br = line.insts[bi];
-        br->mispredicted = true;
-        ++mispredicts_;
-
-        const bool rescue = cfg_.inactiveIssue &&
-            bi + 1 == active_len && match_len > active_len;
-        if (rescue) {
-            br->rescueLo = line.insts[active_len]->seq;
-            br->rescueHi = line.insts[match_len - 1]->seq + 1;
-            br->redirectPc = oracleAt(match_len - 1).nextPc;
-            ++rescues_;
-        } else {
-            br->redirectPc = oracleAt(bi).nextPc;
-        }
-        stall_branch_ = br;
-    } else {
-        // Invariant: match_len >= 1 (checked at entry) and
-        // fetch_n >= 1, so at least one oracle record was consumed
-        // and the no-mispredict redirect always follows the committed
-        // path. A predicted exit address influences timing only
-        // through mispredict detection, never through this redirect.
-        panic_if(consumed == 0,
-                 "no-mispredict redirect with nothing consumed");
-        fetch_pc_ = oracleAt(consumed - 1).nextPc;
-    }
-
-    // The predicted-exit branch discards trailing inactive work when
-    // its prediction was right.
-    if (active_len < fetch_n) {
-        DynInstPtr &exit_br = line.insts[active_len - 1];
-        exit_br->discardLo = line.insts[active_len]->seq;
-        exit_br->discardHi = line.insts[fetch_n - 1]->seq + 1;
-    }
-
-    // Serializing instructions gate fetch until they retire.
-    for (const auto &di : line.insts) {
-        if (di->onCorrectPath && di->inst.isSerializing()) {
-            stall_serialize_ = di;
-            break;
-        }
-    }
-
-    fetch_off_ += consumed;
-    return line;
-}
-
-// --------------------------------------------------------------------
-// Fetch: supporting instruction cache path
-// --------------------------------------------------------------------
-
-Processor::FetchLine
-Processor::buildICacheLine(Cycle ready)
-{
-    FetchLine line;
-    line.readyCycle = ready;
-    line.fromTrace = false;
-
-    const std::size_t line_bytes = cfg_.mem.l1i.lineBytes;
-    std::size_t i = 0;
-    Addr pc = fetch_pc_;
-    Addr ras_pred = kNoAddr;
-
-    while (i < cfg_.fetchWidth) {
-        if (ensureOracle(i + 1) <= i)
-            break;  // program ends here
-        const ExecRecord &rec = oracleAt(i);
-        panic_if(rec.pc != pc, "I-cache fetch diverged from oracle");
-
-        DynInstPtr di = makeDynInst(rec.inst, rec.pc,
-                                    FetchSource::InstCache, ready);
-        di->missLineStart = i == 0;
-        di->fu = static_cast<int>(i % core_.numFus());
-        di->nextPc = rec.nextPc;
-        di->taken = rec.taken;
-        di->effAddr = rec.effAddr;
-        di->moveIdiom = moveSource(rec.inst).has_value();
-        line.insts.push_back(di);
-        ++i;
-
-        if (rec.inst.isCall())
-            ras_.push(rec.pc + 4);
-        else if (rec.inst.isReturn())
-            ras_pred = ras_.pop();
-
-        if (rec.inst.isControl() || rec.inst.isSerializing()) {
-            // One block per cycle: stop at the first control-flow or
-            // serializing instruction.
-            break;
-        }
-        pc += 4;
-        if ((pc & (line_bytes - 1)) == 0)
-            break;  // crossed the I-cache line
-    }
-
-    if (line.insts.empty())
-        return line;
-
-    // Resolve the fetch redirection for the block-ending instruction.
-    DynInstPtr last = line.insts.back();
-    const Instruction &li = last->inst;
-    bool mispred = false;
-    if (li.isCondBranch()) {
-        last->predSlot = 0;
-        bool pred = bpred_.predict(last->pc, 0);
-        mispred = pred != last->taken;
-        bpred_.update(last->pc, 0, last->taken);
-    } else if (li.isIndirect()) {
-        Addr target =
-            li.isReturn() ? ras_pred : ipred_.predict(last->pc);
-        mispred = target != last->nextPc;
-        if (!li.isReturn())
-            ipred_.update(last->pc, last->nextPc);
-    }
-
-    if (mispred) {
-        last->mispredicted = true;
-        last->redirectPc = last->nextPc;
-        stall_branch_ = last;
-        ++mispredicts_;
-    } else {
-        fetch_pc_ = last->nextPc;
-    }
-
-    if (last->inst.isSerializing())
-        stall_serialize_ = last;
-
-    fetch_off_ += line.insts.size();
-    return line;
-}
-
-// --------------------------------------------------------------------
-// Pipeline stages
-// --------------------------------------------------------------------
-
-void
-Processor::fetchStage()
-{
-    if (stall_branch_ || stall_serialize_)
-        return;
-    if (cycle_ < fetch_avail_)
-        return;
-    if (fetch_queue_.size() >= cfg_.fetchQueueLines)
-        return;
-    if (oracleExhausted())
-        return;
-
-    panic_if(oracleAt(0).pc != fetch_pc_,
-             "fetch PC 0x%llx diverged from committed path 0x%llx",
-             static_cast<unsigned long long>(fetch_pc_),
-             static_cast<unsigned long long>(oracleAt(0).pc));
-
-    // Path-associative lookup with MRU way selection. (Prediction-
-    // directed selection is a tempting alternative, but picking the
-    // way the predictor agrees with defeats inactive issue: the trace
-    // can then never carry the correct path past a mispredicted exit,
-    // so every mispredict pays the full resolution latency. MRU keeps
-    // the most recent path in the line, and inactive issue covers the
-    // prediction/trace disagreements — measurably better.)
-    FetchLine line;
-    if (cfg_.useTraceCache) {
-        if (const TraceSegment *seg = tcache_.lookup(fetch_pc_)) {
-            line = buildTraceLine(*seg, cycle_);
-            fetch_avail_ = cycle_ + 1;
-#if TCFILL_PIPE_TRACE_ENABLED
-            if (tracer_) {
-                for (const auto &di : line.insts)
-                    traceInst(obs::PipeStage::Fetch, *di,
-                              di->fetchCycle);
-            }
-#endif
-            if (!line.insts.empty())
-                fetch_queue_.push_back(std::move(line));
-            return;
-        }
-    }
-
-    // Trace cache miss: fetch one block through the supporting
-    // instruction cache.
-    Cycle done = mem_.accessInst(fetch_pc_, cycle_);
-    line = buildICacheLine(done);
-    fetch_avail_ = done + 1;
-#if TCFILL_PIPE_TRACE_ENABLED
-    if (tracer_) {
-        for (const auto &di : line.insts)
-            traceInst(obs::PipeStage::Fetch, *di, di->fetchCycle);
-    }
-#endif
-    if (!line.insts.empty())
-        fetch_queue_.push_back(std::move(line));
-}
-
-void
-Processor::issueStage()
-{
-    if (fetch_queue_.empty())
-        return;
-    FetchLine &line = fetch_queue_.front();
-    if (cycle_ < line.readyCycle + 1)
-        return;
-
-    // Structural checks: window capacity and reservation stations.
-    if (window_.size() + line.insts.size() > cfg_.windowCap)
-        return;
-    std::array<unsigned, 64> need{};
-    for (const auto &di : line.insts) {
-        if (!di->moveMarked && !di->elided)
-            ++need[static_cast<unsigned>(di->fu) % 64];
-    }
-    for (unsigned fu = 0; fu < core_.numFus(); ++fu) {
-        if (need[fu] > core_.rsFree(fu))
-            return;
-    }
-
-    // Phase 1: resolve source operands. Trace lines read all live-ins
-    // against the line-entry mapping (explicit dependency marking
-    // makes parallel rename possible); I-cache lines rename serially.
-    if (line.fromTrace) {
-        for (auto &di : line.insts) {
-            di->numSrcs = di->inst.numSrcs();
-            for (unsigned k = 0; k < di->numSrcs; ++k) {
-                std::int8_t d = di->lineDep[k];
-                if (d >= 0) {
-                    DynInstPtr p = line.insts[static_cast<std::size_t>(d)];
-                    di->src[k] = p->moveMarked ? p->moveAlias
-                                               : Operand{p, 0};
-                } else {
-                    di->src[k] = rename_.read(di->inst.srcReg(k));
-                }
-#ifdef TCFILL_SQUASH_AUDIT
-                if (di->src[k].producer &&
-                    (di->src[k].producer->squashed() ||
-                     di->src[k].producer->inactive)) {
-                    std::fprintf(stderr,
-                        "AUDIT-ISSUE cycle=%llu consumer seq=%llu "
-                        "pc=0x%llx '%s' src%u dep=%d -> producer "
-                        "seq=%llu pc=0x%llx sq=%d inact=%d\n",
-                        (unsigned long long)cycle_,
-                        (unsigned long long)di->seq,
-                        (unsigned long long)di->pc,
-                        disassemble(di->inst).c_str(), k,
-                        (int)di->lineDep[k],
-                        (unsigned long long)di->src[k].producer->seq,
-                        (unsigned long long)di->src[k].producer->pc,
-                        di->src[k].producer->squashed() ? 1 : 0,
-                        di->src[k].producer->inactive ? 1 : 0);
-                }
-#endif
-            }
-            if (di->moveMarked) {
-                std::int8_t d = di->moveSrcDep;
-                if (d >= 0) {
-                    DynInstPtr p = line.insts[static_cast<std::size_t>(d)];
-                    di->moveAlias = p->moveMarked ? p->moveAlias
-                                                  : Operand{p, 0};
-                } else {
-                    di->moveAlias = rename_.read(di->moveSrcReg);
-                }
-            }
-        }
-        // Phase 2: apply destination mappings in program order.
-        for (auto &di : line.insts) {
-            di->issueCycle = cycle_;
-            traceInst(obs::PipeStage::Rename, *di, cycle_);
-            traceInst(obs::PipeStage::Issue, *di, cycle_);
-            if (di->elided) {
-                // Dead write: completes at issue, maps nothing (its
-                // same-region overwriter later in this line supplies
-                // the register's next mapping).
-                di->completeCycle = cycle_;
-                di->phase = InstPhase::Complete;
-                traceInst(obs::PipeStage::Complete, *di, cycle_);
-            } else if (di->moveMarked) {
-                di->completeCycle = cycle_;
-                di->phase = InstPhase::Complete;
-                traceInst(obs::PipeStage::Complete, *di, cycle_);
-                if (!di->inactive)
-                    rename_.alias(di->inst.dest, di->moveAlias);
-                if (di->isBranch)
-                    panic("marked move cannot be a branch");
-            } else {
-                if (di->inst.hasDest() && !di->inactive)
-                    rename_.write(di->inst.dest, di);
-                core_.dispatch(di);
-            }
-            window_.push_back(di);
-        }
-    } else {
-        for (auto &di : line.insts) {
-            di->issueCycle = cycle_;
-            di->numSrcs = di->inst.numSrcs();
-            for (unsigned k = 0; k < di->numSrcs; ++k)
-                di->src[k] = rename_.read(di->inst.srcReg(k));
-            traceInst(obs::PipeStage::Rename, *di, cycle_);
-            traceInst(obs::PipeStage::Issue, *di, cycle_);
-            if (di->inst.hasDest())
-                rename_.write(di->inst.dest, di);
-            core_.dispatch(di);
-            window_.push_back(di);
-        }
-    }
-
-    fetch_queue_.pop_front();
-}
-
-void
-Processor::retireStage()
-{
-    unsigned count = 0;
-    while (!window_.empty()) {
-        DynInstPtr di = window_.front();
-        if (di->squashed()) {
-            window_.pop_front();    // squashed slots retire for free
-            continue;
-        }
-        if (count >= cfg_.retireWidth)
-            break;
-        if (di->phase != InstPhase::Complete ||
-            di->completeCycle > cycle_) {
-            break;
-        }
-        if (di->inactive)
-            break;  // must be activated by its branch first
-        panic_if(!di->onCorrectPath,
-                 "retiring a wrong-path instruction");
-
-        window_.pop_front();
-        ++count;
-        ++retired_;
-        last_retire_cycle_ = cycle_;
-        traceInst(obs::PipeStage::Retire, *di, cycle_);
-
-        // Predictors train at fetch (see buildTraceLine); retirement
-        // only drives the fill unit and bookkeeping.
-        if (di->isStore)
-            core_.retireStore(di);
-
-        // Feed the fill unit the architectural instruction.
-        ExecRecord rec;
-        rec.seq = di->seq;
-        rec.pc = di->pc;
-        rec.nextPc = di->nextPc;
-        rec.inst = di->archInst;
-        rec.taken = di->taken;
-        rec.effAddr = di->effAddr;
-        fill_.retire(rec, cycle_, di->missLineStart);
-
-        // Dynamic optimization accounting (Table 2, figures 3-5, 7).
-        if (di->moveMarked)
-            ++dyn_moves_;
-        if (di->reassociated)
-            ++dyn_reassoc_;
-        if (di->scaled)
-            ++dyn_scaled_;
-        if (di->elided)
-            ++dyn_elided_;
-        if (di->moveIdiom)
-            ++dyn_move_idioms_;
-        if (di->bypassDelayed)
-            ++bypass_delayed_retired_;
-
-        if (di == stall_serialize_)
-            stall_serialize_ = nullptr;
-
-        panic_if(oracle_.empty(), "oracle underflow at retire");
-        panic_if(oracle_.front().pc != di->pc,
-                 "retired 0x%llx but oracle front is 0x%llx",
-                 static_cast<unsigned long long>(di->pc),
-                 static_cast<unsigned long long>(oracle_.front().pc));
-        oracle_.pop_front();
-        --fetch_off_;
-
-        if (cfg_.maxInsts && retired_ >= cfg_.maxInsts)
-            return;
-    }
-}
-
-// --------------------------------------------------------------------
-// Branch resolution & recovery
-// --------------------------------------------------------------------
-
-void
-Processor::squashWindow(InstSeqNum lo, InstSeqNum hi,
-                        InstSeqNum rescue_lo, InstSeqNum rescue_hi)
-{
-    for (auto &di : window_) {
-        if (di->seq < lo || di->seq >= hi)
-            continue;
-        if (di->seq >= rescue_lo && di->seq < rescue_hi)
-            continue;
-        di->phase = InstPhase::Squashed;
-        traceInst(obs::PipeStage::Squash, *di, cycle_);
-    }
-    core_.squashRange(lo, hi, rescue_lo, rescue_hi);
-
-#ifdef TCFILL_SQUASH_AUDIT
-    for (auto &di : window_) {
-        if (di->squashed())
-            continue;
-        for (unsigned k = 0; k < di->numSrcs; ++k) {
-            const Operand &op = di->src[k];
-            if (op.producer && op.producer->squashed() &&
-                op.producer->completeCycle == kNoCycle) {
-                std::fprintf(stderr,
-                    "AUDIT cycle=%llu squash[%llu,%llu) rescue[%llu,%llu)"
-                    " survivor seq=%llu pc=0x%llx '%s' act=%d cor=%d"
-                    " src%u -> squashed seq=%llu pc=0x%llx '%s'\n",
-                    (unsigned long long)cycle_,
-                    (unsigned long long)lo, (unsigned long long)hi,
-                    (unsigned long long)rescue_lo,
-                    (unsigned long long)rescue_hi,
-                    (unsigned long long)di->seq,
-                    (unsigned long long)di->pc,
-                    disassemble(di->inst).c_str(), di->inactive ? 0 : 1,
-                    di->onCorrectPath ? 1 : 0, k,
-                    (unsigned long long)op.producer->seq,
-                    (unsigned long long)op.producer->pc,
-                    disassemble(op.producer->inst).c_str());
-            }
-        }
-    }
-#endif
-}
-
-void
-Processor::resolveBranch(const DynInstPtr &di)
-{
-#ifdef TCFILL_SQUASH_AUDIT
-    std::fprintf(stderr,
-        "AUDIT-RESOLVE cycle=%llu seq=%llu pc=0x%llx sq=%d misp=%d "
-        "rescue[%llu,%llu) discard[%llu,%llu)\n",
-        (unsigned long long)cycle_, (unsigned long long)di->seq,
-        (unsigned long long)di->pc, di->squashed() ? 1 : 0,
-        di->mispredicted ? 1 : 0,
-        (unsigned long long)di->rescueLo,
-        (unsigned long long)di->rescueHi,
-        (unsigned long long)di->discardLo,
-        (unsigned long long)di->discardHi);
-#endif
-    if (di->squashed())
-        return;
-
-    if (di->mispredicted) {
-        squashWindow(di->seq + 1, ~InstSeqNum(0), di->rescueLo,
-                     di->rescueHi);
-        // Activate the rescued inactive instructions (inactive issue's
-        // payoff: the correct continuation is already in flight).
-        if (di->rescueHi > di->rescueLo) {
-            for (auto &w : window_) {
-                if (w->seq >= di->rescueLo && w->seq < di->rescueHi)
-                    w->inactive = false;
-            }
-        }
-        rename_.rebuild(window_);
-        fetch_pc_ = di->redirectPc;
-        fetch_avail_ = std::max(fetch_avail_, cycle_ + 1);
-        mispredict_stall_cycles_ += cycle_ - di->fetchCycle;
-        // Drop any younger lines still waiting to issue (there are
-        // none in the common case because fetch stalls, but a line
-        // fetched the same cycle the mispredict was detected could
-        // linger).
-        while (!fetch_queue_.empty() &&
-               !fetch_queue_.back().insts.empty() &&
-               fetch_queue_.back().insts.front()->seq > di->seq) {
-            fetch_queue_.pop_back();
-        }
-        if (stall_branch_ == di)
-            stall_branch_ = nullptr;
-        return;
-    }
-
-    // Correct prediction: discard the inactive tail, if any.
-    if (di->discardHi > di->discardLo)
-        squashWindow(di->discardLo, di->discardHi, 0, 0);
-}
-
-void
-Processor::processResolutions()
-{
-    while (!events_.empty() && events_.top().cycle <= cycle_) {
-        DynInstPtr di = events_.top().inst;
-        events_.pop();
-        if (di->isBranch || di->discardHi > di->discardLo)
-            resolveBranch(di);
-    }
+    issue_->regStats(stats_);    // core.* + issue.*
+    dispatch_->regStats(stats_); // rename.* + dispatch.*
+    retire_->regStats(stats_);
+    recovery_->regStats(stats_);
 }
 
 // --------------------------------------------------------------------
@@ -710,16 +75,12 @@ void
 Processor::doCycle()
 {
     fill_.tick(cycle_);
-    processResolutions();
-    retireStage();
-    issueStage();
-    fetchStage();
-    core_.tick(cycle_, [this](const DynInstPtr &di) {
-        if (di->isBranch || di->discardHi > di->discardLo ||
-            di->mispredicted) {
-            events_.push({di->completeCycle, di->seq, di});
-        }
-    });
+    recovery_->tick(cycle_);
+    retire_->tick(cycle_);
+    dispatch_->tick(cycle_);
+    issue_->dispatchPending();
+    fetch_->tick(cycle_);
+    issue_->tick(cycle_);
     ++cycle_;
 }
 
@@ -728,81 +89,44 @@ Processor::run()
 {
     const auto wall_start = std::chrono::steady_clock::now();
     while (true) {
-        if (cfg_.maxInsts && retired_ >= cfg_.maxInsts)
+        if (retire_->instCapReached())
             break;
         if (cfg_.maxCycles && cycle_ >= cfg_.maxCycles)
             break;
-        if (exec_.halted() && window_.empty() && fetch_queue_.empty() &&
-            fetch_off_ >= oracle_.size() && oracle_.empty()) {
+        if (exec_.halted() && window_.empty() && fetch_latch_.empty() &&
+            oracle_.drained()) {
             break;
         }
-        if (cycle_ - last_retire_cycle_ > kDeadlockWindow &&
-            !window_.empty()) {
-            const DynInst &f = *window_.front();
-            std::string ops;
-            for (unsigned k = 0; k < f.numSrcs; ++k) {
-                const Operand &op = f.src[k];
-                char buf[96];
-                if (op.producer) {
-                    std::snprintf(buf, sizeof(buf),
-                        " src%u<-seq%llu(ph%d,cc%lld)", k,
-                        static_cast<unsigned long long>(
-                            op.producer->seq),
-                        static_cast<int>(op.producer->phase),
-                        op.producer->completeCycle == kNoCycle
-                            ? -1LL
-                            : static_cast<long long>(
-                                  op.producer->completeCycle));
-                } else {
-                    std::snprintf(buf, sizeof(buf), " src%u@%llu", k,
-                        static_cast<unsigned long long>(op.rfAvail));
-                }
-                ops += buf;
-            }
-            panic("no retirement for %llu cycles: model deadlock "
-                  "(window=%zu, front pc=0x%llx '%s' seq=%llu phase=%d "
-                  "inactive=%d correct=%d fu=%d issue=%lld cc=%lld%s)",
-                  static_cast<unsigned long long>(kDeadlockWindow),
-                  window_.size(),
-                  static_cast<unsigned long long>(f.pc),
-                  disassemble(f.inst).c_str(),
-                  static_cast<unsigned long long>(f.seq),
-                  static_cast<int>(f.phase), f.inactive ? 1 : 0,
-                  f.onCorrectPath ? 1 : 0, f.fu,
-                  f.issueCycle == kNoCycle
-                      ? -1LL
-                      : static_cast<long long>(f.issueCycle),
-                  f.completeCycle == kNoCycle
-                      ? -1LL
-                      : static_cast<long long>(f.completeCycle),
-                  ops.c_str());
-        }
+        retire_->panicIfDeadlocked(cycle_);
         doCycle();
     }
 
+    // Every counter comes out of the stats registry so a stage's
+    // counter hoists automatically flow into the result.
     SimResult res;
     res.config = cfg_.name;
     res.workload = exec_.program().name;
-    res.retired = retired_;
+    res.retired = stats_.counterValue("retire.retired");
     res.cycles = cycle_;
     res.hostSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - wall_start).count();
-    res.tcHits = tcache_.hits();
-    res.tcMisses = tcache_.misses();
-    res.mispredicts = mispredicts_;
-    res.inactiveRescues = rescues_;
-    res.mispredictStallCycles = mispredict_stall_cycles_;
-    res.segmentsBuilt = fill_.segmentsBuilt();
+    res.tcHits = stats_.counterValue("tcache.hits");
+    res.tcMisses = stats_.counterValue("tcache.misses");
+    res.mispredicts = stats_.counterValue("fetch.mispredicts");
+    res.inactiveRescues = stats_.counterValue("fetch.inactive_rescues");
+    res.mispredictStallCycles =
+        stats_.counterValue("recovery.mispredict_stall_cycles");
+    res.segmentsBuilt = stats_.counterValue("fill.segments");
     res.avgSegmentLength = fill_.avgSegmentLength();
     res.bpredAccuracy =
         stats_.has("bpred.accuracy") ? stats_.value("bpred.accuracy")
                                      : 0.0;
-    res.dynMoves = dyn_moves_;
-    res.dynReassoc = dyn_reassoc_;
-    res.dynScaled = dyn_scaled_;
-    res.dynElided = dyn_elided_;
-    res.dynMoveIdioms = dyn_move_idioms_;
-    res.bypassDelayed = bypass_delayed_retired_;
+    res.dynMoves = stats_.counterValue("retire.dyn_moves");
+    res.dynReassoc = stats_.counterValue("retire.dyn_reassoc");
+    res.dynScaled = stats_.counterValue("retire.dyn_scaled");
+    res.dynElided = stats_.counterValue("retire.dyn_elided");
+    res.dynMoveIdioms = stats_.counterValue("retire.dyn_move_idioms");
+    res.bypassDelayed = stats_.counterValue("retire.bypass_delayed");
     return res;
 }
 
@@ -821,8 +145,11 @@ Processor::dumpStatsJson(std::ostream &os)
 void
 Processor::setTracer(obs::PipeTracer *tracer)
 {
-    tracer_ = tracer;
-    core_.setTracer(tracer);
+    fetch_->setTracer(tracer);
+    dispatch_->setTracer(tracer);
+    issue_->setTracer(tracer); // forwards to the ExecCore
+    retire_->setTracer(tracer);
+    recovery_->setTracer(tracer);
     fill_.setTracer(tracer);
 }
 

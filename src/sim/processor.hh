@@ -1,10 +1,16 @@
 /**
  * @file
- * The cycle-level pipeline simulator tying every substrate together:
- * trace-cache/I-cache fetch with multiple-branch prediction and
- * inactive issue, rename (with move execution), the clustered
- * out-of-order engine, in-order retirement feeding the fill unit,
- * and checkpoint-repair misprediction recovery.
+ * The cycle-level pipeline simulator as a thin composition root: it
+ * owns the shared substrates (functional executor, memory hierarchy,
+ * trace cache, fill unit, bias table, committed-path oracle and the
+ * DynInst slab arena), wires the five first-class pipeline stages in
+ * src/pipeline/ together through explicit latch structs, advances the
+ * cycle counter, and assembles the SimResult from the stage stat
+ * groups. The stage semantics — trace-cache/I-cache fetch with
+ * multiple-branch prediction and inactive issue, rename with move
+ * execution, clustered out-of-order issue, in-order retirement
+ * feeding the fill unit, and checkpoint-repair misprediction
+ * recovery — live in the stage classes (DESIGN.md §10).
  *
  * Timing methodology: the functional Executor supplies the committed
  * path; fetch follows it while consulting the real predictor, trace
@@ -17,22 +23,20 @@
 #ifndef TCFILL_SIM_PROCESSOR_HH
 #define TCFILL_SIM_PROCESSOR_HH
 
-#include <deque>
-#include <queue>
-#include <vector>
+#include <memory>
 
 #include "arch/executor.hh"
 #include "bpred/predictor.hh"
 #include "fill/fill_unit.hh"
 #include "mem/cache.hh"
 #include "obs/pipe_trace.hh"
+#include "pipeline/latches.hh"
+#include "pipeline/oracle.hh"
+#include "pipeline/policy.hh"
 #include "sim/config.hh"
 #include "sim/result.hh"
 #include "trace/tcache.hh"
-#include "uarch/exec_core.hh"
 #include "uarch/inst_pool.hh"
-#include "uarch/pipe_hooks.hh"
-#include "uarch/rename.hh"
 
 namespace tcfill
 {
@@ -41,18 +45,37 @@ namespace tcfill
 class Processor
 {
   public:
-    Processor(const Program &prog, const SimConfig &cfg);
+    /**
+     * Build the machine. @p policy may substitute any pipeline stage
+     * (see pipeline::StagePolicy); null factories build the standard
+     * stages.
+     */
+    Processor(const Program &prog, const SimConfig &cfg,
+              const pipeline::StagePolicy &policy = {});
 
     /** Run to completion (or the configured caps); returns results. */
     SimResult run();
 
     /** Current cycle (after run: total cycles). */
     Cycle cycles() const { return cycle_; }
-    InstSeqNum retired() const { return retired_; }
+    InstSeqNum retired() const { return retire_->retired(); }
 
     const TraceCache &traceCache() const { return tcache_; }
     const FillUnit &fillUnit() const { return fill_; }
     const MemoryHierarchy &memory() const { return mem_; }
+
+    // ---- stage views (read-only; experiments and tests) -------------
+    const pipeline::FetchEngine &fetchEngine() const { return *fetch_; }
+    const pipeline::DispatchRename &dispatchRename() const
+    {
+        return *dispatch_;
+    }
+    const pipeline::IssueStage &issueStage() const { return *issue_; }
+    const pipeline::RetireUnit &retireUnit() const { return *retire_; }
+    const pipeline::RecoveryController &recovery() const
+    {
+        return *recovery_;
+    }
 
     /** Dump all registered component statistics. */
     void dumpStats(std::ostream &os);
@@ -62,53 +85,17 @@ class Processor
 
     /**
      * Attach a pipeline lifecycle tracer (nullptr detaches); must be
-     * called before run(). Forwarded to the execution core and fill
-     * unit. Purely observational — a traced run's cycles and IPC are
-     * bit-identical to an untraced run (asserted in tests/test_obs).
+     * called before run(). Forwarded to every stage, the execution
+     * core and the fill unit. Purely observational — a traced run's
+     * cycles and IPC are bit-identical to an untraced run (asserted
+     * in tests/test_obs).
      */
     void setTracer(obs::PipeTracer *tracer);
 
   private:
-    struct FetchLine
-    {
-        Cycle readyCycle = 0;
-        std::vector<DynInstPtr> insts;
-        bool fromTrace = false;
-    };
-
-    // ---- pipeline stages ---------------------------------------------
     void doCycle();
-    void processResolutions();
-    void retireStage();
-    void issueStage();
-    void fetchStage();
 
-    // ---- fetch helpers --------------------------------------------------
-    FetchLine buildTraceLine(const TraceSegment &seg, Cycle ready);
-    FetchLine buildICacheLine(Cycle ready);
-    DynInstPtr makeDynInst(const Instruction &inst, Addr pc,
-                           FetchSource src, Cycle fetch_cycle);
-
-    // ---- oracle management ---------------------------------------------
-    /** Ensure >= n unfetched records exist; returns how many do. */
-    std::size_t ensureOracle(std::size_t n);
-    const ExecRecord &oracleAt(std::size_t i) const;
-    bool oracleExhausted();
-
-    // ---- recovery --------------------------------------------------------
-    void resolveBranch(const DynInstPtr &di);
-    void squashWindow(InstSeqNum lo, InstSeqNum hi, InstSeqNum rescue_lo,
-                      InstSeqNum rescue_hi);
-
-    // ---- observability ---------------------------------------------------
-    /** Emit one lifecycle event for @p di (no-op without a tracer). */
-    void
-    traceInst(obs::PipeStage stage, const DynInst &di, Cycle cycle)
-    {
-        tracePipe(tracer_, stage, di, cycle);
-    }
-
-    // ---- members ----------------------------------------------------------
+    // ---- members ----------------------------------------------------
     // Declared first so it is destroyed last: every DynInstPtr held
     // by the members below lives in storage owned by this arena.
     SlabArena inst_pool_;
@@ -117,63 +104,28 @@ class Processor
     Executor exec_;
 
     MemoryHierarchy mem_;
-    MultiBranchPredictor bpred_;
     BiasTable bias_;
-    ReturnAddressStack ras_;
-    IndirectPredictor ipred_;
     TraceCache tcache_;
     FillUnit fill_;
-    ExecCore core_;
-    RenameTable rename_;
+    pipeline::OracleStream oracle_;
 
-    // Oracle: committed-path records not yet retired. Records
-    // [0, fetch_off_) are fetched and in flight; [fetch_off_, ...) are
-    // available to fetch.
-    std::deque<ExecRecord> oracle_;
-    std::size_t fetch_off_ = 0;
+    // Inter-stage latches (see pipeline/latches.hh for the data flow).
+    pipeline::FetchControl ctrl_;
+    pipeline::FetchLatch fetch_latch_;
+    pipeline::DispatchLatch dispatch_latch_;
+    pipeline::InstWindow window_;
+    pipeline::ResolutionQueue events_;
 
-    // Fetch state.
-    Addr fetch_pc_ = 0;
-    Cycle fetch_avail_ = 0;
-    DynInstPtr stall_branch_;       ///< unresolved mispredict gating fetch
-    DynInstPtr stall_serialize_;    ///< serializing inst gating fetch
-    std::deque<FetchLine> fetch_queue_;
-
-    // In-flight window, fetch order.
-    std::deque<DynInstPtr> window_;
-
-    // Branch-resolution events: (cycle, seq) min-heap.
-    struct Event
-    {
-        Cycle cycle;
-        InstSeqNum seq;
-        DynInstPtr inst;
-        bool operator>(const Event &o) const
-        {
-            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
-        }
-    };
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events_;
+    // The five stages, wired in the constructor.
+    std::unique_ptr<pipeline::IssueStage> issue_;
+    std::unique_ptr<pipeline::FetchEngine> fetch_;
+    std::unique_ptr<pipeline::DispatchRename> dispatch_;
+    std::unique_ptr<pipeline::RetireUnit> retire_;
+    std::unique_ptr<pipeline::RecoveryController> recovery_;
 
     Cycle cycle_ = 0;
-    InstSeqNum seq_next_ = 1;
-    InstSeqNum retired_ = 0;
-    Cycle last_retire_cycle_ = 0;
-
-    // Result counters.
-    std::uint64_t mispredicts_ = 0;
-    std::uint64_t rescues_ = 0;
-    std::uint64_t mispredict_stall_cycles_ = 0;
-    std::uint64_t dyn_moves_ = 0;
-    std::uint64_t dyn_reassoc_ = 0;
-    std::uint64_t dyn_scaled_ = 0;
-    std::uint64_t dyn_elided_ = 0;
-    std::uint64_t dyn_move_idioms_ = 0;
-    std::uint64_t bypass_delayed_retired_ = 0;
 
     stats::Group stats_;
-    obs::PipeTracer *tracer_ = nullptr;
 };
 
 /** Build, run and summarize one (program, config) pair. */

@@ -82,9 +82,10 @@ class ExecCore
     void regStats(stats::Group &group);
 
     /**
-     * Attach a lifecycle tracer (usually via Processor::setTracer);
-     * emits Execute at FU selection and Complete when an
-     * instruction's completion cycle becomes known.
+     * Attach a lifecycle tracer (forwarded by the owning
+     * pipeline::IssueStage from Processor::setTracer); emits Execute
+     * at FU selection and Complete when an instruction's completion
+     * cycle becomes known.
      */
     void setTracer(obs::PipeTracer *tracer) { tracer_ = tracer; }
 

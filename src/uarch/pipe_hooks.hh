@@ -2,9 +2,10 @@
  * @file
  * Glue between the timing model's DynInst and the observability
  * layer's PipeEvent: one inline snapshot + one hook-site helper shared
- * by every pipeline stage that emits lifecycle events (Processor,
- * ExecCore). Keeps src/obs free of any uarch dependency — the event
- * struct lives there, the DynInst knowledge lives here.
+ * by every pipeline-stage module that emits lifecycle events (the
+ * src/pipeline/ stages, ExecCore, FillUnit). Keeps src/obs free of
+ * any uarch dependency — the event struct lives there, the DynInst
+ * knowledge lives here.
  *
  * With TCFILL_PIPE_TRACE_ENABLED=0 tracePipe() compiles to nothing,
  * so hook sites cost zero cycles and the binary is hook-free.

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerate the refactor-equivalence golden fixtures.
+#
+# The fixtures pin the deterministic tcfill-stats-v1 documents for
+# three (workload, config) seed pairs. CI reruns this script after
+# every change and byte-compares the output against tests/golden/ —
+# any pipeline refactor must leave cycles, IPC and every other
+# deterministic stat bit-identical (see DESIGN.md §10).
+#
+# Usage: tools/gen_golden_fixtures.sh <tcfill-binary> <output-dir>
+set -eu
+
+TCFILL=${1:?usage: gen_golden_fixtures.sh <tcfill-binary> <output-dir>}
+OUT=${2:?usage: gen_golden_fixtures.sh <tcfill-binary> <output-dir>}
+
+mkdir -p "$OUT"
+
+"$TCFILL" -j 1 --max-insts 20000 --opts all \
+    --stats-json "$OUT/compress-all.json" compress > /dev/null
+"$TCFILL" -j 1 --max-insts 20000 --opts none \
+    --stats-json "$OUT/li-none.json" li > /dev/null
+"$TCFILL" -j 1 --max-insts 20000 --opts extended --no-inactive-issue \
+    --stats-json "$OUT/m88ksim-extended-nii.json" m88ksim > /dev/null

@@ -9,6 +9,8 @@
  *
  * Options:
  *   --list                 list available workloads and exit
+ *   --list-workloads       print registered workload names, one per
+ *                          line (machine-readable form of --list)
  *   --threads N, -j N      worker threads for multi-workload runs
  *                          (default: all cores; TCFILL_THREADS also
  *                          honored)
@@ -28,7 +30,7 @@
  *                          across reruns and -j values by default)
  *   --stats-host           include wall-clock sections in --stats-json
  *   --pipe-trace FILE      write a JSONL pipeline lifecycle trace
- *                          (single workload; see DESIGN.md §10)
+ *                          (single workload; see DESIGN.md §9)
  *   --progress             live sweep progress on stderr
  */
 
@@ -96,7 +98,8 @@ usage()
 {
     std::cerr <<
         "usage: tcfill_sim [options] [workload[,workload...] | all]\n"
-        "  --list | --threads N | -j N | --scale N | --max-insts N\n"
+        "  --list | --list-workloads | --threads N | -j N | --scale N\n"
+        "  --max-insts N\n"
         "  --opts LIST | --fill-latency N | --no-trace-cache\n"
         "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
         "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
@@ -159,6 +162,12 @@ main(int argc, char **argv)
                 std::printf("%-14s (%-5s) %s\n", w.name.c_str(),
                             w.shortName.c_str(), w.traits.c_str());
             }
+            return 0;
+        } else if (arg == "--list-workloads") {
+            // Bare names only, one per line: stable output for
+            // scripts (xargs, CI matrix generation).
+            for (const auto &w : workloads::suite())
+                std::printf("%s\n", w.name.c_str());
             return 0;
         } else if (arg == "--threads" || arg == "-j") {
             threads = static_cast<unsigned>(std::strtoul(next(),
