@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Host-performance benchmark (google-benchmark) for the tracefile
+ * subsystem: trace encode/decode throughput, the timing-run overhead
+ * of recording, replay throughput against a live run, and the BBV
+ * profiling + simpoint selection cost. Guards the record-once /
+ * replay-many workflow's usability, not a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "arch/executor.hh"
+#include "bench/bench_common.hh"
+#include "tracefile/bbv.hh"
+#include "tracefile/replay.hh"
+#include "tracefile/sample.hh"
+#include "tracefile/trace_io.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+using namespace tcfill::tracefile;
+
+namespace
+{
+
+constexpr InstSeqNum kBenchInsts = 50'000;
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.maxInsts = kBenchInsts;
+    return cfg;
+}
+
+/** Capture one timing run's committed stream as trace bytes. */
+std::string
+captureBytes(const Program &prog, const SimConfig &cfg)
+{
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.workload = prog.name;
+    meta.config = cfg.name;
+    meta.entryPc = prog.entry;
+    meta.maxInsts = cfg.maxInsts;
+    Executor exec(prog);
+    TraceWriter writer(os, meta);
+    RecordingSource source(exec, writer);
+    Processor proc(source, prog.name, prog.entry, cfg);
+    proc.run();
+    writer.finish();
+    return os.str();
+}
+
+/** Functional execution feeding the varint encoder, no pipeline. */
+void
+BM_TraceEncode(benchmark::State &state)
+{
+    const Program prog = workloads::build("compress", 1);
+    std::uint64_t insts = 0;
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::ostringstream os;
+        TraceMeta meta;
+        meta.workload = prog.name;
+        meta.entryPc = prog.entry;
+        meta.maxInsts = kBenchInsts;
+        Executor exec(prog);
+        TraceWriter writer(os, meta);
+        while (!exec.halted() && writer.records() < kBenchInsts)
+            writer.append(exec.step());
+        writer.finish();
+        insts += writer.records();
+        bytes += os.str().size();
+    }
+    state.counters["encode_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["bytes_per_record"] =
+        insts ? static_cast<double>(bytes) / insts : 0.0;
+}
+
+/** Decode a pre-encoded trace back into ExecRecords. */
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    const Program prog = workloads::build("compress", 1);
+    const std::string bytes = captureBytes(prog, benchConfig());
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        std::istringstream is(bytes);
+        TraceReader reader(is);
+        ExecRecord rec;
+        while (reader.next(rec) == ReadStatus::Ok)
+            benchmark::DoNotOptimize(rec.nextPc);
+        insts += reader.records();
+    }
+    state.counters["decode_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** Full timing run with the recording tee on the commit stream. */
+void
+BM_RecordedTimingRun(benchmark::State &state)
+{
+    const Program prog = workloads::build("compress", 1);
+    const SimConfig cfg = benchConfig();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        std::ostringstream os;
+        TraceMeta meta;
+        meta.workload = prog.name;
+        meta.entryPc = prog.entry;
+        meta.maxInsts = cfg.maxInsts;
+        Executor exec(prog);
+        TraceWriter writer(os, meta);
+        RecordingSource source(exec, writer);
+        Processor proc(source, prog.name, prog.entry, cfg);
+        SimResult r = proc.run();
+        writer.finish();
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** Timing run fed from trace bytes instead of the functional model. */
+void
+BM_ReplayTimingRun(benchmark::State &state)
+{
+    const Program prog = workloads::build("compress", 1);
+    const SimConfig cfg = benchConfig();
+    const std::string bytes = captureBytes(prog, cfg);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        std::istringstream is(bytes);
+        ReplayExecutor source(is, "<bench>");
+        Processor proc(source, source.meta().workload,
+                       source.meta().entryPc, cfg);
+        SimResult r = proc.run();
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** Functional-only BBV profiling (the --bbv path). */
+void
+BM_BbvProfile(benchmark::State &state)
+{
+    const Program prog = workloads::build("compress", 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        Executor exec(prog);
+        std::vector<BbvInterval> ivs =
+            profileBbv(exec, 10'000, kBenchInsts);
+        benchmark::DoNotOptimize(ivs.size());
+        insts += exec.instCount();
+    }
+    state.counters["profile_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** K-means simpoint selection over a pre-profiled BBV. */
+void
+BM_SimpointSelect(benchmark::State &state)
+{
+    const Program prog = workloads::build("compress", 1);
+    Executor exec(prog);
+    const std::vector<BbvInterval> ivs =
+        profileBbv(exec, 2'000, kBenchInsts);
+    for (auto _ : state) {
+        std::vector<Simpoint> pts = selectSimpoints(ivs, 8);
+        benchmark::DoNotOptimize(pts.size());
+    }
+    state.counters["intervals"] = static_cast<double>(ivs.size());
+}
+
+} // namespace
+
+BENCHMARK(BM_TraceEncode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecordedTimingRun)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplayTimingRun)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BbvProfile)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimpointSelect)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    tcfill::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -58,26 +58,53 @@ struct ExecRecord
 };
 
 /**
+ * Producer of the committed dynamic instruction stream the timing
+ * model consumes (via pipeline::OracleStream). The live Executor
+ * below is the canonical implementation; tracefile::ReplayExecutor
+ * re-materializes a previously captured stream, and
+ * tracefile::RecordingSource tees any source into a trace file.
+ * One virtual dispatch per committed instruction — noise next to the
+ * cycle model.
+ */
+class CommitSource
+{
+  public:
+    virtual ~CommitSource() = default;
+
+    /** True once the stream is exhausted (HALT committed / trace end). */
+    virtual bool halted() const = 0;
+
+    /**
+     * Produce the next committed instruction record.
+     * Must not be called after halted().
+     */
+    virtual ExecRecord step() = 0;
+
+    /** Committed instruction count so far. */
+    virtual InstSeqNum instCount() const = 0;
+};
+
+/**
  * Steps a loaded program one instruction at a time. Execution is
  * total: divide-by-zero yields 0, unknown encodings are NOPs, and a
  * PC escaping the text segment is a fatal user error (wild jump).
  */
-class Executor
+class Executor : public CommitSource
 {
   public:
     explicit Executor(const Program &prog);
 
     /** True once HALT has committed. */
-    bool halted() const { return halted_; }
+    bool halted() const override { return halted_; }
 
     /**
      * Execute and commit one instruction; returns its record.
      * Must not be called after halted().
      */
-    ExecRecord step();
+    ExecRecord step() override;
 
     /** Committed instruction count so far. */
-    InstSeqNum instCount() const { return seq_; }
+    InstSeqNum instCount() const override { return seq_; }
 
     const ArchState &state() const { return state_; }
     ArchState &state() { return state_; }

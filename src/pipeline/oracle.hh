@@ -1,10 +1,11 @@
 /**
  * @file
  * The committed-path oracle stream shared by the front and back ends
- * of the decomposed pipeline (DESIGN.md §10). Wraps the functional
- * Executor and the deque of committed-path records not yet retired:
- * records [0, fetchOffset) are fetched and in flight; records
- * [fetchOffset, size) are available to fetch.
+ * of the decomposed pipeline (DESIGN.md §10). Wraps a CommitSource
+ * (the live functional Executor, a trace-file ReplayExecutor, or a
+ * recording tee — DESIGN.md §12) and the deque of committed-path
+ * records not yet retired: records [0, fetchOffset) are fetched and
+ * in flight; records [fetchOffset, size) are available to fetch.
  *
  * Ownership: the Processor composition root owns the stream; the
  * fetch engine advances the tail (stepping the Executor and consuming
@@ -28,7 +29,7 @@ namespace tcfill::pipeline
 class OracleStream
 {
   public:
-    explicit OracleStream(Executor &exec) : exec_(exec) {}
+    explicit OracleStream(CommitSource &exec) : exec_(exec) {}
 
     /** Ensure >= n unfetched records exist; returns how many do. */
     std::size_t
@@ -73,7 +74,7 @@ class OracleStream
     bool drained() const { return records_.empty(); }
 
   private:
-    Executor &exec_;
+    CommitSource &exec_;
     std::deque<ExecRecord> records_;
     std::size_t fetch_off_ = 0;
 };

@@ -10,6 +10,8 @@
 #ifndef TCFILL_PIPELINE_RETIRE_UNIT_HH
 #define TCFILL_PIPELINE_RETIRE_UNIT_HH
 
+#include <functional>
+
 #include "fill/fill_unit.hh"
 #include "pipeline/issue_stage.hh"
 #include "pipeline/latches.hh"
@@ -31,6 +33,15 @@ struct RetireEnv
     IssueStage &issue;
     FetchControl &ctrl;
 };
+
+/**
+ * Observational per-commit callback (architectural record + commit
+ * cycle), invoked for every retired instruction in program order.
+ * Like the PipeTracer hooks it must not mutate simulator state; a
+ * hooked run's timing is bit-identical to an unhooked one. Consumers:
+ * tracefile::BbvProfiler (basic-block-vector profiling at retire).
+ */
+using CommitHook = std::function<void(const ExecRecord &, Cycle)>;
 
 /** In-order retire, fill-unit handoff and result accounting. */
 class RetireUnit : public Stage
@@ -58,6 +69,9 @@ class RetireUnit : public Stage
      */
     void panicIfDeadlocked(Cycle now) const;
 
+    /** Attach (or clear, with {}) the per-commit observer. */
+    void setCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
     void regStats(stats::Group &master) override;
 
   private:
@@ -69,6 +83,7 @@ class RetireUnit : public Stage
     FetchControl &ctrl_;
 
     Cycle last_retire_cycle_ = 0;
+    CommitHook commit_hook_;
 
     stats::Counter retired_;
     stats::Counter dyn_moves_;

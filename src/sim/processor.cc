@@ -11,11 +11,28 @@ namespace tcfill
 
 Processor::Processor(const Program &prog, const SimConfig &cfg,
                      const pipeline::StagePolicy &policy)
-    : cfg_(cfg), exec_(prog), mem_(cfg.mem), bias_(cfg.bias),
-      tcache_(cfg.tcache), fill_(cfg.fill, tcache_, bias_),
-      oracle_(exec_), stats_("sim")
+    : cfg_(cfg), own_exec_(std::in_place, prog), src_(*own_exec_),
+      workload_(prog.name), entry_pc_(prog.entry), mem_(cfg.mem),
+      bias_(cfg.bias), tcache_(cfg.tcache),
+      fill_(cfg.fill, tcache_, bias_), oracle_(src_), stats_("sim")
 {
-    ctrl_.pc = prog.entry;
+    wireStages(policy);
+}
+
+Processor::Processor(CommitSource &src, const std::string &workload,
+                     Addr entry, const SimConfig &cfg,
+                     const pipeline::StagePolicy &policy)
+    : cfg_(cfg), src_(src), workload_(workload), entry_pc_(entry),
+      mem_(cfg.mem), bias_(cfg.bias), tcache_(cfg.tcache),
+      fill_(cfg.fill, tcache_, bias_), oracle_(src_), stats_("sim")
+{
+    wireStages(policy);
+}
+
+void
+Processor::wireStages(const pipeline::StagePolicy &policy)
+{
+    ctrl_.pc = entry_pc_;
 
     // The issue stage goes first: fetch needs its FU count for
     // round-robin I-cache slotting.
@@ -93,7 +110,7 @@ Processor::run()
             break;
         if (cfg_.maxCycles && cycle_ >= cfg_.maxCycles)
             break;
-        if (exec_.halted() && window_.empty() && fetch_latch_.empty() &&
+        if (src_.halted() && window_.empty() && fetch_latch_.empty() &&
             oracle_.drained()) {
             break;
         }
@@ -105,7 +122,8 @@ Processor::run()
     // counter hoists automatically flow into the result.
     SimResult res;
     res.config = cfg_.name;
-    res.workload = exec_.program().name;
+    res.workload = workload_;
+    res.maxInsts = cfg_.maxInsts;
     res.retired = stats_.counterValue("retire.retired");
     res.cycles = cycle_;
     res.hostSeconds = std::chrono::duration<double>(
@@ -151,6 +169,12 @@ Processor::setTracer(obs::PipeTracer *tracer)
     retire_->setTracer(tracer);
     recovery_->setTracer(tracer);
     fill_.setTracer(tracer);
+}
+
+void
+Processor::setCommitHook(pipeline::CommitHook hook)
+{
+    retire_->setCommitHook(std::move(hook));
 }
 
 SimResult

@@ -24,6 +24,8 @@
 #define TCFILL_SIM_PROCESSOR_HH
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "arch/executor.hh"
 #include "bpred/predictor.hh"
@@ -51,6 +53,18 @@ class Processor
      * stages.
      */
     Processor(const Program &prog, const SimConfig &cfg,
+              const pipeline::StagePolicy &policy = {});
+
+    /**
+     * Build the machine around an externally owned committed-path
+     * source instead of a live Executor: a trace-file ReplayExecutor,
+     * a RecordingSource tee, or a functionally fast-forwarded
+     * Executor (sampling). @p workload labels the result and
+     * @p entry is the first fetch PC (the source's next record's PC).
+     * @p src must outlive this Processor.
+     */
+    Processor(CommitSource &src, const std::string &workload,
+              Addr entry, const SimConfig &cfg,
               const pipeline::StagePolicy &policy = {});
 
     /** Run to completion (or the configured caps); returns results. */
@@ -92,8 +106,16 @@ class Processor
      */
     void setTracer(obs::PipeTracer *tracer);
 
+    /**
+     * Attach an observational per-commit callback (nullptr-like {}
+     * detaches); must be set before run(). Forwarded to the retire
+     * unit — see pipeline::CommitHook. Timing-invisible.
+     */
+    void setCommitHook(pipeline::CommitHook hook);
+
   private:
     void doCycle();
+    void wireStages(const pipeline::StagePolicy &policy);
 
     // ---- members ----------------------------------------------------
     // Declared first so it is destroyed last: every DynInstPtr held
@@ -101,7 +123,12 @@ class Processor
     SlabArena inst_pool_;
 
     SimConfig cfg_;
-    Executor exec_;
+    /** Live-mode Executor; empty when an external source is used. */
+    std::optional<Executor> own_exec_;
+    /** The committed-path source (own_exec_ or the external one). */
+    CommitSource &src_;
+    std::string workload_;
+    Addr entry_pc_;
 
     MemoryHierarchy mem_;
     BiasTable bias_;

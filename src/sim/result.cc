@@ -12,6 +12,8 @@ SimResult::dump(std::ostream &os) const
 {
     os << "== " << workload << " / " << config << " ==\n"
        << std::fixed << std::setprecision(4)
+       << "  mode             " << mode << " (max insts "
+       << maxInsts << ")\n"
        << "  retired          " << retired << "\n"
        << "  cycles           " << cycles << "\n"
        << "  IPC              " << ipc() << "\n"
@@ -39,6 +41,8 @@ SimResult::toJson(obs::JsonWriter &w, bool include_host) const
     w.beginObject();
     w.field("config", config);
     w.field("workload", workload);
+    w.field("mode", mode);
+    w.field("maxInsts", maxInsts);
     w.field("cacheHit", cacheHit);
     w.field("retired", retired);
     w.field("cycles", cycles);

@@ -24,6 +24,22 @@ struct SimResult
     std::string config;
     std::string workload;
 
+    /**
+     * Committed-stream provenance: "live" (in-process Executor),
+     * "record" (live run teeing a trace file), "replay" (trace-file
+     * ReplayExecutor) or "sample" (BBV-selected interval). Replayed
+     * and live documents are comparable modulo this field — see
+     * tools/check_stats_json.py --compare-replay.
+     */
+    std::string mode = "live";
+
+    /**
+     * The effective retire limit this run was configured with
+     * (SimConfig::maxInsts; 0 = run to halt). Recorded so documents
+     * produced at different caps are never silently compared.
+     */
+    InstSeqNum maxInsts = 0;
+
     InstSeqNum retired = 0;
     Cycle cycles = 0;
 

@@ -219,7 +219,19 @@ SimRunner::submit(const std::string &workload, const SimConfig &cfg,
 {
     const std::string key = workload + '@' + std::to_string(scale) +
         '#' + configCacheKey(cfg);
+    return submitKeyed(key,
+                       [this, workload, scale, cfg]() -> SimResult {
+                           auto prog = program(workload, scale);
+                           Processor proc(*prog, cfg);
+                           return proc.run();
+                       },
+                       cache_hit);
+}
 
+std::shared_future<SimResult>
+SimRunner::submitKeyed(const std::string &key,
+                       std::function<SimResult()> job, bool *cache_hit)
+{
     std::unique_lock<std::mutex> lk(mu_);
     if (!sweep_started_) {
         sweep_started_ = true;
@@ -246,12 +258,10 @@ SimRunner::submit(const std::string &workload, const SimConfig &cfg,
         promise->get_future().share();
     results_.emplace(key, fut);
 
-    jobs_.push_back([this, workload, scale, cfg,
+    jobs_.push_back([this, job = std::move(job),
                      promise = std::move(promise)] {
         const auto t0 = std::chrono::steady_clock::now();
-        auto prog = program(workload, scale);
-        Processor proc(*prog, cfg);
-        SimResult res = proc.run();
+        SimResult res = job();
         const double busy = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();
         obs::SweepProgress snap;

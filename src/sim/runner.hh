@@ -94,6 +94,20 @@ class SimRunner
            unsigned scale = 1, bool *cache_hit = nullptr);
 
     /**
+     * Enqueue an arbitrary simulation job under an explicit cache
+     * key (or attach to the cached/in-flight one). This is how
+     * non-(workload, config) points ride the pool and result cache —
+     * e.g. trace replays keyed on trace identity
+     * (tracefile::submitReplay). The key must capture everything the
+     * job's outcome depends on; @p job runs on a worker thread and
+     * must be self-contained.
+     */
+    std::shared_future<SimResult>
+    submitKeyed(const std::string &key,
+                std::function<SimResult()> job,
+                bool *cache_hit = nullptr);
+
+    /**
      * Blocking convenience: submit + wait, with the result's config
      * label rewritten to @p cfg's name and SimResult::cacheHit
      * recording whether this call was served from the result cache.

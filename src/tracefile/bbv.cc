@@ -1,0 +1,109 @@
+#include "tracefile/bbv.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace tcfill::tracefile
+{
+
+BbvProfiler::BbvProfiler(InstSeqNum interval) : interval_(interval)
+{
+    panic_if(interval_ == 0, "BBV interval must be positive");
+}
+
+void
+BbvProfiler::flushBlock()
+{
+    if (block_len_ == 0)
+        return;
+    cur_.blocks[block_start_] += block_len_;
+    block_len_ = 0;
+}
+
+void
+BbvProfiler::consume(const ExecRecord &rec)
+{
+    panic_if(finished_, "BbvProfiler::consume() after finish()");
+    if (!in_block_) {
+        block_start_ = rec.pc;
+        in_block_ = true;
+    }
+    ++block_len_;
+    ++cur_.insts;
+    ++total_;
+
+    // A block ends at any control transfer (taken or not — SimPoint
+    // keys blocks on static extent, and a not-taken branch still ends
+    // the static block) or serializing instruction.
+    if (rec.inst.isControl() || rec.inst.isSerializing()) {
+        flushBlock();
+        in_block_ = false;
+    }
+
+    if (cur_.insts >= interval_) {
+        // Cut exactly at the interval length; a block straddling the
+        // boundary contributes its halves to both intervals under the
+        // same start-PC key.
+        flushBlock();
+        intervals_.push_back(std::move(cur_));
+        cur_ = BbvInterval{};
+    }
+}
+
+void
+BbvProfiler::finish()
+{
+    if (finished_)
+        return;
+    flushBlock();
+    if (cur_.insts > 0) {
+        intervals_.push_back(std::move(cur_));
+        cur_ = BbvInterval{};
+    }
+    finished_ = true;
+}
+
+std::vector<BbvInterval>
+profileBbv(CommitSource &src, InstSeqNum interval, InstSeqNum maxInsts)
+{
+    BbvProfiler prof(interval);
+    InstSeqNum n = 0;
+    while (!src.halted() && (maxInsts == 0 || n < maxInsts)) {
+        prof.consume(src.step());
+        ++n;
+    }
+    prof.finish();
+    return prof.intervals();
+}
+
+void
+writeBbvJson(std::ostream &os, const std::string &workload,
+             InstSeqNum interval,
+             const std::vector<BbvInterval> &intervals)
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "tcfill-bbv-v1");
+    w.field("workload", workload);
+    w.field("intervalLength", static_cast<std::uint64_t>(interval));
+    w.field("intervals", static_cast<std::uint64_t>(intervals.size()));
+    w.beginArray("vectors");
+    for (const BbvInterval &iv : intervals) {
+        w.beginObject();
+        w.field("insts", static_cast<std::uint64_t>(iv.insts));
+        w.beginObject("blocks");
+        for (const auto &[pc, count] : iv.blocks) {
+            w.field(std::to_string(pc),
+                    static_cast<std::uint64_t>(count));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.finish();
+}
+
+} // namespace tcfill::tracefile

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Basic-block vector (BBV) profiling of the committed instruction
+ * stream, in the SimPoint style: execution is cut into fixed-length
+ * intervals (by committed instruction count) and each interval is
+ * summarized by how many instructions it spent in each basic block.
+ * Intervals with similar vectors execute similar code, which is what
+ * the k-means selector in sample.hh exploits to pick a few
+ * representative intervals instead of timing the whole run.
+ *
+ * The profiler is a pure consumer of ExecRecords, so it can run off
+ * a fast functional Executor (profileBbv — the normal path: no
+ * timing model, millions of records per second) or be attached to
+ * RetireUnit's commit hook during a timing run; both see the same
+ * committed stream and produce identical vectors (asserted in
+ * tests/test_tracefile.cc).
+ */
+
+#ifndef TCFILL_TRACEFILE_BBV_HH
+#define TCFILL_TRACEFILE_BBV_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/executor.hh"
+
+namespace tcfill::tracefile
+{
+
+/**
+ * One profiling interval: instruction counts per basic block. Blocks
+ * are keyed by their start PC (the target of the previous control
+ * transfer); counts are instructions executed in the block, so every
+ * interval's counts sum to its `insts`.
+ */
+struct BbvInterval
+{
+    InstSeqNum insts = 0;
+    std::map<Addr, std::uint64_t> blocks;
+};
+
+/** Streaming BBV profiler over committed records. */
+class BbvProfiler
+{
+  public:
+    /** @p interval is the interval length in committed instructions. */
+    explicit BbvProfiler(InstSeqNum interval);
+
+    /** Account one committed record (records arrive in order). */
+    void consume(const ExecRecord &rec);
+
+    /** Close the trailing partial interval (idempotent). */
+    void finish();
+
+    /** Completed intervals (call finish() first for the tail). */
+    const std::vector<BbvInterval> &intervals() const
+    {
+        return intervals_;
+    }
+
+    /** Total instructions consumed. */
+    InstSeqNum totalInsts() const { return total_; }
+
+    InstSeqNum intervalLength() const { return interval_; }
+
+  private:
+    void flushBlock();
+
+    InstSeqNum interval_;
+    InstSeqNum total_ = 0;
+
+    Addr block_start_ = 0;
+    bool in_block_ = false;
+    std::uint64_t block_len_ = 0;
+
+    BbvInterval cur_;
+    std::vector<BbvInterval> intervals_;
+    bool finished_ = false;
+};
+
+/**
+ * Profile @p src functionally to completion (or @p maxInsts committed
+ * instructions when non-zero) and return the interval vectors.
+ */
+std::vector<BbvInterval> profileBbv(CommitSource &src,
+                                    InstSeqNum interval,
+                                    InstSeqNum maxInsts = 0);
+
+/**
+ * Emit intervals as a tcfill-bbv-v1 JSON document (deterministic
+ * bytes: intervals in order, blocks in ascending PC order).
+ */
+void writeBbvJson(std::ostream &os, const std::string &workload,
+                  InstSeqNum interval,
+                  const std::vector<BbvInterval> &intervals);
+
+} // namespace tcfill::tracefile
+
+#endif // TCFILL_TRACEFILE_BBV_HH

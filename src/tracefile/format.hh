@@ -1,0 +1,130 @@
+/**
+ * @file
+ * On-disk layout of the tcfill-trace-v1 committed-trace format and
+ * the low-level encoding primitives it is built from: LEB128 varints,
+ * zigzag signed mapping, and CRC-32 (IEEE) framing checksums.
+ *
+ * File layout (all multi-byte scalars little-endian):
+ *
+ *   magic        8 bytes  "tcfiltr1"
+ *   version      u32      kTraceVersion (1)
+ *   hdr_len      u32      byte length of the header payload
+ *   hdr_payload  bytes    provenance fields, varint-packed (see
+ *                         TraceMeta in trace_io.hh)
+ *   hdr_crc      u32      CRC-32 of hdr_payload
+ *   frames...             record frames, then exactly one end frame
+ *
+ * Record frame:
+ *   tag          u8       kFrameRecords
+ *   count        varint   records in this frame (> 0)
+ *   byte_len     varint   payload byte length
+ *   payload      bytes    varint-packed records (format.cc/trace_io)
+ *   crc          u32      CRC-32 of payload
+ *
+ * End frame:
+ *   tag          u8       kFrameEnd
+ *   total        varint   total records in the file
+ *   crc          u32      CRC-32 of the varint bytes of `total`
+ *
+ * A file without a terminating end frame is truncated; every payload
+ * is CRC-checked before any record in it is surfaced. Record packing
+ * itself (per-field deltas) is documented in trace_io.hh and
+ * DESIGN.md §12.
+ */
+
+#ifndef TCFILL_TRACEFILE_FORMAT_HH
+#define TCFILL_TRACEFILE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tcfill::tracefile
+{
+
+/** File magic: 8 bytes, ASCII, version-bearing suffix. */
+inline constexpr char kTraceMagic[8] = {'t', 'c', 'f', 'i',
+                                        'l', 't', 'r', '1'};
+
+/** Format version this build reads and writes. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Frame tags. */
+inline constexpr std::uint8_t kFrameRecords = 0x01;
+inline constexpr std::uint8_t kFrameEnd = 0xfe;
+
+/** Records buffered per frame by TraceWriter. */
+inline constexpr std::size_t kFrameRecordCap = 4096;
+
+/** CRC-32 (IEEE 802.3, poly 0xedb88320, init/final xor ~0). */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/** Map a signed value onto unsigned LEB128 space (zigzag). */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t u)
+{
+    return static_cast<std::int64_t>(u >> 1) ^
+           -static_cast<std::int64_t>(u & 1);
+}
+
+/** Append @p v to @p out as an LEB128 varint (1-10 bytes). */
+inline void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+inline void
+putZigzag(std::string &out, std::int64_t v)
+{
+    putVarint(out, zigzagEncode(v));
+}
+
+/**
+ * Read one LEB128 varint from @p buf at @p pos (advanced past it).
+ * Returns false on truncation or overlong (> 10 byte) encodings;
+ * the cursor position is unspecified on failure.
+ */
+inline bool
+getVarint(const std::string &buf, std::size_t &pos, std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (pos >= buf.size())
+            return false;
+        const auto byte =
+            static_cast<std::uint8_t>(buf[pos++]);
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false;
+}
+
+inline bool
+getZigzag(const std::string &buf, std::size_t &pos, std::int64_t &v)
+{
+    std::uint64_t u = 0;
+    if (!getVarint(buf, pos, u))
+        return false;
+    v = zigzagDecode(u);
+    return true;
+}
+
+} // namespace tcfill::tracefile
+
+#endif // TCFILL_TRACEFILE_FORMAT_HH

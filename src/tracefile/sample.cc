@@ -1,0 +1,268 @@
+#include "tracefile/sample.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/processor.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill::tracefile
+{
+
+namespace
+{
+
+/** Projection dimensionality (SimPoint uses 15; 16 packs nicely). */
+constexpr std::size_t kProjDims = 16;
+
+/** Fixed seed: selection must be reproducible across runs/platforms. */
+constexpr std::uint64_t kSelectSeed = 0x51e0b0d15ee7ull;
+
+using ProjVec = std::array<double, kProjDims>;
+
+/**
+ * Pseudo-random projection weight for (block PC, dimension) in
+ * [-1, 1), derived by hashing so no projection matrix is stored and
+ * every interval sees the same weights. SplitMix64 finalizer.
+ */
+double
+projWeight(Addr pc, std::size_t dim)
+{
+    std::uint64_t z = pc * 0x9e3779b97f4a7c15ull + dim + 1;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * (2.0 / 9007199254740992.0) -
+           1.0;
+}
+
+/** Project an interval's block counts, normalized to frequencies. */
+ProjVec
+project(const BbvInterval &iv)
+{
+    ProjVec v{};
+    if (iv.insts == 0)
+        return v;
+    const double inv = 1.0 / static_cast<double>(iv.insts);
+    for (const auto &[pc, count] : iv.blocks) {
+        const double f = static_cast<double>(count) * inv;
+        for (std::size_t d = 0; d < kProjDims; ++d)
+            v[d] += f * projWeight(pc, d);
+    }
+    return v;
+}
+
+double
+dist2(const ProjVec &a, const ProjVec &b)
+{
+    double s = 0.0;
+    for (std::size_t d = 0; d < kProjDims; ++d) {
+        const double diff = a[d] - b[d];
+        s += diff * diff;
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<Simpoint>
+selectSimpoints(const std::vector<BbvInterval> &intervals, unsigned k)
+{
+    panic_if(k == 0, "simpoint selection needs k > 0");
+    const std::size_t n = intervals.size();
+    if (n == 0)
+        return {};
+    k = static_cast<unsigned>(
+        std::min<std::size_t>(k, n));
+
+    std::vector<ProjVec> pts(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i] = project(intervals[i]);
+
+    // k-means++ seeding from a fixed-seed deterministic stream.
+    Random rng(kSelectSeed);
+    std::vector<ProjVec> centroids;
+    centroids.reserve(k);
+    centroids.push_back(pts[rng.below(n)]);
+    std::vector<double> best(n, 0.0);
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            best[i] = dist2(pts[i], centroids[0]);
+            for (std::size_t c = 1; c < centroids.size(); ++c)
+                best[i] = std::min(best[i], dist2(pts[i], centroids[c]));
+            total += best[i];
+        }
+        if (total <= 0.0) {
+            // All points coincide with a centroid; further centroids
+            // are redundant, stop with fewer clusters.
+            break;
+        }
+        // Draw proportional to squared distance using a fixed-point
+        // slice of the generator (deterministic, no doubles from rng).
+        const double r = total *
+            (static_cast<double>(rng.next() >> 11) /
+             9007199254740992.0);
+        double acc = 0.0;
+        std::size_t pick = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += best[i];
+            if (acc >= r) {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push_back(pts[pick]);
+    }
+
+    // Lloyd iterations to convergence (bounded; ties break low-index
+    // so assignment is deterministic).
+    std::vector<std::size_t> assign(n, 0);
+    for (int iter = 0; iter < 100; ++iter) {
+        bool moved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t bc = 0;
+            double bd = dist2(pts[i], centroids[0]);
+            for (std::size_t c = 1; c < centroids.size(); ++c) {
+                const double d = dist2(pts[i], centroids[c]);
+                if (d < bd) {
+                    bd = d;
+                    bc = c;
+                }
+            }
+            if (assign[i] != bc) {
+                assign[i] = bc;
+                moved = true;
+            }
+        }
+        if (!moved && iter > 0)
+            break;
+        std::vector<ProjVec> sums(centroids.size(), ProjVec{});
+        std::vector<std::size_t> counts(centroids.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t d = 0; d < kProjDims; ++d)
+                sums[assign[i]][d] += pts[i][d];
+            ++counts[assign[i]];
+        }
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+            if (counts[c] == 0)
+                continue; // empty cluster keeps its centroid
+            for (std::size_t d = 0; d < kProjDims; ++d)
+                centroids[c][d] = sums[c][d] /
+                    static_cast<double>(counts[c]);
+        }
+    }
+
+    // Representative per non-empty cluster: the member closest to the
+    // centroid; weight is the cluster's share of all intervals.
+    std::vector<Simpoint> points;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        std::size_t rep = n;
+        double bd = std::numeric_limits<double>::infinity();
+        std::size_t members = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (assign[i] != c)
+                continue;
+            ++members;
+            const double d = dist2(pts[i], centroids[c]);
+            if (d < bd) {
+                bd = d;
+                rep = i;
+            }
+        }
+        if (members == 0)
+            continue;
+        points.push_back(Simpoint{
+            rep, static_cast<double>(members) / static_cast<double>(n)});
+    }
+    std::sort(points.begin(), points.end(),
+              [](const Simpoint &a, const Simpoint &b) {
+                  return a.interval < b.interval;
+              });
+    return points;
+}
+
+namespace
+{
+
+/** Step @p exec forward @p n committed instructions (or to halt). */
+void
+fastForward(Executor &exec, InstSeqNum n)
+{
+    for (InstSeqNum i = 0; i < n && !exec.halted(); ++i)
+        exec.step();
+}
+
+/**
+ * Cycles for a fresh machine to retire @p cap instructions starting
+ * from @p skip committed instructions into @p prog's stream.
+ */
+Cycle
+timePrefix(const Program &prog, const SimConfig &cfg, InstSeqNum skip,
+           InstSeqNum cap)
+{
+    if (cap == 0)
+        return 0;
+    Executor exec(prog);
+    fastForward(exec, skip);
+    SimConfig run_cfg = cfg;
+    run_cfg.maxInsts = cap;
+    Processor proc(exec, prog.name, exec.state().pc, run_cfg);
+    return proc.run().cycles;
+}
+
+} // namespace
+
+SimResult
+runSampled(const std::string &workload, unsigned scale,
+           const SimConfig &cfg, const SampleSpec &spec)
+{
+    panic_if(spec.interval == 0, "sample interval must be positive");
+    const Program prog = workloads::build(workload, scale);
+
+    // Functional BBV profile over the same region a full timing run
+    // would retire (cfg.maxInsts-capped).
+    Executor prof_exec(prog);
+    const std::vector<BbvInterval> ivs =
+        profileBbv(prof_exec, spec.interval, cfg.maxInsts);
+    // profileBbv stops at the cap, so this is min(run length, cap).
+    const InstSeqNum total = prof_exec.instCount();
+
+    const std::vector<Simpoint> points = selectSimpoints(ivs, spec.k);
+    panic_if(points.empty(), "no intervals to sample (empty program?)");
+
+    // Per-point measurement: warm the machine on the preceding
+    // `warmup` instructions, then take the exact cycle count of the
+    // interval by prefix subtraction (see file comment).
+    double est_cpi = 0.0;
+    for (const Simpoint &p : points) {
+        const InstSeqNum start =
+            static_cast<InstSeqNum>(p.interval) * spec.interval;
+        const InstSeqNum warm =
+            std::min<InstSeqNum>(spec.warmup, start);
+        const InstSeqNum skip = start - warm;
+        const InstSeqNum measure = ivs[p.interval].insts;
+
+        const Cycle c_warm = timePrefix(prog, cfg, skip, warm);
+        const Cycle c_full = timePrefix(prog, cfg, skip, warm + measure);
+        const double cycles =
+            static_cast<double>(c_full) - static_cast<double>(c_warm);
+        est_cpi += p.weight * (cycles / static_cast<double>(measure));
+    }
+
+    SimResult res;
+    res.config = cfg.name;
+    res.workload = prog.name;
+    res.mode = "sample";
+    res.maxInsts = cfg.maxInsts;
+    res.retired = total;
+    res.cycles = static_cast<Cycle>(
+        std::llround(est_cpi * static_cast<double>(total)));
+    return res;
+}
+
+} // namespace tcfill::tracefile

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SimPoint-style interval sampling: cluster the BBV intervals of a
+ * workload (bbv.hh), time only one representative interval per
+ * cluster, and combine the per-interval CPIs with cluster weights
+ * into a whole-run IPC estimate — turning an O(run length) timing
+ * simulation into O(k * (warmup + interval)).
+ *
+ * Measurement is exact per interval, not approximate: the machine is
+ * deterministic, so timing the same fast-forwarded stream twice —
+ * once capped at the end of warmup, once capped at the end of the
+ * measured interval — makes cycles(warmup+measure) - cycles(warmup)
+ * precisely the cycles the measured instructions took, with warmed
+ * caches and predictors. The only error left is the clustering
+ * approximation itself (bounded empirically in EXPERIMENTS.md).
+ */
+
+#ifndef TCFILL_TRACEFILE_SAMPLE_HH
+#define TCFILL_TRACEFILE_SAMPLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/result.hh"
+#include "tracefile/bbv.hh"
+
+namespace tcfill::tracefile
+{
+
+/** One selected representative interval. */
+struct Simpoint
+{
+    /** Index into the BBV interval sequence. */
+    std::size_t interval = 0;
+    /** Fraction of all intervals in this point's cluster. */
+    double weight = 0.0;
+};
+
+/**
+ * Cluster @p intervals into (at most) @p k groups by BBV similarity
+ * and return one representative per non-empty cluster, ordered by
+ * interval index. Deterministic: k-means++ seeding and Lloyd
+ * iterations run off a fixed-seed tcfill::Random, and block vectors
+ * are random-projected with a hash of the block PC, so the same
+ * intervals always select the same points on every platform.
+ */
+std::vector<Simpoint> selectSimpoints(
+    const std::vector<BbvInterval> &intervals, unsigned k);
+
+/** Parameters of a sampled run. */
+struct SampleSpec
+{
+    /** Target cluster count (clamped to the interval count). */
+    unsigned k = 4;
+    /** Interval length in committed instructions. */
+    InstSeqNum interval = 100'000;
+    /** Instructions simulated (not measured) before each interval. */
+    InstSeqNum warmup = 50'000;
+};
+
+/**
+ * Estimate the full-run timing of (@p workload, @p scale, @p cfg) by
+ * BBV sampling: functional profile, simpoint selection, then one
+ * warmed timing measurement per selected interval. The result has
+ * mode "sample"; retired is the full functional instruction count
+ * (honoring cfg.maxInsts) and cycles is the weighted whole-run
+ * estimate, so ipc() is directly comparable to a full run's. The
+ * detailed microarchitectural counters are left zero — a sampled run
+ * estimates IPC, not the full counter set.
+ */
+SimResult runSampled(const std::string &workload, unsigned scale,
+                     const SimConfig &cfg, const SampleSpec &spec);
+
+} // namespace tcfill::tracefile
+
+#endif // TCFILL_TRACEFILE_SAMPLE_HH

@@ -1,0 +1,869 @@
+/**
+ * @file
+ * Trace capture/replay and BBV sampling tests: format primitives
+ * (varint/zigzag/CRC), writer/reader round trips (including fuzzed
+ * random programs), structural error handling (truncation, CRC
+ * mismatch, version skew), record-vs-replay timing determinism, BBV
+ * profiler equivalence between the functional path and the retire
+ * commit hook, simpoint selection properties, the sampled-IPC error
+ * bound, and content-keyed replay result caching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "sim/processor.hh"
+#include "sim/runner.hh"
+#include "sim/stats_io.hh"
+#include "tracefile/bbv.hh"
+#include "tracefile/format.hh"
+#include "tracefile/replay.hh"
+#include "tracefile/sample.hh"
+#include "tracefile/trace_io.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill::tracefile
+{
+namespace
+{
+
+constexpr InstSeqNum kTestInsts = 10'000;
+
+SimConfig
+testConfig(InstSeqNum max_insts = kTestInsts)
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = "test";
+    cfg.maxInsts = max_insts;
+    return cfg;
+}
+
+void
+expectSameRecord(const ExecRecord &a, const ExecRecord &b)
+{
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.pc, b.pc);
+    EXPECT_EQ(a.nextPc, b.nextPc);
+    EXPECT_EQ(a.inst, b.inst);
+    EXPECT_EQ(a.taken, b.taken);
+    EXPECT_EQ(a.effAddr, b.effAddr);
+}
+
+void
+expectSameTiming(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.tcHits, b.tcHits);
+    EXPECT_EQ(a.tcMisses, b.tcMisses);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.inactiveRescues, b.inactiveRescues);
+    EXPECT_EQ(a.mispredictStallCycles, b.mispredictStallCycles);
+    EXPECT_EQ(a.segmentsBuilt, b.segmentsBuilt);
+    EXPECT_EQ(a.dynMoves, b.dynMoves);
+    EXPECT_EQ(a.dynReassoc, b.dynReassoc);
+    EXPECT_EQ(a.dynScaled, b.dynScaled);
+    EXPECT_EQ(a.dynElided, b.dynElided);
+    EXPECT_EQ(a.dynMoveIdioms, b.dynMoveIdioms);
+    EXPECT_EQ(a.bypassDelayed, b.bypassDelayed);
+}
+
+/** Capture @p workload's committed stream into a string. */
+std::string
+captureWorkload(const std::string &workload, const SimConfig &cfg)
+{
+    std::ostringstream os;
+    const Program prog = workloads::build(workload, 1);
+    TraceMeta meta;
+    meta.workload = prog.name;
+    meta.config = cfg.name;
+    meta.entryPc = prog.entry;
+    meta.maxInsts = cfg.maxInsts;
+    Executor exec(prog);
+    TraceWriter writer(os, meta);
+    RecordingSource source(exec, writer);
+    Processor proc(source, prog.name, prog.entry, cfg);
+    proc.run();
+    writer.finish();
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Format primitives
+// --------------------------------------------------------------------
+
+TEST(Format, VarintRoundtrip)
+{
+    const std::uint64_t cases[] = {
+        0, 1, 127, 128, 129, 16383, 16384, 1u << 20,
+        0xdeadbeefull, ~0ull, ~0ull - 1,
+    };
+    std::string buf;
+    for (std::uint64_t v : cases)
+        putVarint(buf, v);
+    std::size_t pos = 0;
+    for (std::uint64_t v : cases) {
+        std::uint64_t got = 0;
+        ASSERT_TRUE(getVarint(buf, pos, got));
+        EXPECT_EQ(got, v);
+    }
+    EXPECT_EQ(pos, buf.size());
+
+    // Truncation is reported, not read past.
+    std::string cut = buf.substr(0, buf.size() - 1);
+    pos = 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (!getVarint(cut, pos, v))
+            break;
+    }
+    EXPECT_LE(pos, cut.size());
+}
+
+TEST(Format, ZigzagRoundtrip)
+{
+    const std::int64_t cases[] = {
+        0, 1, -1, 63, -64, 64, -65, 4, -4,
+        std::numeric_limits<std::int32_t>::max(),
+        std::numeric_limits<std::int32_t>::min(),
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t v : cases) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+        std::string buf;
+        putZigzag(buf, v);
+        std::size_t pos = 0;
+        std::int64_t got = 0;
+        ASSERT_TRUE(getZigzag(buf, pos, got));
+        EXPECT_EQ(got, v);
+    }
+    // Small magnitudes pack into one byte (the common deltas).
+    std::string one;
+    putZigzag(one, -4);
+    EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(Format, Crc32KnownVector)
+{
+    // The canonical CRC-32/IEEE check value.
+    const char *s = "123456789";
+    EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+    EXPECT_EQ(crc32(s, 0), 0u);
+    // Seed chaining splits a buffer anywhere.
+    EXPECT_EQ(crc32(s + 4, 5, crc32(s, 4)), 0xCBF43926u);
+}
+
+// --------------------------------------------------------------------
+// Writer / reader round trips
+// --------------------------------------------------------------------
+
+Program
+countdownProgram(int iters)
+{
+    ProgramBuilder b("countdown");
+    Addr arr = b.dataWords(std::vector<std::int32_t>(64, 7));
+    b.li(1, iters);
+    b.la(2, arr);
+    Label top = b.newLabel();
+    b.bind(top);
+    b.lw(3, 2, 8);
+    b.add(4, 3, 1);
+    b.sw(4, 2, 12);
+    b.addi(1, 1, -1);
+    b.bgtz(1, top);
+    b.halt();
+    return b.finish();
+}
+
+TEST(TraceIo, RoundtripSmallProgram)
+{
+    const Program prog = countdownProgram(50);
+
+    // Reference stream.
+    std::vector<ExecRecord> ref;
+    {
+        Executor exec(prog);
+        while (!exec.halted())
+            ref.push_back(exec.step());
+    }
+
+    // Capture.
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.workload = prog.name;
+    meta.config = "test";
+    meta.entryPc = prog.entry;
+    {
+        Executor exec(prog);
+        TraceWriter writer(os, meta);
+        while (!exec.halted())
+            writer.append(exec.step());
+        writer.finish();
+        EXPECT_EQ(writer.records(), ref.size());
+    }
+
+    // Read back.
+    std::istringstream is(os.str());
+    TraceReader reader(is);
+    ASSERT_EQ(reader.error(), ReadStatus::Ok) << reader.errorDetail();
+    EXPECT_EQ(reader.meta().workload, prog.name);
+    EXPECT_EQ(reader.meta().config, "test");
+    EXPECT_EQ(reader.meta().entryPc, prog.entry);
+    ExecRecord rec;
+    for (const ExecRecord &want : ref) {
+        ASSERT_EQ(reader.next(rec), ReadStatus::Ok)
+            << reader.errorDetail();
+        expectSameRecord(rec, want);
+    }
+    EXPECT_EQ(reader.next(rec), ReadStatus::Eof);
+    EXPECT_EQ(reader.totalRecords(), ref.size());
+    // Exhausted readers stay exhausted.
+    EXPECT_EQ(reader.next(rec), ReadStatus::Eof);
+}
+
+TEST(TraceIo, MultiFrameTrace)
+{
+    // > kFrameRecordCap records forces multiple frames.
+    const Program prog = countdownProgram(2000);
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.entryPc = prog.entry;
+    Executor exec(prog);
+    TraceWriter writer(os, meta);
+    while (!exec.halted())
+        writer.append(exec.step());
+    writer.finish();
+    ASSERT_GT(writer.records(), kFrameRecordCap);
+
+    std::istringstream is(os.str());
+    TraceReader reader(is);
+    ASSERT_EQ(reader.error(), ReadStatus::Ok);
+    ExecRecord rec;
+    InstSeqNum n = 0;
+    while (reader.next(rec) == ReadStatus::Ok)
+        ++n;
+    EXPECT_EQ(reader.error(), ReadStatus::Eof);
+    EXPECT_EQ(n, writer.records());
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.workload = "empty";
+    {
+        TraceWriter writer(os, meta);
+        writer.finish();
+    }
+    std::istringstream is(os.str());
+    TraceReader reader(is);
+    ASSERT_EQ(reader.error(), ReadStatus::Ok);
+    EXPECT_EQ(reader.meta().workload, "empty");
+    ExecRecord rec;
+    EXPECT_EQ(reader.next(rec), ReadStatus::Eof);
+    EXPECT_EQ(reader.totalRecords(), 0u);
+}
+
+TEST(TraceIo, CompressionIsEffective)
+{
+    // The delta/varint packing should land well under the ~37 bytes
+    // an unpacked ExecRecord occupies in memory.
+    const std::string bytes = captureWorkload("compress", testConfig());
+    std::istringstream is(bytes);
+    TraceReader reader(is);
+    ASSERT_EQ(reader.error(), ReadStatus::Ok);
+    ExecRecord rec;
+    while (reader.next(rec) == ReadStatus::Ok) {
+    }
+    ASSERT_EQ(reader.error(), ReadStatus::Eof);
+    const double per_record = static_cast<double>(bytes.size()) /
+        static_cast<double>(reader.records());
+    EXPECT_LT(per_record, 16.0);
+}
+
+// --------------------------------------------------------------------
+// Structural error handling
+// --------------------------------------------------------------------
+
+/** A tiny valid trace plus its decomposition offsets. */
+struct TraceImage
+{
+    std::string bytes;
+    std::size_t headerEnd;  ///< offset just past the header CRC
+};
+
+TraceImage
+smallImage()
+{
+    const Program prog = countdownProgram(10);
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.workload = prog.name;
+    meta.entryPc = prog.entry;
+    Executor exec(prog);
+    TraceWriter writer(os, meta);
+    while (!exec.halted())
+        writer.append(exec.step());
+    writer.finish();
+    TraceImage img;
+    img.bytes = os.str();
+    // magic(8) + version(4) + len(4) + payload(len) + crc(4).
+    const auto len =
+        static_cast<std::uint32_t>(
+            static_cast<std::uint8_t>(img.bytes[12])) |
+        static_cast<std::uint32_t>(
+            static_cast<std::uint8_t>(img.bytes[13])) << 8 |
+        static_cast<std::uint32_t>(
+            static_cast<std::uint8_t>(img.bytes[14])) << 16 |
+        static_cast<std::uint32_t>(
+            static_cast<std::uint8_t>(img.bytes[15])) << 24;
+    img.headerEnd = 16 + len + 4;
+    return img;
+}
+
+ReadStatus
+drain(const std::string &bytes, std::string *detail = nullptr)
+{
+    std::istringstream is(bytes);
+    TraceReader reader(is);
+    ExecRecord rec;
+    ReadStatus s = reader.error();
+    while (s == ReadStatus::Ok)
+        s = reader.next(rec);
+    if (detail)
+        *detail = reader.errorDetail();
+    return s;
+}
+
+TEST(TraceErrors, CleanFileDrainsToEof)
+{
+    EXPECT_EQ(drain(smallImage().bytes), ReadStatus::Eof);
+}
+
+TEST(TraceErrors, TruncatedMidFrame)
+{
+    TraceImage img = smallImage();
+    // Drop the end frame and half the record frame.
+    std::string cut =
+        img.bytes.substr(0, img.headerEnd +
+                                (img.bytes.size() - img.headerEnd) / 2);
+    EXPECT_EQ(drain(cut), ReadStatus::Truncated);
+}
+
+TEST(TraceErrors, MissingEndFrameIsTruncated)
+{
+    // Cut exactly at the end-frame boundary: all records are intact
+    // but the terminator is gone — still flagged, never silent Eof.
+    TraceImage img = smallImage();
+    // End frame = tag + varint(total) + crc4; total < 128 here.
+    std::string cut = img.bytes.substr(0, img.bytes.size() - 6);
+    EXPECT_EQ(drain(cut), ReadStatus::Truncated);
+}
+
+TEST(TraceErrors, FrameCrcMismatch)
+{
+    TraceImage img = smallImage();
+    // Flip a byte inside the record frame payload (skip the frame's
+    // tag + two varints; any payload byte works).
+    img.bytes[img.headerEnd + 8] ^= 0x40;
+    std::string detail;
+    EXPECT_EQ(drain(img.bytes, &detail), ReadStatus::CrcMismatch);
+    EXPECT_NE(detail.find("CRC"), std::string::npos);
+}
+
+TEST(TraceErrors, HeaderCrcMismatch)
+{
+    TraceImage img = smallImage();
+    img.bytes[17] ^= 0x01;  // inside the header payload
+    EXPECT_EQ(drain(img.bytes), ReadStatus::CrcMismatch);
+}
+
+TEST(TraceErrors, VersionSkew)
+{
+    TraceImage img = smallImage();
+    img.bytes[8] = 99;  // version u32 LE at offset 8
+    std::string detail;
+    EXPECT_EQ(drain(img.bytes, &detail), ReadStatus::BadVersion);
+    EXPECT_NE(detail.find("v99"), std::string::npos);
+}
+
+TEST(TraceErrors, BadMagic)
+{
+    EXPECT_EQ(drain("definitely not a trace file"),
+              ReadStatus::BadMagic);
+    EXPECT_EQ(drain(""), ReadStatus::BadMagic);
+    TraceImage img = smallImage();
+    img.bytes[0] = 'X';
+    EXPECT_EQ(drain(img.bytes), ReadStatus::BadMagic);
+}
+
+TEST(TraceErrors, UnknownFrameTag)
+{
+    TraceImage img = smallImage();
+    img.bytes[img.headerEnd] = 0x7f;  // record frame tag position
+    EXPECT_EQ(drain(img.bytes), ReadStatus::Malformed);
+}
+
+TEST(TraceErrors, StatusNamesAreStable)
+{
+    EXPECT_STREQ(readStatusName(ReadStatus::Ok), "ok");
+    EXPECT_STREQ(readStatusName(ReadStatus::Eof), "eof");
+    EXPECT_STREQ(readStatusName(ReadStatus::Truncated), "truncated");
+    EXPECT_STREQ(readStatusName(ReadStatus::CrcMismatch),
+                 "crc mismatch");
+    EXPECT_STREQ(readStatusName(ReadStatus::BadVersion),
+                 "version skew");
+}
+
+TEST(TraceErrorsDeathTest, ReplayExecutorFatalsOnCorruptTrace)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    TraceImage img = smallImage();
+    img.bytes[img.headerEnd + 8] ^= 0x40;
+    EXPECT_EXIT(
+        {
+            std::istringstream is(img.bytes);
+            ReplayExecutor rx(is, "corrupt.tctrace");
+            while (!rx.halted())
+                rx.step();
+        },
+        ::testing::ExitedWithCode(1), "crc mismatch");
+}
+
+// --------------------------------------------------------------------
+// Record / replay timing determinism
+// --------------------------------------------------------------------
+
+TEST(Replay, TimingIdenticalToLiveRun)
+{
+    for (const char *workload : {"compress", "li"}) {
+        const SimConfig cfg = testConfig();
+        const Program prog = workloads::build(workload, 1);
+        Processor live(prog, cfg);
+        const SimResult live_res = live.run();
+
+        const std::string bytes = captureWorkload(workload, cfg);
+        std::istringstream is(bytes);
+        ReplayExecutor rx(is, workload);
+        EXPECT_EQ(rx.meta().workload, workload);
+        EXPECT_EQ(rx.meta().maxInsts, cfg.maxInsts);
+        Processor replay(rx, rx.meta().workload, rx.meta().entryPc,
+                         cfg);
+        const SimResult replay_res = replay.run();
+
+        expectSameTiming(live_res, replay_res);
+    }
+}
+
+TEST(Replay, RecordingDoesNotPerturbTiming)
+{
+    const SimConfig cfg = testConfig();
+    const Program prog = workloads::build("li", 1);
+    Processor plain(prog, cfg);
+    const SimResult plain_res = plain.run();
+
+    std::ostringstream os;
+    TraceMeta meta;
+    meta.workload = prog.name;
+    meta.entryPc = prog.entry;
+    Executor exec(prog);
+    TraceWriter writer(os, meta);
+    RecordingSource source(exec, writer);
+    Processor recorded(source, prog.name, prog.entry, cfg);
+    const SimResult rec_res = recorded.run();
+
+    expectSameTiming(plain_res, rec_res);
+}
+
+TEST(Replay, CapSmallerThanTraceStopsCleanly)
+{
+    const std::string bytes = captureWorkload("compress", testConfig());
+    SimConfig small = testConfig(2'000);
+    std::istringstream is(bytes);
+    ReplayExecutor rx(is, "compress");
+    Processor proc(rx, rx.meta().workload, rx.meta().entryPc, small);
+    const SimResult res = proc.run();
+    EXPECT_EQ(res.retired, 2'000u);
+}
+
+TEST(Replay, UncappedReplayClampsToRecordedRegion)
+{
+    // A capped recording ends mid-program (no serializing halt), so a
+    // replay whose cap is lifted — or larger than the recording's —
+    // must be clamped to the recorded region and stop cleanly there,
+    // with timing identical to a replay at the recorded cap.
+    const std::string path =
+        ::testing::TempDir() + "tcfill_exhaust.tctrace";
+    const SimConfig capped = testConfig(2'000);
+    const SimResult rec = recordTrace("compress", 1, capped, path);
+
+    setQuietLogging(true);  // silence the expected clamp warning
+    SimConfig uncapped = testConfig(0);
+    uncapped.maxCycles = 1'000'000;  // backstop against livelock
+    const SimResult res = replayTrace(path, uncapped);
+    EXPECT_EQ(res.retired, rec.retired);
+    EXPECT_EQ(res.cycles, rec.cycles);
+    EXPECT_LT(res.cycles, 1'000'000u);
+
+    SimConfig larger = testConfig(5'000);
+    const SimResult res2 = replayTrace(path, larger);
+    EXPECT_EQ(res2.retired, rec.retired);
+    EXPECT_EQ(res2.cycles, rec.cycles);
+    setQuietLogging(false);
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Round-trip fuzz over random programs
+// --------------------------------------------------------------------
+
+Program
+randomProgram(Random &rng, int index)
+{
+    ProgramBuilder b("fuzz" + std::to_string(index));
+    const Addr arr = b.dataWords(std::vector<std::int32_t>(64, 3));
+    const int iters = static_cast<int>(rng.range(5, 40));
+    b.li(1, iters);
+    b.la(2, arr);
+    Label top = b.newLabel();
+    b.bind(top);
+    const int body = static_cast<int>(rng.range(4, 12));
+    for (int i = 0; i < body; ++i) {
+        const RegIndex rd = static_cast<RegIndex>(rng.range(3, 10));
+        const RegIndex rs = static_cast<RegIndex>(rng.range(1, 10));
+        const RegIndex rt = static_cast<RegIndex>(rng.range(1, 10));
+        switch (rng.below(8)) {
+          case 0:
+            b.add(rd, rs, rt);
+            break;
+          case 1:
+            b.sub(rd, rs, rt);
+            break;
+          case 2:
+            b.xor_(rd, rs, rt);
+            break;
+          case 3:
+            b.addi(rd, rs,
+                   static_cast<std::int32_t>(rng.range(-100, 100)));
+            break;
+          case 4:
+            b.slli(rd, rs, static_cast<unsigned>(rng.range(0, 4)));
+            break;
+          case 5:
+            b.lw(rd, 2,
+                 static_cast<std::int32_t>(4 * rng.range(0, 63)));
+            break;
+          case 6:
+            b.sw(rs, 2,
+                 static_cast<std::int32_t>(4 * rng.range(0, 63)));
+            break;
+          default: {
+            // Short forward branch over one instruction.
+            Label skip = b.newLabel();
+            b.beq(rs, rt, skip);
+            b.addi(rd, rd, 1);
+            b.bind(skip);
+            break;
+          }
+        }
+    }
+    b.addi(1, 1, -1);
+    b.bgtz(1, top);
+    b.halt();
+    return b.finish();
+}
+
+TEST(Fuzz, RecordReplayRoundtrip)
+{
+    Random rng(0xf022);
+    for (int i = 0; i < 12; ++i) {
+        const Program prog = randomProgram(rng, i);
+        SimConfig cfg = testConfig(0);
+        cfg.name = "fuzz";
+
+        // Record a live timing run.
+        std::ostringstream os;
+        TraceMeta meta;
+        meta.workload = prog.name;
+        meta.config = cfg.name;
+        meta.entryPc = prog.entry;
+        Executor exec(prog);
+        TraceWriter writer(os, meta);
+        RecordingSource source(exec, writer);
+        Processor rec_proc(source, prog.name, prog.entry, cfg);
+        SimResult rec_res = rec_proc.run();
+        writer.finish();
+
+        // Replay: identical committed count and timing.
+        std::istringstream is(os.str());
+        ReplayExecutor rx(is, prog.name);
+        Processor rep_proc(rx, rx.meta().workload, rx.meta().entryPc,
+                           cfg);
+        SimResult rep_res = rep_proc.run();
+        ASSERT_EQ(rep_res.retired, rec_res.retired) << prog.name;
+        expectSameTiming(rec_res, rep_res);
+
+        // Byte-identical stats JSON once the mode provenance (the
+        // one field that legitimately differs) is normalized.
+        rec_res.mode = rep_res.mode = "x";
+        rec_res.config = rep_res.config = cfg.name;
+        std::ostringstream ja, jb;
+        writeStatsJson(ja, "fuzz", {rec_res});
+        writeStatsJson(jb, "fuzz", {rep_res});
+        ASSERT_EQ(ja.str(), jb.str()) << prog.name;
+
+        // And the decoded record stream matches a functional rerun.
+        std::istringstream is2(os.str());
+        TraceReader reader(is2);
+        ASSERT_EQ(reader.error(), ReadStatus::Ok);
+        Executor ref(prog);
+        ExecRecord rec;
+        while (reader.next(rec) == ReadStatus::Ok) {
+            ASSERT_FALSE(ref.halted());
+            expectSameRecord(rec, ref.step());
+        }
+        ASSERT_EQ(reader.error(), ReadStatus::Eof);
+        // The recorder may have captured prefetched-but-unretired
+        // tail records; the functional rerun must cover them all.
+        EXPECT_EQ(reader.records(), reader.totalRecords());
+    }
+}
+
+// --------------------------------------------------------------------
+// BBV profiling
+// --------------------------------------------------------------------
+
+void
+expectSameIntervals(const std::vector<BbvInterval> &a,
+                    const std::vector<BbvInterval> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].insts, b[i].insts) << "interval " << i;
+        EXPECT_EQ(a[i].blocks, b[i].blocks) << "interval " << i;
+    }
+}
+
+TEST(Bbv, IntervalInvariants)
+{
+    const Program prog = workloads::build("li", 1);
+    Executor exec(prog);
+    const InstSeqNum interval = 1'000;
+    auto ivs = profileBbv(exec, interval, kTestInsts);
+    ASSERT_FALSE(ivs.empty());
+    InstSeqNum total = 0;
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+        std::uint64_t sum = 0;
+        for (const auto &[pc, count] : ivs[i].blocks)
+            sum += count;
+        EXPECT_EQ(sum, ivs[i].insts) << "interval " << i;
+        if (i + 1 < ivs.size()) {
+            EXPECT_EQ(ivs[i].insts, interval);
+        }
+        total += ivs[i].insts;
+    }
+    EXPECT_EQ(total, kTestInsts);
+}
+
+TEST(Bbv, FunctionalMatchesCommitHook)
+{
+    // The profiler sees the same committed stream whether driven by
+    // the fast functional path or the retire unit's commit hook.
+    const Program prog = workloads::build("li", 1);
+    const SimConfig cfg = testConfig();
+    const InstSeqNum interval = 1'000;
+
+    Executor exec(prog);
+    auto functional = profileBbv(exec, interval, cfg.maxInsts);
+
+    BbvProfiler hooked(interval);
+    Processor proc(prog, cfg);
+    proc.setCommitHook([&hooked](const ExecRecord &rec, Cycle) {
+        hooked.consume(rec);
+    });
+    proc.run();
+    hooked.finish();
+
+    expectSameIntervals(functional, hooked.intervals());
+}
+
+TEST(Bbv, JsonEmission)
+{
+    const Program prog = countdownProgram(100);
+    Executor exec(prog);
+    auto ivs = profileBbv(exec, 100);
+    std::ostringstream os;
+    writeBbvJson(os, prog.name, 100, ivs);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\": \"tcfill-bbv-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"workload\": \"countdown\""),
+              std::string::npos);
+    // Deterministic bytes on re-emission.
+    std::ostringstream os2;
+    writeBbvJson(os2, prog.name, 100, ivs);
+    EXPECT_EQ(doc, os2.str());
+}
+
+// --------------------------------------------------------------------
+// Simpoint selection
+// --------------------------------------------------------------------
+
+std::vector<BbvInterval>
+profiledIntervals(const char *workload, InstSeqNum interval,
+                  InstSeqNum cap)
+{
+    const Program prog = workloads::build(workload, 1);
+    Executor exec(prog);
+    return profileBbv(exec, interval, cap);
+}
+
+TEST(Simpoints, SelectionProperties)
+{
+    auto ivs = profiledIntervals("compress", 1'000, 50'000);
+    ASSERT_GE(ivs.size(), 8u);
+    auto pts = selectSimpoints(ivs, 5);
+    ASSERT_FALSE(pts.empty());
+    EXPECT_LE(pts.size(), 5u);
+
+    double weight = 0.0;
+    std::size_t prev = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_LT(pts[i].interval, ivs.size());
+        EXPECT_GT(pts[i].weight, 0.0);
+        if (i > 0) {
+            EXPECT_GT(pts[i].interval, prev) << "sorted, unique";
+        }
+        prev = pts[i].interval;
+        weight += pts[i].weight;
+    }
+    EXPECT_NEAR(weight, 1.0, 1e-9);
+}
+
+TEST(Simpoints, Deterministic)
+{
+    auto ivs = profiledIntervals("li", 1'000, 30'000);
+    auto a = selectSimpoints(ivs, 4);
+    auto b = selectSimpoints(ivs, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].interval, b[i].interval);
+        EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    }
+}
+
+TEST(Simpoints, KClampsToIntervalCount)
+{
+    auto ivs = profiledIntervals("li", 5'000, 15'000);
+    auto pts = selectSimpoints(ivs, 100);
+    EXPECT_LE(pts.size(), ivs.size());
+    double weight = 0.0;
+    for (const auto &p : pts)
+        weight += p.weight;
+    EXPECT_NEAR(weight, 1.0, 1e-9);
+}
+
+TEST(Simpoints, EmptyInput)
+{
+    EXPECT_TRUE(selectSimpoints({}, 4).empty());
+}
+
+// --------------------------------------------------------------------
+// Sampled runs
+// --------------------------------------------------------------------
+
+TEST(Sampling, IpcWithinBoundOfFullRun)
+{
+    // The bound here matches the recipe documented in EXPERIMENTS.md:
+    // k=8 x 10k-inst intervals with 50k warmup tracks a 100k-inst
+    // full run within 10% (measured ~0.5% compress, ~3% li).
+    const SimConfig cfg = testConfig(100'000);
+    SampleSpec spec;
+    spec.k = 8;
+    spec.interval = 10'000;
+    spec.warmup = 50'000;
+    for (const char *workload : {"compress", "li"}) {
+        const Program prog = workloads::build(workload, 1);
+        Processor full(prog, cfg);
+        const double full_ipc = full.run().ipc();
+
+        const SimResult sampled = runSampled(workload, 1, cfg, spec);
+        EXPECT_EQ(sampled.mode, "sample");
+        EXPECT_EQ(sampled.retired, 100'000u);
+        const double err =
+            std::abs(sampled.ipc() - full_ipc) / full_ipc;
+        EXPECT_LT(err, 0.10)
+            << workload << ": sampled " << sampled.ipc() << " vs full "
+            << full_ipc;
+    }
+}
+
+// --------------------------------------------------------------------
+// Replay result caching
+// --------------------------------------------------------------------
+
+TEST(ReplayCache, KeyedOnTraceContent)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path_a = dir + "tcfill_cache_a.tctrace";
+    const std::string path_b = dir + "tcfill_cache_b.tctrace";
+    const SimConfig cfg = testConfig(5'000);
+
+    const SimResult rec =
+        recordTrace("compress", 1, cfg, path_a);
+    EXPECT_EQ(rec.mode, "record");
+    EXPECT_EQ(rec.maxInsts, cfg.maxInsts);
+
+    // Same bytes under a second path: identity must not change.
+    {
+        std::ifstream src(path_a, std::ios::binary);
+        std::ofstream dst(path_b, std::ios::binary);
+        dst << src.rdbuf();
+    }
+    EXPECT_EQ(traceIdentity(path_a), traceIdentity(path_b));
+
+    SimRunner pool(2);
+    bool hit = true;
+    SimResult first = submitReplay(pool, path_a, cfg, &hit).get();
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(first.retired, rec.retired);
+    EXPECT_EQ(first.cycles, rec.cycles);
+
+    submitReplay(pool, path_a, cfg, &hit).get();
+    EXPECT_TRUE(hit);
+    submitReplay(pool, path_b, cfg, &hit).get();
+    EXPECT_TRUE(hit) << "cache key must follow content, not path";
+
+    // A different config is a different point.
+    SimConfig other = testConfig(5'000);
+    other.useTraceCache = false;
+    submitReplay(pool, path_a, other, &hit).get();
+    EXPECT_FALSE(hit);
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(ReplayCache, ReplayTraceMatchesRecordResult)
+{
+    const std::string path =
+        ::testing::TempDir() + "tcfill_rr.tctrace";
+    const SimConfig cfg = testConfig(5'000);
+    const SimResult rec = recordTrace("li", 1, cfg, path);
+    const SimResult rep = replayTrace(path, cfg);
+    EXPECT_EQ(rep.mode, "replay");
+    EXPECT_EQ(rep.workload, "li");
+    expectSameTiming(rec, rep);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tcfill::tracefile

@@ -15,6 +15,14 @@ Usage:
         points present in only one document are reported but are not
         an error (sweeps grow).
 
+    check_stats_json.py LIVE.json REPLAY.json --compare-replay
+        Enforce the record/replay determinism contract: after
+        stripping run provenance that legitimately differs between a
+        live and a replayed run (mode, cacheHit, the host wall-clock
+        sections and the sweep bookkeeping), the two documents must be
+        byte-identical when canonically re-serialized. On divergence,
+        reports the first differing counter per result and exits 1.
+
 Exit status: 0 clean, 1 validation/diff failure, 2 usage error.
 Stdlib only, so it runs in CI and on dev machines without a venv.
 """
@@ -31,6 +39,8 @@ SCHEMA = "tcfill-stats-v1"
 RESULT_FIELDS = {
     "config": str,
     "workload": str,
+    "mode": str,
+    "maxInsts": int,
     "cacheHit": bool,
     "retired": int,
     "cycles": int,
@@ -101,6 +111,8 @@ class Checker:
             self.check_type(where, r, field, types)
         if self.errors:
             return
+        if r["mode"] not in ("live", "record", "replay", "sample"):
+            self.error(where, f"unknown mode {r['mode']!r}")
         # Internal consistency.
         if r["cycles"] > 0:
             want = r["retired"] / r["cycles"]
@@ -203,6 +215,71 @@ def diff(old_path, old, new_path, new, tol):
     return not regressed
 
 
+# Keys whose values legitimately differ between a live/recording run
+# and a replay of its trace: run-mode provenance, cache provenance and
+# anything derived from host wall-clock time.
+REPLAY_VOLATILE_RESULT_KEYS = ("mode", "cacheHit", "host")
+REPLAY_VOLATILE_DOC_KEYS = ("generator", "sweep", "host")
+
+
+def canonical_replay_view(doc):
+    """The document reduced to its deterministic simulation content."""
+    view = {k: v for k, v in doc.items()
+            if k not in REPLAY_VOLATILE_DOC_KEYS}
+    view["results"] = [
+        {k: v for k, v in r.items()
+         if k not in REPLAY_VOLATILE_RESULT_KEYS}
+        for r in doc["results"]
+    ]
+    return view
+
+
+def first_divergence(live_r, replay_r):
+    """Name the first counter that differs between two result records
+    (document key order, i.e. the order the simulator emitted)."""
+    for key in live_r:
+        if key in REPLAY_VOLATILE_RESULT_KEYS:
+            continue
+        if key not in replay_r:
+            return key, live_r[key], "<missing>"
+        if live_r[key] != replay_r[key]:
+            return key, live_r[key], replay_r[key]
+    for key in replay_r:
+        if key not in live_r and key not in REPLAY_VOLATILE_RESULT_KEYS:
+            return key, "<missing>", replay_r[key]
+    return None
+
+
+def compare_replay(live_path, live, replay_path, replay):
+    a = canonical_replay_view(live)
+    b = canonical_replay_view(replay)
+    a_bytes = json.dumps(a, sort_keys=True)
+    b_bytes = json.dumps(b, sort_keys=True)
+    if a_bytes == b_bytes:
+        n = len(live["results"])
+        print(f"replay deterministic: {n} result"
+              f"{'s' if n != 1 else ''} byte-identical "
+              f"(modulo {', '.join(REPLAY_VOLATILE_RESULT_KEYS)})")
+        return True
+
+    live_pts, replay_pts = by_point(live), by_point(replay)
+    for key in sorted(live_pts.keys() | replay_pts.keys()):
+        label = f"{key[0]}/{key[1]}"
+        if key not in live_pts:
+            print(f"  !! {label}: only in {replay_path}")
+            continue
+        if key not in replay_pts:
+            print(f"  !! {label}: only in {live_path}")
+            continue
+        div = first_divergence(live_pts[key], replay_pts[key])
+        if div:
+            field, a_v, b_v = div
+            print(f"  !! {label}: first diverging counter "
+                  f"'{field}': {a_v} (live) vs {b_v} (replay)")
+    print(f"replay NOT deterministic: {live_path} vs {replay_path}")
+    return False
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Validate / diff tcfill stats JSON documents.")
@@ -211,9 +288,14 @@ def main():
     ap.add_argument("--ipc-tol", type=float, default=0.0,
                     help="relative IPC change tolerated in diff mode "
                          "(default 0: any change fails)")
+    ap.add_argument("--compare-replay", action="store_true",
+                    help="two-file mode: require identical simulation "
+                         "content (record/replay determinism check)")
     opts = ap.parse_args()
     if len(opts.files) > 2:
         ap.error("expected one or two files")
+    if opts.compare_replay and len(opts.files) != 2:
+        ap.error("--compare-replay needs exactly two files")
 
     ok = True
     docs = []
@@ -225,8 +307,12 @@ def main():
             n = len(doc["results"])
             print(f"{path}: OK ({n} result{'s' if n != 1 else ''})")
     if ok and len(docs) == 2:
-        ok = diff(opts.files[0], docs[0], opts.files[1], docs[1],
-                  opts.ipc_tol)
+        if opts.compare_replay:
+            ok = compare_replay(opts.files[0], docs[0], opts.files[1],
+                                docs[1])
+        else:
+            ok = diff(opts.files[0], docs[0], opts.files[1], docs[1],
+                      opts.ipc_tol)
     sys.exit(0 if ok else 1)
 
 

@@ -32,6 +32,20 @@
  *   --pipe-trace FILE      write a JSONL pipeline lifecycle trace
  *                          (single workload; see DESIGN.md §9)
  *   --progress             live sweep progress on stderr
+ *
+ * Trace capture / replay / sampling (single workload; DESIGN.md §12):
+ *   --record FILE          run live and capture the committed stream
+ *                          to a tcfill-trace-v1 file
+ *   --replay FILE          replay a captured trace instead of a live
+ *                          run (workload comes from the trace header)
+ *   --bbv FILE             write a tcfill-bbv-v1 basic-block-vector
+ *                          profile (functional run, no timing)
+ *   --bbv-interval N       BBV interval length in instructions
+ *                          (default 100000)
+ *   --sample K:INTERVAL    BBV-sampled timing estimate: K clusters
+ *                          over INTERVAL-instruction intervals
+ *   --sample-warmup N      warmup instructions before each sampled
+ *                          interval (default 50000)
  */
 
 #include <cstdlib>
@@ -49,6 +63,9 @@
 #include "sim/processor.hh"
 #include "sim/runner.hh"
 #include "sim/stats_io.hh"
+#include "tracefile/bbv.hh"
+#include "tracefile/replay.hh"
+#include "tracefile/sample.hh"
 #include "workloads/suite.hh"
 
 using namespace tcfill;
@@ -103,7 +120,9 @@ usage()
         "  --opts LIST | --fill-latency N | --no-trace-cache\n"
         "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
         "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
-        "  --pipe-trace FILE | --progress\n";
+        "  --pipe-trace FILE | --progress\n"
+        "  --record FILE | --replay FILE | --bbv FILE\n"
+        "  --bbv-interval N | --sample K:INTERVAL | --sample-warmup N\n";
     std::exit(2);
 }
 
@@ -139,6 +158,7 @@ int
 main(int argc, char **argv)
 {
     std::string workload = "compress";
+    bool workload_given = false;
     unsigned scale = 1;
     unsigned threads = 0;  // 0 = SimRunner::defaultThreads()
     bool dump_stats = false;
@@ -147,6 +167,12 @@ main(int argc, char **argv)
     bool show_progress = false;
     std::string stats_json;
     std::string pipe_trace;
+    std::string record_path;
+    std::string replay_path;
+    std::string bbv_path;
+    InstSeqNum bbv_interval = 100'000;
+    tracefile::SampleSpec sample_spec;
+    bool do_sample = false;
     SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
     cfg.name = "opts=all";
 
@@ -204,13 +230,97 @@ main(int argc, char **argv)
             stats_host = true;
         } else if (arg == "--pipe-trace") {
             pipe_trace = next();
+        } else if (arg == "--record") {
+            record_path = next();
+        } else if (arg == "--replay") {
+            replay_path = next();
+        } else if (arg == "--bbv") {
+            bbv_path = next();
+        } else if (arg == "--bbv-interval") {
+            bbv_interval = std::strtoull(next(), nullptr, 10);
+            fatal_if(bbv_interval == 0,
+                     "--bbv-interval must be positive");
+        } else if (arg == "--sample") {
+            std::string spec = next();
+            std::size_t colon = spec.find(':');
+            fatal_if(colon == std::string::npos,
+                     "--sample expects K:INTERVAL, got '%s'",
+                     spec.c_str());
+            sample_spec.k = static_cast<unsigned>(
+                std::strtoul(spec.substr(0, colon).c_str(), nullptr,
+                             10));
+            sample_spec.interval = std::strtoull(
+                spec.substr(colon + 1).c_str(), nullptr, 10);
+            fatal_if(sample_spec.k == 0 || sample_spec.interval == 0,
+                     "--sample expects positive K and INTERVAL");
+            do_sample = true;
+        } else if (arg == "--sample-warmup") {
+            sample_spec.warmup = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--progress") {
             show_progress = true;
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {
             workload = arg;
+            workload_given = true;
         }
+    }
+
+    const int trace_modes = (record_path.empty() ? 0 : 1) +
+        (replay_path.empty() ? 0 : 1) + (bbv_path.empty() ? 0 : 1) +
+        (do_sample ? 1 : 0);
+    fatal_if(trace_modes > 1,
+             "--record/--replay/--bbv/--sample are mutually exclusive");
+    if (trace_modes == 1) {
+        fatal_if(dump_stats || stats_dump_json || !pipe_trace.empty(),
+                 "--stats/--stats-dump/--pipe-trace do not combine "
+                 "with trace capture/replay/sampling modes");
+
+        SimResult res;
+        if (!replay_path.empty()) {
+            // The workload identity comes from the trace header; a
+            // workload argument would be ignored, so reject it.
+            fatal_if(workload_given,
+                     "--replay takes no workload argument");
+            res = tracefile::replayTrace(replay_path, cfg);
+        } else {
+            std::vector<std::string> names = parseWorkloads(workload);
+            fatal_if(names.size() != 1,
+                     "--record/--bbv/--sample work with a single "
+                     "workload only");
+            if (!bbv_path.empty()) {
+                Program prog = workloads::build(names[0], scale);
+                Executor exec(prog);
+                auto ivs = tracefile::profileBbv(exec, bbv_interval,
+                                                 cfg.maxInsts);
+                std::ofstream os(bbv_path);
+                fatal_if(!os, "cannot open '%s'", bbv_path.c_str());
+                tracefile::writeBbvJson(os, prog.name, bbv_interval,
+                                        ivs);
+                std::printf("%s: %llu insts, %zu intervals -> %s\n",
+                            prog.name.c_str(),
+                            static_cast<unsigned long long>(
+                                exec.instCount()),
+                            ivs.size(), bbv_path.c_str());
+                return 0;
+            }
+            if (!record_path.empty()) {
+                res = tracefile::recordTrace(names[0], scale, cfg,
+                                             record_path);
+            } else {
+                res = tracefile::runSampled(names[0], scale, cfg,
+                                            sample_spec);
+            }
+        }
+        res.dump(std::cout);
+        std::cout << "\n";
+        if (!stats_json.empty()) {
+            std::ofstream os(stats_json);
+            fatal_if(!os, "cannot open '%s'", stats_json.c_str());
+            writeStatsJson(os, "tcfill_sim", {res}, nullptr,
+                           stats_host);
+        }
+        return 0;
     }
 
     std::vector<std::string> names = parseWorkloads(workload);
