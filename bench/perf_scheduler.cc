@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Scheduler microbenchmarks (google-benchmark): the execution core in
+ * isolation, driven with synthetic instruction streams so the cost of
+ * select, wakeup propagation and squash walks is visible without the
+ * rest of the pipeline around it. Every scenario runs under both
+ * scheduler implementations (DESIGN.md §13) so the event-driven
+ * design's advantage — and the scan oracle's cost — stay measured.
+ * Not a paper figure; this guards the simulator's own usability.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "mem/cache.hh"
+#include "uarch/exec_core.hh"
+
+using namespace tcfill;
+
+namespace
+{
+
+/** A core with a completion-counting sink and a DynInst factory. */
+struct SchedHarness
+{
+    explicit SchedHarness(SchedulerKind kind)
+        : mem(), core(makeParams(kind), mem)
+    {
+        core.setCompleteHook(&SchedHarness::onComplete, this);
+    }
+
+    static ExecCoreParams
+    makeParams(SchedulerKind kind)
+    {
+        ExecCoreParams p;
+        p.scheduler = kind;
+        return p;
+    }
+
+    static void
+    onComplete(void *ctx, DynInst &)
+    {
+        ++static_cast<SchedHarness *>(ctx)->completed;
+    }
+
+    DynInstPtr
+    makeInst(InstSeqNum seq, int fu, Op op = Op::ADD)
+    {
+        DynInstPtr di = allocDynInst();
+        di->seq = seq;
+        di->inst.op = op;
+        di->inst.dest = 3;
+        di->inst.src1 = 1;
+        di->inst.src2 = 2;
+        di->latency = opInfo(op).latency;
+        di->fu = fu;
+        di->numSrcs = 2;
+        di->issueCycle = 0;
+        return di;
+    }
+
+    std::uint64_t completed = 0;
+
+    MemoryHierarchy mem;
+    ExecCore core;
+};
+
+constexpr unsigned kFus = 16;
+constexpr unsigned kRsEntries = 32;
+
+/** Fold one microbenchmark into the bench stats session. */
+void
+record(benchmark::State &state, const char *label,
+       std::uint64_t insts, std::uint64_t ticks)
+{
+    state.counters["sched_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["sched_ticks_per_s"] = benchmark::Counter(
+        static_cast<double>(ticks), benchmark::Counter::kIsRate);
+    SimResult r;
+    r.config = label;
+    r.workload = "sched-micro";
+    r.retired = insts;
+    r.cycles = ticks;
+    bench::recordResult(r);
+}
+
+/**
+ * Select throughput: fill every reservation station with independent
+ * ready instructions, then tick until all have executed. One select
+ * per FU per cycle — the cost per tick is pure select machinery.
+ */
+void
+runSelect(benchmark::State &state, SchedulerKind kind,
+          const char *label)
+{
+    std::uint64_t insts = 0;
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        SchedHarness h(kind);
+        std::vector<DynInstPtr> live;
+        live.reserve(kFus * kRsEntries);
+        InstSeqNum seq = 1;
+        for (unsigned i = 0; i < kFus * kRsEntries; ++i) {
+            DynInstPtr di =
+                h.makeInst(seq, static_cast<int>(seq % kFus));
+            ++seq;
+            live.push_back(di);
+            h.core.dispatch(*di);
+        }
+        Cycle now = 1;
+        while (h.completed < live.size())
+            h.core.tick(now++);
+        insts += h.completed;
+        ticks += now - 1;
+        benchmark::DoNotOptimize(h.completed);
+    }
+    record(state, label, insts, ticks);
+}
+
+/**
+ * Wakeup latency: one serial dependence chain threaded across the
+ * FUs, so exactly one instruction becomes ready per cycle and every
+ * completion must propagate to its single consumer. The event-driven
+ * core touches one ready entry per tick; the scan walks every
+ * occupied station.
+ */
+void
+runChain(benchmark::State &state, SchedulerKind kind,
+         const char *label)
+{
+    constexpr unsigned kChain = kFus * kRsEntries / 2;
+    std::uint64_t insts = 0;
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        SchedHarness h(kind);
+        std::vector<DynInstPtr> live;
+        live.reserve(kChain);
+        for (unsigned i = 0; i < kChain; ++i) {
+            DynInstPtr di =
+                h.makeInst(i + 1, static_cast<int>(i % kFus));
+            if (i > 0)
+                di->src[0].producer = live.back();
+            live.push_back(di);
+            h.core.dispatch(*di);
+        }
+        Cycle now = 1;
+        while (h.completed < live.size())
+            h.core.tick(now++);
+        insts += h.completed;
+        ticks += now - 1;
+        benchmark::DoNotOptimize(h.completed);
+    }
+    record(state, label, insts, ticks);
+}
+
+/**
+ * Squash cost: fill the stations with instructions blocked on a
+ * producer that never issues, then squash in eight waves from
+ * youngest to oldest — the recovery pattern a mispredict storm
+ * produces. Measures the station/ready-queue removal walks.
+ */
+void
+runSquash(benchmark::State &state, SchedulerKind kind,
+          const char *label)
+{
+    constexpr unsigned kWaves = 8;
+    std::uint64_t insts = 0;
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        SchedHarness h(kind);
+        DynInstPtr never = h.makeInst(1, 0);
+        never->issueCycle = kNoCycle;    // blocks all consumers
+        std::vector<DynInstPtr> live;
+        live.reserve(kFus * kRsEntries);
+        InstSeqNum seq = 2;
+        for (unsigned i = 0; i < kFus * kRsEntries; ++i) {
+            DynInstPtr di =
+                h.makeInst(seq, static_cast<int>(seq % kFus));
+            ++seq;
+            di->src[0].producer = never;
+            live.push_back(di);
+            h.core.dispatch(*di);
+        }
+        const InstSeqNum lo = 2;
+        const InstSeqNum span = seq - lo;
+        for (unsigned w = kWaves; w > 0; --w) {
+            h.core.squashRange(lo + span * (w - 1) / kWaves, seq);
+            ++ticks;
+        }
+        insts += live.size();
+        benchmark::DoNotOptimize(h.core.occupancy());
+    }
+    record(state, label, insts, ticks);
+}
+
+void
+BM_SchedSelect_Wakeup(benchmark::State &state)
+{
+    runSelect(state, SchedulerKind::Wakeup, "BM_SchedSelect/wakeup");
+}
+
+void
+BM_SchedSelect_Scan(benchmark::State &state)
+{
+    runSelect(state, SchedulerKind::Scan, "BM_SchedSelect/scan");
+}
+
+void
+BM_SchedChain_Wakeup(benchmark::State &state)
+{
+    runChain(state, SchedulerKind::Wakeup, "BM_SchedChain/wakeup");
+}
+
+void
+BM_SchedChain_Scan(benchmark::State &state)
+{
+    runChain(state, SchedulerKind::Scan, "BM_SchedChain/scan");
+}
+
+void
+BM_SchedSquash_Wakeup(benchmark::State &state)
+{
+    runSquash(state, SchedulerKind::Wakeup, "BM_SchedSquash/wakeup");
+}
+
+void
+BM_SchedSquash_Scan(benchmark::State &state)
+{
+    runSquash(state, SchedulerKind::Scan, "BM_SchedSquash/scan");
+}
+
+} // namespace
+
+BENCHMARK(BM_SchedSelect_Wakeup)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchedSelect_Scan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchedChain_Wakeup)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchedChain_Scan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchedSquash_Wakeup)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchedSquash_Scan)->Unit(benchmark::kMicrosecond);
+
+// BENCHMARK_MAIN() rejects argv it does not recognize, so the Session
+// must strip the shared observability flags (--stats-json, --progress)
+// before google-benchmark parses the command line.
+int
+main(int argc, char **argv)
+{
+    tcfill::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,21 +1,35 @@
 #include "arch/memory.hh"
 
+#include <algorithm>
+
 namespace tcfill
 {
 
 const Memory::Page *
 Memory::findPage(Addr a) const
 {
-    auto it = pages_.find(a / kPageBytes);
-    return it == pages_.end() ? nullptr : &it->second;
+    const Addr no = a / kPageBytes;
+    if (no == last_page_no_)
+        return last_page_;
+    auto it = pages_.find(no);
+    if (it == pages_.end())
+        return nullptr;     // never cache absence: touchPage may create
+    last_page_no_ = no;
+    last_page_ = const_cast<Page *>(&it->second);
+    return &it->second;
 }
 
 Memory::Page &
 Memory::touchPage(Addr a)
 {
-    Page &p = pages_[a / kPageBytes];
+    const Addr no = a / kPageBytes;
+    if (no == last_page_no_)
+        return *last_page_;
+    Page &p = pages_[no];
     if (p.empty())
         p.resize(kPageBytes, 0);
+    last_page_no_ = no;
+    last_page_ = &p;
     return p;
 }
 
@@ -81,8 +95,18 @@ Memory::writeWord(Addr a, std::uint32_t v)
 void
 Memory::writeBlock(Addr base, const std::uint8_t *data, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        writeByte(base + i, data[i]);
+    // Page-sized chunks instead of per-byte stores: the loader moves
+    // whole segments through here.
+    std::size_t i = 0;
+    while (i < n) {
+        const Addr a = base + i;
+        Page &p = touchPage(a);
+        const std::size_t off = a % kPageBytes;
+        const std::size_t chunk = std::min(n - i, kPageBytes - off);
+        std::copy(data + i, data + i + chunk, p.begin() +
+                  static_cast<std::ptrdiff_t>(off));
+        i += chunk;
+    }
 }
 
 } // namespace tcfill

@@ -44,6 +44,15 @@ class Memory
     Page &touchPage(Addr a);
 
     std::unordered_map<Addr, Page> pages_;
+
+    // Last-page MRU cache in front of the hash lookup: accesses are
+    // strongly page-local (instruction streams, stack traffic), and
+    // the map's references are stable (pages are never erased). Only
+    // materialized pages are cached — a miss must keep consulting the
+    // map so a later write through touchPage() is observed. Mutable:
+    // caching on the const read path is not observable behavior.
+    mutable Addr last_page_no_ = ~Addr(0);
+    mutable Page *last_page_ = nullptr;
 };
 
 } // namespace tcfill

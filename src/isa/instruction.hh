@@ -128,7 +128,41 @@ Instruction decode(Word raw);
  * rename logic aliases the destination to the hard-wired zero
  * register.
  */
-std::optional<RegIndex> moveSource(const Instruction &inst);
+inline std::optional<RegIndex>
+moveSource(const Instruction &in)
+{
+    if (!in.hasDest())
+        return std::nullopt;
+
+    switch (in.op) {
+      case Op::ADDI:
+      case Op::ORI:
+      case Op::XORI:
+        if (in.imm == 0)
+            return in.src1;
+        return std::nullopt;
+      case Op::ADD:
+      case Op::OR:
+      case Op::XOR:
+        if (in.src2 == kRegZero)
+            return in.src1;
+        if (in.src1 == kRegZero)
+            return in.src2;
+        return std::nullopt;
+      case Op::SUB:
+        if (in.src2 == kRegZero)
+            return in.src1;
+        return std::nullopt;
+      case Op::SLLI:
+      case Op::SRLI:
+      case Op::SRAI:
+        if (in.shamt == 0)
+            return in.src1;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
 
 /** One-line human-readable disassembly, e.g. "addi r3, r5, 42". */
 std::string disassemble(const Instruction &inst);

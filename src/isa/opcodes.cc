@@ -1,76 +1,4 @@
 #include "isa/opcodes.hh"
 
-#include "common/logging.hh"
-
-namespace tcfill
-{
-
-namespace
-{
-
-constexpr OpInfo op_table[] = {
-    // mnemonic   class              latency
-    {"add",    OpClass::IntAlu,  1},   // ADD
-    {"sub",    OpClass::IntAlu,  1},   // SUB
-    {"and",    OpClass::IntAlu,  1},   // AND
-    {"or",     OpClass::IntAlu,  1},   // OR
-    {"xor",    OpClass::IntAlu,  1},   // XOR
-    {"nor",    OpClass::IntAlu,  1},   // NOR
-    {"slt",    OpClass::IntAlu,  1},   // SLT
-    {"sltu",   OpClass::IntAlu,  1},   // SLTU
-    {"sllv",   OpClass::IntAlu,  1},   // SLLV
-    {"srlv",   OpClass::IntAlu,  1},   // SRLV
-    {"srav",   OpClass::IntAlu,  1},   // SRAV
-    {"mul",    OpClass::IntMul,  3},   // MUL
-    {"div",    OpClass::IntDiv, 12},   // DIV
-    {"addi",   OpClass::IntAlu,  1},   // ADDI
-    {"slti",   OpClass::IntAlu,  1},   // SLTI
-    {"sltiu",  OpClass::IntAlu,  1},   // SLTIU
-    {"andi",   OpClass::IntAlu,  1},   // ANDI
-    {"ori",    OpClass::IntAlu,  1},   // ORI
-    {"xori",   OpClass::IntAlu,  1},   // XORI
-    {"lui",    OpClass::IntAlu,  1},   // LUI
-    {"slli",   OpClass::IntAlu,  1},   // SLLI
-    {"srli",   OpClass::IntAlu,  1},   // SRLI
-    {"srai",   OpClass::IntAlu,  1},   // SRAI
-    {"lb",     OpClass::Load,    1},   // LB
-    {"lbu",    OpClass::Load,    1},   // LBU
-    {"lh",     OpClass::Load,    1},   // LH
-    {"lhu",    OpClass::Load,    1},   // LHU
-    {"lw",     OpClass::Load,    1},   // LW
-    {"sb",     OpClass::Store,   1},   // SB
-    {"sh",     OpClass::Store,   1},   // SH
-    {"sw",     OpClass::Store,   1},   // SW
-    {"lwx",    OpClass::Load,    1},   // LWX
-    {"swx",    OpClass::Store,   1},   // SWX
-    {"beq",    OpClass::Control, 1},   // BEQ
-    {"bne",    OpClass::Control, 1},   // BNE
-    {"blez",   OpClass::Control, 1},   // BLEZ
-    {"bgtz",   OpClass::Control, 1},   // BGTZ
-    {"bltz",   OpClass::Control, 1},   // BLTZ
-    {"bgez",   OpClass::Control, 1},   // BGEZ
-    {"j",      OpClass::Control, 1},   // J
-    {"jal",    OpClass::Control, 1},   // JAL
-    {"jr",     OpClass::Control, 1},   // JR
-    {"jalr",   OpClass::Control, 1},   // JALR
-    {"nop",    OpClass::Other,   1},   // NOP
-    {"syscall",OpClass::Other,   1},   // SYSCALL
-    {"halt",   OpClass::Other,   1},   // HALT
-};
-
-static_assert(sizeof(op_table) / sizeof(op_table[0]) ==
-                  static_cast<std::size_t>(Op::NumOps),
-              "op_table out of sync with Op enumeration");
-
-} // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    auto idx = static_cast<std::size_t>(op);
-    panic_if(idx >= static_cast<std::size_t>(Op::NumOps),
-             "opInfo: bad opcode %zu", idx);
-    return op_table[idx];
-}
-
-} // namespace tcfill
+// opInfo() and its table are fully inline in the header; this
+// translation unit intentionally has nothing left to define.

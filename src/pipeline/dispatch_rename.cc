@@ -67,7 +67,8 @@ DispatchRename::renameTraceLine(FetchLine &line, Cycle now)
         for (unsigned k = 0; k < di->numSrcs; ++k) {
             std::int8_t d = di->lineDep[k];
             if (d >= 0) {
-                DynInstPtr p = line.insts[static_cast<std::size_t>(d)];
+                const DynInstPtr &p =
+                    line.insts[static_cast<std::size_t>(d)];
                 di->src[k] = p->moveMarked ? p->moveAlias
                                            : Operand{p, 0};
             } else {
@@ -96,7 +97,8 @@ DispatchRename::renameTraceLine(FetchLine &line, Cycle now)
         if (di->moveMarked) {
             std::int8_t d = di->moveSrcDep;
             if (d >= 0) {
-                DynInstPtr p = line.insts[static_cast<std::size_t>(d)];
+                const DynInstPtr &p =
+                    line.insts[static_cast<std::size_t>(d)];
                 di->moveAlias = p->moveMarked ? p->moveAlias
                                               : Operand{p, 0};
             } else {
@@ -127,9 +129,11 @@ DispatchRename::renameTraceLine(FetchLine &line, Cycle now)
         } else {
             if (di->inst.hasDest() && !di->inactive)
                 rename_.write(di->inst.dest, di);
-            out_.toCore.push_back(di);
+            out_.toCore.push_back(di.get());
         }
-        window_.insts.push_back(di);
+        // The line is discarded right after rename: hand the owning
+        // reference straight to the window.
+        window_.insts.push_back(std::move(di));
         ++insts_;
     }
 }
@@ -146,8 +150,8 @@ DispatchRename::renameSerialLine(FetchLine &line, Cycle now)
         tracePipe(tracer_, obs::PipeStage::Issue, *di, now);
         if (di->inst.hasDest())
             rename_.write(di->inst.dest, di);
-        out_.toCore.push_back(di);
-        window_.insts.push_back(di);
+        out_.toCore.push_back(di.get());
+        window_.insts.push_back(std::move(di));
         ++insts_;
     }
 }

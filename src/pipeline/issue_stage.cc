@@ -7,8 +7,19 @@ IssueStage::IssueStage(const IssueEnv &env)
     : Stage("issue"), core_(env.core, env.mem), in_(env.in),
       events_(env.events)
 {
+    core_.setCompleteHook(&IssueStage::onComplete, this);
     stats_.addCounter("dispatched", dispatched_,
                       "instructions inserted into reservation stations");
+}
+
+void
+IssueStage::onComplete(void *ctx, DynInst &di)
+{
+    auto *self = static_cast<IssueStage *>(ctx);
+    if (di.isBranch || di.discardHi > di.discardLo ||
+        di.mispredicted) {
+        self->events_.push(di.completeCycle, DynInstPtr(&di));
+    }
 }
 
 void
@@ -29,8 +40,10 @@ IssueStage::setTracer(obs::PipeTracer *tracer)
 void
 IssueStage::dispatchPending()
 {
-    for (const DynInstPtr &di : in_.toCore) {
-        core_.dispatch(di);
+    if (in_.toCore.empty())
+        return;
+    for (DynInst *di : in_.toCore) {
+        core_.dispatch(*di);
         ++dispatched_;
     }
     in_.toCore.clear();
@@ -39,12 +52,7 @@ IssueStage::dispatchPending()
 void
 IssueStage::tick(Cycle now)
 {
-    core_.tick(now, [this](const DynInstPtr &di) {
-        if (di->isBranch || di->discardHi > di->discardLo ||
-            di->mispredicted) {
-            events_.push(di->completeCycle, di);
-        }
-    });
+    core_.tick(now);
 }
 
 } // namespace tcfill::pipeline

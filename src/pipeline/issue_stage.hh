@@ -44,6 +44,17 @@ class IssueStage : public Stage
     /** One select/execute cycle; completions feed the event queue. */
     virtual void tick(Cycle now);
 
+    /**
+     * Earliest future cycle (>= @p next) the back end can do work;
+     * kNoCycle when quiescent. Forwarded from the ExecCore for the
+     * Processor's cycle-skipping.
+     */
+    virtual Cycle
+    nextEventCycle(Cycle next) const
+    {
+        return core_.nextEventCycle(next);
+    }
+
     // ---- recovery / retire interface --------------------------------
     void
     squashRange(InstSeqNum lo, InstSeqNum hi, InstSeqNum rescue_lo = 0,
@@ -60,6 +71,9 @@ class IssueStage : public Stage
     void setTracer(obs::PipeTracer *tracer) override;
 
   private:
+    /** ExecCore completion sink: filter branch-resolution events. */
+    static void onComplete(void *ctx, DynInst &di);
+
     ExecCore core_;
     DispatchLatch &in_;
     ResolutionQueue &events_;

@@ -71,11 +71,12 @@ struct FetchControl
  * Dispatch → issue latch: instructions renamed this cycle that need a
  * reservation-station slot (marked moves and elided dead writes
  * complete in rename and never pass through here). Drained by
- * IssueStage::dispatchPending() in the same cycle.
+ * IssueStage::dispatchPending() in the same cycle, before any squash
+ * can run, so raw pointers are safe: the InstWindow owns every entry.
  */
 struct DispatchLatch
 {
-    std::vector<DynInstPtr> toCore;
+    std::vector<DynInst *> toCore;
 };
 
 /** The in-flight window, fetch order (dispatch in, retire out). */

@@ -17,7 +17,7 @@
 #define TCFILL_PIPELINE_ORACLE_HH
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "arch/executor.hh"
 #include "common/logging.hh"
@@ -25,26 +25,40 @@
 namespace tcfill::pipeline
 {
 
-/** Committed-path records between the Executor and retirement. */
+/**
+ * Committed-path records between the Executor and retirement.
+ *
+ * Stored in a power-of-two ring buffer: at() is on the per-instruction
+ * fetch path (the trace-match walk reads several records per fetched
+ * instruction), where a deque's chunked indexing is measurably slower
+ * than a mask-and-load.
+ */
 class OracleStream
 {
   public:
-    explicit OracleStream(CommitSource &exec) : exec_(exec) {}
+    explicit OracleStream(CommitSource &exec)
+        : exec_(exec), buf_(kInitialCap), cap_mask_(kInitialCap - 1)
+    {
+    }
 
     /** Ensure >= n unfetched records exist; returns how many do. */
     std::size_t
     ensure(std::size_t n)
     {
-        while (records_.size() < fetch_off_ + n && !exec_.halted())
-            records_.push_back(exec_.step());
-        return records_.size() - fetch_off_;
+        while (count_ < fetch_off_ + n && !exec_.halted()) {
+            if (count_ == cap_mask_ + 1)
+                grow();
+            buf_[(head_ + count_) & cap_mask_] = exec_.step();
+            ++count_;
+        }
+        return count_ - fetch_off_;
     }
 
     /** The i-th not-yet-fetched record (i < ensure(i + 1)). */
     const ExecRecord &
     at(std::size_t i) const
     {
-        return records_[fetch_off_ + i];
+        return buf_[(head_ + fetch_off_ + i) & cap_mask_];
     }
 
     /** True when no unfetched record remains and the program halted. */
@@ -57,25 +71,43 @@ class OracleStream
     const ExecRecord &
     front() const
     {
-        panic_if(records_.empty(), "oracle underflow at retire");
-        return records_.front();
+        panic_if(count_ == 0, "oracle underflow at retire");
+        return buf_[head_];
     }
 
     /** Retire the oldest in-flight record. */
     void
     popRetired()
     {
-        panic_if(records_.empty(), "oracle underflow at retire");
-        records_.pop_front();
+        panic_if(count_ == 0, "oracle underflow at retire");
+        head_ = (head_ + 1) & cap_mask_;
+        --count_;
         --fetch_off_;
     }
 
     /** Nothing in flight and nothing left to fetch. */
-    bool drained() const { return records_.empty(); }
+    bool drained() const { return count_ == 0; }
 
   private:
+    /** Covers the window plus the fetch queue in steady state. */
+    static constexpr std::size_t kInitialCap = 1024;
+
+    void
+    grow()
+    {
+        std::vector<ExecRecord> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = buf_[(head_ + i) & cap_mask_];
+        buf_ = std::move(bigger);
+        cap_mask_ = buf_.size() - 1;
+        head_ = 0;
+    }
+
     CommitSource &exec_;
-    std::deque<ExecRecord> records_;
+    std::vector<ExecRecord> buf_;
+    std::size_t cap_mask_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::size_t fetch_off_ = 0;
 };
 

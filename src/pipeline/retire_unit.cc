@@ -62,7 +62,9 @@ RetireUnit::tick(Cycle now)
 {
     unsigned count = 0;
     while (!window_.empty()) {
-        DynInstPtr di = window_.insts.front();
+        // Hold the window's own reference; the slot is popped at the
+        // end of the commit body, after the last use.
+        const DynInstPtr &di = window_.insts.front();
         if (di->squashed()) {
             window_.insts.pop_front();  // squashed slots retire free
             continue;
@@ -78,7 +80,6 @@ RetireUnit::tick(Cycle now)
         panic_if(!di->onCorrectPath,
                  "retiring a wrong-path instruction");
 
-        window_.insts.pop_front();
         ++count;
         ++retired_;
         last_retire_cycle_ = now;
@@ -123,6 +124,7 @@ RetireUnit::tick(Cycle now)
                  static_cast<unsigned long long>(di->pc),
                  static_cast<unsigned long long>(oracle_.front().pc));
         oracle_.popRetired();
+        window_.insts.pop_front();  // releases di
 
         if (instCapReached())
             return;

@@ -10,6 +10,7 @@
 #ifndef TCFILL_PIPELINE_RETIRE_UNIT_HH
 #define TCFILL_PIPELINE_RETIRE_UNIT_HH
 
+#include <algorithm>
 #include <functional>
 
 #include "fill/fill_unit.hh"
@@ -68,6 +69,27 @@ class RetireUnit : public Stage
      * legitimate stall).
      */
     void panicIfDeadlocked(Cycle now) const;
+
+    /**
+     * Earliest future cycle (>= @p next) this unit can make progress:
+     * the window head's completion cycle, @p next itself when the
+     * head is a squashed slot (popped for free on the next tick), or
+     * kNoCycle when the head is waiting on an event that will arm
+     * another stage first (incomplete, or inactive pending branch
+     * activation). Used by the Processor's cycle-skipping.
+     */
+    Cycle
+    nextRetireCycle(Cycle next) const
+    {
+        if (window_.empty())
+            return kNoCycle;
+        const DynInst &f = *window_.insts.front();
+        if (f.squashed())
+            return next;
+        if (f.inactive || f.phase != InstPhase::Complete)
+            return kNoCycle;
+        return std::max(f.completeCycle, next);
+    }
 
     /** Attach (or clear, with {}) the per-commit observer. */
     void setCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }

@@ -1,5 +1,6 @@
 #include "sim/processor.hh"
 
+#include <algorithm>
 #include <chrono>
 
 namespace tcfill
@@ -101,6 +102,64 @@ Processor::doCycle()
     ++cycle_;
 }
 
+
+void
+Processor::skipIdleCycles()
+{
+    const Cycle next = cycle_;  // first unsimulated cycle
+    Cycle wake = kNoCycle;
+
+    // Fetch: eligible as soon as the front end is unstalled, the
+    // latch has room and the oracle still has instructions; its next
+    // action is at avail.
+    if (!ctrl_.stalled() &&
+        fetch_latch_.size() < cfg_.fetchQueueLines &&
+        !oracle_.exhausted()) {
+        wake = std::max(ctrl_.avail, next);
+        if (wake <= next)
+            return;
+    }
+    // Dispatch: the latch front renames at readyCycle + 1. A ready
+    // line blocked only by window capacity imposes no bound of its
+    // own — retirement frees the window, and retire ticks before
+    // dispatch, so skipping to the retire bound is exact.
+    if (!fetch_latch_.empty()) {
+        const pipeline::FetchLine &line = fetch_latch_.lines.front();
+        const Cycle renames = line.readyCycle + 1;
+        if (renames > next) {
+            wake = std::min(wake, renames);
+        } else if (window_.size() + line.insts.size() <=
+                   cfg_.windowCap) {
+            return;     // dispatch can act on the very next tick
+        }
+    }
+    // The remaining sources are checked cheapest-first: any bound at
+    // or before `next` means no skip, so bail before paying for the
+    // core's ready-queue scan (the common case while the machine is
+    // busy draining work).
+    // Window head completing (or a squashed slot popping for free).
+    const Cycle retires = retire_->nextRetireCycle(next);
+    if (retires <= next)
+        return;
+    wake = std::min(wake, retires);
+    // Branch-resolution events (recovery processes cycle <= now).
+    if (!events_.empty()) {
+        const Cycle resolves = events_.heap.top().cycle;
+        if (resolves <= next)
+            return;
+        wake = std::min(wake, resolves);
+    }
+    // Core select / pending-store finalize.
+    wake = std::min(wake, issue_->nextEventCycle(next));
+
+    if (wake == kNoCycle || wake <= next)
+        return;     // quiescent (deadlock path keeps stepping) or busy
+    if (cfg_.maxCycles)
+        wake = std::min(wake, cfg_.maxCycles);
+    if (wake > cycle_)
+        cycle_ = wake;
+}
+
 SimResult
 Processor::run()
 {
@@ -116,6 +175,14 @@ Processor::run()
         }
         retire_->panicIfDeadlocked(cycle_);
         doCycle();
+        // Don't skip past a termination condition: the loop top must
+        // observe it at exactly this cycle count (res.cycles).
+        if (retire_->instCapReached() ||
+            (src_.halted() && window_.empty() &&
+             fetch_latch_.empty() && oracle_.drained())) {
+            continue;
+        }
+        skipIdleCycles();
     }
 
     // Every counter comes out of the stats registry so a stage's

@@ -115,6 +115,16 @@ class Processor
 
   private:
     void doCycle();
+    /**
+     * Event-driven idle-cycle elision: when no latch holds work for
+     * the next tick, advance cycle_ directly to the earliest cycle
+     * any stage can act (fetch unblocks, a resolution event fires,
+     * the window head completes, or the core selects/finalizes).
+     * Pure host-time optimization — every skipped cycle is one where
+     * doCycle() would have been a no-op, so the timing model and all
+     * statistics are bit-identical (DESIGN.md §13).
+     */
+    void skipIdleCycles();
     void wireStages(const pipeline::StagePolicy &policy);
 
     // ---- members ----------------------------------------------------

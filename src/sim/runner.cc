@@ -95,10 +95,13 @@ configCacheKey(const SimConfig &cfg)
        << cfg.bpred.historyBits;
     os << "|bias=" << cfg.bias.entries << ','
        << cfg.bias.promoteThreshold;
-    // Execution core.
+    // Execution core. The scheduler kind never changes timing (the
+    // timing-identity CI job asserts so) but is keyed anyway: cached
+    // results must be reproducible by rerunning the exact config.
     os << "|core=" << cfg.core.numClusters << ','
        << cfg.core.fusPerCluster << ',' << cfg.core.rsEntries << ','
-       << cfg.core.crossClusterDelay;
+       << cfg.core.crossClusterDelay << ','
+       << static_cast<unsigned>(cfg.core.scheduler);
     return os.str();
 }
 

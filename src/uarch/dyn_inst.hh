@@ -29,6 +29,9 @@ namespace tcfill
 
 struct DynInst;
 
+/** "Not in any scheduler array" sentinel for the index fields below. */
+inline constexpr std::uint32_t kNoRsIndex = ~std::uint32_t(0);
+
 /**
  * Intrusive refcounted handle to a DynInst. Semantics match
  * shared_ptr (last reference destroys the object), but the count is a
@@ -193,6 +196,33 @@ struct DynInst
     Cycle startCycle = kNoCycle;
     Cycle completeCycle = kNoCycle;
     std::uint8_t latency = 1;
+
+    // ---- wakeup scheduler bookkeeping (ExecCore, wakeup mode) ----------
+    // Producer-driven wakeup replaces the per-cycle operand rescan:
+    // a consumer whose producer's completion cycle is still unknown at
+    // dispatch links itself onto the producer's wake list and is armed
+    // into its FU's ready queue when the last subscription fires.
+    // Lists hold raw pointers: a producer always fires (or is
+    // squashed) before it retires, and the window releases younger
+    // consumers only after older producers, so every listed consumer
+    // outlives the walk (see DESIGN.md §13 for the invariant).
+    /**
+     * Consumers to wake when this result's timing becomes known;
+     * (consumer, operand-index) packed into the pointer's low bits.
+     */
+    std::uintptr_t wakeHead = 0;
+    /** Next wake-list links, one per source-operand slot. */
+    std::uintptr_t wakeNext[3] = {0, 0, 0};
+    /** Stores: loads parked on this store by the memory scheduler. */
+    DynInst *memWaiterHead = nullptr;
+    DynInst *memWaiterNext = nullptr;
+    /** Earliest select cycle once every operand's timing is known. */
+    Cycle readyCycle = 0;
+    /** Station / ready-queue slots (swap-with-back maintenance). */
+    std::uint32_t stationIdx = kNoRsIndex;
+    std::uint32_t readyIdx = kNoRsIndex;
+    /** Producer wakeups still outstanding before this can arm. */
+    std::uint8_t pendingOps = 0;
 
     // ---- stats ---------------------------------------------------------
     /** Last-arriving operand was delayed by cross-cluster bypass. */

@@ -7,64 +7,53 @@
 namespace tcfill
 {
 
+// The wakeup lists pack a source-operand index into the low bits of a
+// DynInst pointer (see packWake).
+static_assert(alignof(DynInst) >= 8,
+              "wake-list pointer tagging needs 3 free low bits");
+
 ExecCore::ExecCore(const ExecCoreParams &params, MemoryHierarchy &mem)
     : params_(params), mem_(mem),
       num_fus_(params.numClusters * params.fusPerCluster)
 {
     fatal_if(num_fus_ == 0, "execution core has no functional units");
+    fatal_if(num_fus_ > 32, "ready_mask_ supports at most 32 FUs");
     fatal_if(params.rsEntries == 0, "reservation stations are empty");
     rs_.resize(num_fus_);
     for (auto &station : rs_)
         station.reserve(params.rsEntries);
+    ready_.resize(num_fus_);
+    for (auto &rq : ready_)
+        rq.reserve(params.rsEntries);
+    ready_min_.assign(num_fus_, kNoCycle);
     fu_busy_until_.assign(num_fus_, 0);
 }
 
-unsigned
-ExecCore::rsFree(unsigned fu) const
-{
-    panic_if(fu >= num_fus_, "rsFree: bad FU %u", fu);
-    return params_.rsEntries - static_cast<unsigned>(rs_[fu].size());
-}
-
 void
-ExecCore::dispatch(const DynInstPtr &di)
+ExecCore::dispatch(DynInst &di)
 {
-    panic_if(di->fu < 0 || static_cast<unsigned>(di->fu) >= num_fus_,
+    panic_if(di.fu < 0 || static_cast<unsigned>(di.fu) >= num_fus_,
              "dispatch: instruction has no FU");
-    panic_if(rs_[di->fu].size() >= params_.rsEntries,
-             "dispatch: reservation station %d overflow", di->fu);
-    rs_[di->fu].push_back(di);
-    if (di->isStore)
-        store_window_.push_back(di);
-}
-
-Cycle
-ExecCore::operandAvail(const Operand &op, unsigned fu) const
-{
-    if (!op.producer)
-        return op.rfAvail;
-    const DynInst &p = *op.producer;
-    if (p.completeCycle == kNoCycle)
-        return kNoCycle;
-    Cycle avail = p.completeCycle;
-    if (p.fu >= 0 &&
-        p.cluster(params_.fusPerCluster) !=
-            fu / params_.fusPerCluster) {
-        avail += params_.crossClusterDelay;
-    }
-    return avail;
+    panic_if(rs_[di.fu].size() >= params_.rsEntries,
+             "dispatch: reservation station %d overflow", di.fu);
+    di.stationIdx = static_cast<std::uint32_t>(rs_[di.fu].size());
+    rs_[di.fu].push_back(&di);
+    if (di.isStore)
+        store_window_.push_back(&di);
+    if (params_.scheduler == SchedulerKind::Wakeup)
+        subscribeOperands(di);
 }
 
 bool
-ExecCore::operandsReady(const DynInstPtr &di, Cycle now) const
+ExecCore::operandsReady(const DynInst &di, Cycle now) const
 {
-    if (di->issueCycle == kNoCycle || now < di->issueCycle + 1)
+    if (di.issueCycle == kNoCycle || now < di.issueCycle + 1)
         return false;   // schedule stage: one cycle after issue
-    for (unsigned k = 0; k < di->numSrcs; ++k) {
-        if (di->isStore && static_cast<int>(k) == di->dataOperand)
+    for (unsigned k = 0; k < di.numSrcs; ++k) {
+        if (di.isStore && static_cast<int>(k) == di.dataOperand)
             continue;   // stores wait only for address operands
-        Cycle avail = operandAvail(di->src[k],
-                                   static_cast<unsigned>(di->fu));
+        Cycle avail = operandAvail(di.src[k],
+                                   static_cast<unsigned>(di.fu));
         if (avail == kNoCycle || avail > now)
             return false;
     }
@@ -72,15 +61,15 @@ ExecCore::operandsReady(const DynInstPtr &di, Cycle now) const
 }
 
 bool
-ExecCore::memScheduleOk(const DynInstPtr &di, Cycle now,
-                        DynInstPtr &forward_from) const
+ExecCore::memScheduleOk(const DynInst &di, Cycle now,
+                        const DynInst *&forward_from) const
 {
     forward_from = nullptr;
-    if (!di->onCorrectPath || di->effAddr == kNoAddr)
+    if (!di.onCorrectPath || di.effAddr == kNoAddr)
         return true;    // wrong-path loads model no real access
 
-    for (const auto &s : store_window_) {
-        if (s->seq >= di->seq)
+    for (const DynInst *s : store_window_) {
+        if (s->seq >= di.seq)
             break;
         if (s->squashed())
             continue;
@@ -88,7 +77,7 @@ ExecCore::memScheduleOk(const DynInstPtr &di, Cycle now,
         if (s->addrKnown == kNoCycle || s->addrKnown > now)
             return false;
         if (s->onCorrectPath && s->effAddr != kNoAddr &&
-            (s->effAddr >> 2) == (di->effAddr >> 2)) {
+            (s->effAddr >> 2) == (di.effAddr >> 2)) {
             forward_from = s;   // youngest older match wins
         }
     }
@@ -97,26 +86,226 @@ ExecCore::memScheduleOk(const DynInstPtr &di, Cycle now,
     return true;
 }
 
+// --------------------------------------------------------------------
+// Wakeup machinery
+// --------------------------------------------------------------------
+
 void
-ExecCore::startExecution(const DynInstPtr &di, Cycle now,
-                         const DynInstPtr &forward_from,
-                         const std::function<void(const DynInstPtr &)>
-                             &onComplete)
+ExecCore::subscribeOperands(DynInst &di)
 {
-    di->startCycle = now;
+    // One cycle of schedule stage after issue; kNoCycle (never
+    // issued) is sticky through the max() chain and keeps the
+    // instruction unarmed forever, matching the scan path.
+    Cycle ready =
+        di.issueCycle == kNoCycle ? kNoCycle : di.issueCycle + 1;
+    unsigned pending = 0;
+    for (unsigned k = 0; k < di.numSrcs; ++k) {
+        if (di.isStore && static_cast<int>(k) == di.dataOperand)
+            continue;   // stores wait only for address operands
+        const Operand &op = di.src[k];
+        if (!op.producer) {
+            ready = std::max(ready, op.rfAvail);
+            continue;
+        }
+        if (op.producer->completeCycle != kNoCycle) {
+            ready = std::max(
+                ready,
+                operandAvail(op, static_cast<unsigned>(di.fu)));
+            continue;
+        }
+        // Producer timing unknown: link onto its wake list. The
+        // producer fires before it can retire, and the window frees
+        // younger consumers only after older producers, so the raw
+        // link cannot dangle.
+        DynInst &p = *op.producer;
+        di.wakeNext[k] = p.wakeHead;
+        p.wakeHead = packWake(&di, k);
+        ++pending;
+    }
+    di.readyCycle = ready;
+    di.pendingOps = static_cast<std::uint8_t>(pending);
+    if (pending == 0 && ready != kNoCycle)
+        arm(di, ready);
+}
+
+void
+ExecCore::arm(DynInst &di, Cycle earliest)
+{
+    auto &rq = ready_[di.fu];
+    di.readyIdx = static_cast<std::uint32_t>(rq.size());
+    rq.push_back({&di, earliest});
+    ready_min_[di.fu] = std::min(ready_min_[di.fu], earliest);
+    ready_mask_ |= 1u << di.fu;
+    ++armed_;
+}
+
+void
+ExecCore::removeFromReady(DynInst &di)
+{
+    auto &rq = ready_[di.fu];
+    const std::uint32_t idx = di.readyIdx;
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(rq.size()) - 1;
+    if (idx != last) {
+        rq[idx] = rq[last];
+        rq[idx].inst->readyIdx = idx;
+    }
+    rq.pop_back();
+    if (rq.empty()) {
+        ready_min_[di.fu] = kNoCycle;
+        ready_mask_ &= ~(1u << di.fu);
+    }
+    di.readyIdx = kNoRsIndex;
+    --armed_;
+}
+
+void
+ExecCore::removeFromStation(DynInst &di)
+{
+    auto &station = rs_[di.fu];
+    const std::uint32_t idx = di.stationIdx;
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(station.size()) - 1;
+    if (idx != last) {
+        station[idx] = std::move(station[last]);
+        station[idx]->stationIdx = idx;
+    }
+    station.pop_back();
+    di.stationIdx = kNoRsIndex;
+}
+
+void
+ExecCore::wakeConsumers(DynInst &producer)
+{
+    std::uintptr_t cur = producer.wakeHead;
+    producer.wakeHead = 0;
+    while (cur) {
+        DynInst *c = wakePtr(cur);
+        const unsigned k = wakeTag(cur);
+        cur = c->wakeNext[k];
+        c->wakeNext[k] = 0;
+        if (c->squashed())
+            continue;
+        Cycle avail = producer.completeCycle;
+        if (producer.fu >= 0 &&
+            producer.cluster(params_.fusPerCluster) !=
+                static_cast<unsigned>(c->fu) /
+                    params_.fusPerCluster) {
+            avail += params_.crossClusterDelay;
+        }
+        c->readyCycle = std::max(c->readyCycle, avail);
+        if (c->pendingOps > 0 && --c->pendingOps == 0 &&
+            c->readyCycle != kNoCycle) {
+            arm(*c, c->readyCycle);
+        }
+    }
+}
+
+void
+ExecCore::wakeStoreWaiters(DynInst &store)
+{
+    DynInst *cur = store.memWaiterHead;
+    store.memWaiterHead = nullptr;
+    while (cur) {
+        DynInst *next = cur->memWaiterNext;
+        cur->memWaiterNext = nullptr;
+        if (!cur->squashed()) {
+            // Re-arm; the next select attempt re-evaluates the whole
+            // store window (it may defer or park again).
+            Cycle at = cur->readyCycle;
+            if (store.addrKnown != kNoCycle)
+                at = std::max(at, store.addrKnown);
+            arm(*cur, at);
+        }
+        cur = next;
+    }
+}
+
+void
+ExecCore::resetLoadDeferrals()
+{
+    // A store left the window mid-flight (squash): any load whose
+    // eligibility was deferred to a known store-address cycle may now
+    // be selectable earlier, exactly as the per-cycle scan would
+    // discover on its next tick.
+    for (unsigned fu = 0; fu < num_fus_; ++fu) {
+        for (ReadyEnt &e : ready_[fu]) {
+            if (e.inst->isLoad && e.earliest > e.inst->readyCycle) {
+                e.earliest = e.inst->readyCycle;
+                ready_min_[fu] =
+                    std::min(ready_min_[fu], e.earliest);
+            }
+        }
+    }
+}
+
+ExecCore::MemSchedResult
+ExecCore::memSchedule(const DynInst &di, Cycle now) const
+{
+    MemSchedResult res;
+    if (!di.onCorrectPath || di.effAddr == kNoAddr)
+        return res;     // wrong-path loads model no real access
+
+    Cycle retry = 0;
+    DynInst *fwd = nullptr;
+    for (DynInst *s : store_window_) {
+        if (s->seq >= di.seq)
+            break;
+        if (s->squashed())
+            continue;
+        if (s->addrKnown == kNoCycle) {
+            // Blocked until this store AGENs: park on it instead of
+            // polling (re-armed by wakeStoreWaiters).
+            res.kind = MemSched::ParkOn;
+            res.park = s;
+            return res;
+        }
+        if (s->addrKnown > now) {
+            retry = std::max(retry, s->addrKnown);
+        } else if (s->onCorrectPath && s->effAddr != kNoAddr &&
+                   (s->effAddr >> 2) == (di.effAddr >> 2)) {
+            fwd = s;        // youngest older match wins
+        }
+    }
+    if (retry > now) {
+        // Every blocking address is known: sleep until the last one.
+        res.kind = MemSched::RetryAt;
+        res.retry = retry;
+        return res;
+    }
+    if (fwd && fwd->completeCycle == kNoCycle) {
+        // Forwarding store's data is not ready; its completion event
+        // re-arms us.
+        res.kind = MemSched::ParkOn;
+        res.park = fwd;
+        return res;
+    }
+    res.fwd = fwd;
+    return res;
+}
+
+// --------------------------------------------------------------------
+// Execution
+// --------------------------------------------------------------------
+
+void
+ExecCore::startExecution(DynInst &di, Cycle now,
+                         const DynInst *forward_from)
+{
+    di.startCycle = now;
     ++selected_;
-    tracePipe(tracer_, obs::PipeStage::Execute, *di, now);
+    tracePipe(tracer_, obs::PipeStage::Execute, di, now);
 
     // Bypass-delay accounting (paper figure 7): did the last-arriving
     // source value arrive later than it would have with a free
     // (zero-latency) cross-cluster network?
     Cycle max_with = 0;
     Cycle max_without = 0;
-    for (unsigned k = 0; k < di->numSrcs; ++k) {
-        if (di->isStore && static_cast<int>(k) == di->dataOperand)
+    for (unsigned k = 0; k < di.numSrcs; ++k) {
+        if (di.isStore && static_cast<int>(k) == di.dataOperand)
             continue;
-        const Operand &op = di->src[k];
-        Cycle with = operandAvail(op, static_cast<unsigned>(di->fu));
+        const Operand &op = di.src[k];
+        Cycle with = operandAvail(op, static_cast<unsigned>(di.fu));
         Cycle without =
             op.producer ? op.producer->completeCycle : op.rfAvail;
         if (with != kNoCycle) {
@@ -125,101 +314,108 @@ ExecCore::startExecution(const DynInstPtr &di, Cycle now,
         }
     }
     if (max_with > max_without) {
-        di->bypassDelayed = true;
+        di.bypassDelayed = true;
         ++bypass_delayed_;
     }
 
     // Functional-unit occupancy: divides are unpipelined.
-    fu_busy_until_[di->fu] =
-        opClass(di->inst.op) == OpClass::IntDiv ? now + di->latency
-                                                : now + 1;
+    fu_busy_until_[di.fu] =
+        opClass(di.inst.op) == OpClass::IntDiv ? now + di.latency
+                                               : now + 1;
 
     // Release producer references for operands we no longer need:
     // loop-carried dependence chains would otherwise keep the entire
     // dynamic history alive through shared_ptr links. The store-data
     // operand must survive until the store's completion is known.
-    for (unsigned k = 0; k < di->numSrcs; ++k) {
-        if (di->isStore && static_cast<int>(k) == di->dataOperand)
+    for (unsigned k = 0; k < di.numSrcs; ++k) {
+        if (di.isStore && static_cast<int>(k) == di.dataOperand)
             continue;
-        di->src[k].producer = nullptr;
+        di.src[k].producer = nullptr;
     }
 
-    if (di->isStore) {
-        di->phase = InstPhase::Executing;
-        di->addrKnown = now + 1;
-        if (di->onCorrectPath && di->effAddr != kNoAddr)
-            mem_.accessData(di->effAddr, now + 1);  // write-allocate
+    if (di.isStore) {
+        di.phase = InstPhase::Executing;
+        di.addrKnown = now + 1;
+        if (di.onCorrectPath && di.effAddr != kNoAddr)
+            mem_.accessData(di.effAddr, now + 1);   // write-allocate
         // Complete once the store data is available.
-        if (di->dataOperand >= 0) {
+        if (di.dataOperand >= 0) {
             Cycle data = operandAvail(
-                di->src[di->dataOperand],
-                static_cast<unsigned>(di->fu));
+                di.src[di.dataOperand],
+                static_cast<unsigned>(di.fu));
             if (data != kNoCycle) {
-                di->completeCycle = std::max(di->addrKnown, data);
-                di->phase = InstPhase::Complete;
-                di->src[di->dataOperand].producer = nullptr;
-                tracePipe(tracer_, obs::PipeStage::Complete, *di,
-                          di->completeCycle);
-                onComplete(di);
+                di.completeCycle = std::max(di.addrKnown, data);
+                di.phase = InstPhase::Complete;
+                di.src[di.dataOperand].producer = nullptr;
+                tracePipe(tracer_, obs::PipeStage::Complete, di,
+                          di.completeCycle);
+                wakeConsumers(di);
+                notifyComplete(di);
             } else {
-                pending_stores_.push_back(di);
+                pending_stores_.push_back(&di);
             }
         } else {
-            di->completeCycle = di->addrKnown;
-            di->phase = InstPhase::Complete;
-            tracePipe(tracer_, obs::PipeStage::Complete, *di,
-                      di->completeCycle);
-            onComplete(di);
+            di.completeCycle = di.addrKnown;
+            di.phase = InstPhase::Complete;
+            tracePipe(tracer_, obs::PipeStage::Complete, di,
+                      di.completeCycle);
+            wakeConsumers(di);
+            notifyComplete(di);
         }
+        wakeStoreWaiters(di);   // address (and maybe data) now known
         return;
     }
 
-    if (di->isLoad) {
+    if (di.isLoad) {
         const Cycle agen_done = now + 1;
-        if (!di->onCorrectPath || di->effAddr == kNoAddr) {
-            di->completeCycle = agen_done + 1;
+        if (!di.onCorrectPath || di.effAddr == kNoAddr) {
+            di.completeCycle = agen_done + 1;
         } else if (forward_from) {
-            di->completeCycle =
+            di.completeCycle =
                 std::max(agen_done, forward_from->completeCycle) + 1;
             ++load_forwards_;
         } else {
-            Cycle done = mem_.accessData(di->effAddr, agen_done);
-            di->completeCycle = done == agen_done ? agen_done + 1 : done;
+            Cycle done = mem_.accessData(di.effAddr, agen_done);
+            di.completeCycle = done == agen_done ? agen_done + 1 : done;
         }
-        di->phase = InstPhase::Complete;
-        tracePipe(tracer_, obs::PipeStage::Complete, *di,
-                  di->completeCycle);
-        onComplete(di);
+        di.phase = InstPhase::Complete;
+        tracePipe(tracer_, obs::PipeStage::Complete, di,
+                  di.completeCycle);
+        wakeConsumers(di);
+        notifyComplete(di);
         return;
     }
 
-    di->completeCycle = now + di->latency;
-    di->phase = InstPhase::Complete;
-    tracePipe(tracer_, obs::PipeStage::Complete, *di,
-              di->completeCycle);
-    onComplete(di);
+    di.completeCycle = now + di.latency;
+    di.phase = InstPhase::Complete;
+    tracePipe(tracer_, obs::PipeStage::Complete, di,
+              di.completeCycle);
+    wakeConsumers(di);
+    notifyComplete(di);
 }
 
 void
-ExecCore::finalizePendingStores(
-    Cycle now, const std::function<void(const DynInstPtr &)> &onComplete)
+ExecCore::finalizePendingStores(Cycle now)
 {
+    (void)now;
     auto it = pending_stores_.begin();
     while (it != pending_stores_.end()) {
-        DynInstPtr s = *it;
-        if (s->squashed()) {
+        DynInst &s = **it;
+        if (s.squashed()) {
             it = pending_stores_.erase(it);
             continue;
         }
-        Cycle data = operandAvail(s->src[s->dataOperand],
-                                  static_cast<unsigned>(s->fu));
+        Cycle data = operandAvail(s.src[s.dataOperand],
+                                  static_cast<unsigned>(s.fu));
         if (data != kNoCycle) {
-            s->completeCycle = std::max(s->addrKnown, data);
-            s->phase = InstPhase::Complete;
-            s->src[s->dataOperand].producer = nullptr;
-            tracePipe(tracer_, obs::PipeStage::Complete, *s,
-                      s->completeCycle);
-            onComplete(s);
+            s.completeCycle = std::max(s.addrKnown, data);
+            s.phase = InstPhase::Complete;
+            s.src[s.dataOperand].producer = nullptr;
+            tracePipe(tracer_, obs::PipeStage::Complete, s,
+                      s.completeCycle);
+            wakeConsumers(s);
+            wakeStoreWaiters(s);
+            notifyComplete(s);
             it = pending_stores_.erase(it);
         } else {
             ++it;
@@ -228,10 +424,18 @@ ExecCore::finalizePendingStores(
 }
 
 void
-ExecCore::tick(Cycle now,
-               const std::function<void(const DynInstPtr &)> &onComplete)
+ExecCore::tick(Cycle now)
 {
-    finalizePendingStores(now, onComplete);
+    if (params_.scheduler == SchedulerKind::Wakeup)
+        tickWakeup(now);
+    else
+        tickScan(now);
+}
+
+void
+ExecCore::tickScan(Cycle now)
+{
+    finalizePendingStores(now);
 
     for (unsigned fu = 0; fu < num_fus_; ++fu) {
         if (fu_busy_until_[fu] > now)
@@ -240,36 +444,135 @@ ExecCore::tick(Cycle now,
         // Oldest-first select among ready instructions.
         std::size_t pick = station.size();
         InstSeqNum best_seq = ~InstSeqNum(0);
-        DynInstPtr pick_forward;
+        const DynInst *pick_forward = nullptr;
         for (std::size_t i = 0; i < station.size(); ++i) {
-            const DynInstPtr &di = station[i];
+            const DynInst *di = station[i];
             if (di->seq >= best_seq)
                 continue;
-            if (!operandsReady(di, now))
+            if (!operandsReady(*di, now))
                 continue;
-            DynInstPtr forward;
-            if (di->isLoad && !memScheduleOk(di, now, forward)) {
+            const DynInst *forward = nullptr;
+            if (di->isLoad && !memScheduleOk(*di, now, forward)) {
                 ++mem_sched_stalls_;
                 continue;
             }
             pick = i;
             best_seq = di->seq;
-            pick_forward = std::move(forward);
+            pick_forward = forward;
         }
         if (pick == station.size())
             continue;
-        DynInstPtr di = station[pick];
+        DynInst *di = station[pick];
         station.erase(station.begin() +
                       static_cast<std::ptrdiff_t>(pick));
-        startExecution(di, now, pick_forward, onComplete);
+        startExecution(*di, now, pick_forward);
     }
 }
 
 void
-ExecCore::squashRange(InstSeqNum lo, InstSeqNum hi,
-                      InstSeqNum rescue_lo, InstSeqNum rescue_hi)
+ExecCore::tickWakeup(Cycle now)
 {
-    auto in_range = [&](const DynInstPtr &di) {
+    if (!pending_stores_.empty())
+        finalizePendingStores(now);
+    if (armed_ == 0)
+        return;
+
+    // Only FUs with armed instructions participate (ascending order,
+    // identical to a full scan of the per-FU queues).
+    for (std::uint32_t mask = ready_mask_; mask; mask &= mask - 1) {
+        const unsigned fu =
+            static_cast<unsigned>(__builtin_ctz(mask));
+        if (fu_busy_until_[fu] > now || ready_min_[fu] > now)
+            continue;
+        auto &rq = ready_[fu];
+        // Oldest-first select: one min-seq pass over the (unsorted)
+        // ready queue. A memory-blocked load leaves the eligible set
+        // (its earliest is bumped past now, or it parks on a store),
+        // so re-scanning visits candidates in exactly the seq order a
+        // sorted walk would. Arms performed by startExecution() land
+        // with earliest >= now + 1 and cannot be selected this cycle.
+        for (;;) {
+            DynInst *cand = nullptr;
+            Cycle min_future = kNoCycle;
+            for (const ReadyEnt &e : rq) {
+                if (e.earliest <= now) {
+                    if (!cand || e.inst->seq < cand->seq)
+                        cand = e.inst;
+                } else {
+                    min_future = std::min(min_future, e.earliest);
+                }
+            }
+            if (!cand) {
+                // Nothing eligible: the scan just computed the exact
+                // minimum, so retighten the lazy bound.
+                ready_min_[fu] = min_future;
+                break;
+            }
+            const DynInst *forward = nullptr;
+            if (cand->isLoad) {
+                MemSchedResult r = memSchedule(*cand, now);
+                if (r.kind == MemSched::RetryAt) {
+                    ++mem_sched_stalls_;
+                    rq[cand->readyIdx].earliest = r.retry;
+                    continue;
+                }
+                if (r.kind == MemSched::ParkOn) {
+                    ++mem_sched_stalls_;
+                    removeFromReady(*cand);
+                    cand->memWaiterNext = r.park->memWaiterHead;
+                    r.park->memWaiterHead = cand;
+                    continue;
+                }
+                forward = r.fwd;
+            }
+            removeFromReady(*cand);
+            removeFromStation(*cand);
+            startExecution(*cand, now, forward);
+            break;
+        }
+    }
+}
+
+Cycle
+ExecCore::nextEventCycle(Cycle next) const
+{
+    if (params_.scheduler == SchedulerKind::Scan)
+        return next;    // the scan path keeps no event state: no skip
+
+    Cycle best = kNoCycle;
+    for (const DynInst *s : pending_stores_) {
+        if (s->squashed())
+            continue;   // drained lazily; timing-invisible
+        if (operandAvail(s->src[s->dataOperand],
+                         static_cast<unsigned>(s->fu)) != kNoCycle) {
+            best = next;    // finalizes on the very next tick
+            break;
+        }
+    }
+    if (armed_ == 0)
+        return best;
+    for (std::uint32_t mask = ready_mask_; mask && best > next;
+         mask &= mask - 1) {
+        const unsigned fu =
+            static_cast<unsigned>(__builtin_ctz(mask));
+        Cycle m = kNoCycle;
+        for (const ReadyEnt &e : ready_[fu])
+            m = std::min(m, e.earliest);
+        Cycle cand = std::max(std::max(m, fu_busy_until_[fu]), next);
+        best = std::min(best, cand);
+    }
+    return best;
+}
+
+// --------------------------------------------------------------------
+// Squash / retire / bookkeeping
+// --------------------------------------------------------------------
+
+void
+ExecCore::squashRangeScan(InstSeqNum lo, InstSeqNum hi,
+                          InstSeqNum rescue_lo, InstSeqNum rescue_hi)
+{
+    auto in_range = [&](const DynInst *di) {
         if (di->seq < lo || di->seq >= hi)
             return false;
         if (di->seq >= rescue_lo && di->seq < rescue_hi)
@@ -278,14 +581,14 @@ ExecCore::squashRange(InstSeqNum lo, InstSeqNum hi,
     };
 
     for (auto &station : rs_) {
-        std::erase_if(station, [&](const DynInstPtr &di) {
+        std::erase_if(station, [&](DynInst *di) {
             if (!in_range(di))
                 return false;
             di->phase = InstPhase::Squashed;
             return true;
         });
     }
-    std::erase_if(pending_stores_, [&](const DynInstPtr &di) {
+    std::erase_if(pending_stores_, [&](DynInst *di) {
         if (!in_range(di))
             return false;
         di->phase = InstPhase::Squashed;
@@ -295,9 +598,69 @@ ExecCore::squashRange(InstSeqNum lo, InstSeqNum hi,
 }
 
 void
+ExecCore::squashRange(InstSeqNum lo, InstSeqNum hi,
+                      InstSeqNum rescue_lo, InstSeqNum rescue_hi)
+{
+    if (params_.scheduler == SchedulerKind::Scan) {
+        squashRangeScan(lo, hi, rescue_lo, rescue_hi);
+        return;
+    }
+
+    auto in_range = [&](const DynInst *di) {
+        if (di->seq < lo || di->seq >= hi)
+            return false;
+        if (di->seq >= rescue_lo && di->seq < rescue_hi)
+            return false;
+        return true;
+    };
+
+    // Stations first so later waiter-list walks see the squashed
+    // phase; swap-with-back removal, no mid-vector erase. (The window
+    // still owns the instruction: removal cannot free it.)
+    for (auto &station : rs_) {
+        for (std::size_t i = 0; i < station.size();) {
+            if (!in_range(station[i])) {
+                ++i;
+                continue;
+            }
+            DynInst *di = station[i];
+            di->phase = InstPhase::Squashed;
+            if (di->readyIdx != kNoRsIndex)
+                removeFromReady(*di);
+            removeFromStation(*di);
+            // di's slot now holds the previous back entry: revisit i.
+        }
+    }
+    std::erase_if(pending_stores_, [&](DynInst *di) {
+        if (!in_range(di))
+            return false;
+        di->phase = InstPhase::Squashed;
+        return true;
+    });
+    // Squashed stores release their parked loads; any store leaving
+    // the window may also unblock loads deferred to a known
+    // store-address cycle.
+    bool store_removed = false;
+    for (auto it = store_window_.begin();
+         it != store_window_.end();) {
+        if (!in_range(*it)) {
+            ++it;
+            continue;
+        }
+        DynInst *s = *it;
+        it = store_window_.erase(it);
+        store_removed = true;
+        wakeStoreWaiters(*s);
+    }
+    if (store_removed)
+        resetLoadDeferrals();
+}
+
+void
 ExecCore::retireStore(const DynInstPtr &di)
 {
-    auto it = std::find(store_window_.begin(), store_window_.end(), di);
+    auto it = std::find(store_window_.begin(), store_window_.end(),
+                        di.get());
     if (it != store_window_.end())
         store_window_.erase(it);
 }

@@ -337,8 +337,12 @@ TEST(StagePolicy, SubstituteStageIsTimingTransparent)
     SimResult sub = proc.run();
 
     ASSERT_NE(counting, nullptr);
-    EXPECT_EQ(counting->ticks, sub.cycles);  // ticked every cycle
-    EXPECT_EQ(sub.cycles, base.cycles);      // and changed nothing
+    // The processor skips quiescent cycles, so the stage ticks at
+    // most once per simulated cycle — but substitution must not
+    // change the cycle count or any architectural outcome.
+    EXPECT_GT(counting->ticks, 0u);
+    EXPECT_LE(counting->ticks, sub.cycles);
+    EXPECT_EQ(sub.cycles, base.cycles);      // changed nothing
     EXPECT_EQ(sub.retired, base.retired);
     EXPECT_EQ(sub.mispredicts, base.mispredicts);
 }

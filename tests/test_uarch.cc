@@ -94,32 +94,63 @@ TEST(Rename, RebuildHonorsMoveAliases)
 
 struct CoreHarness
 {
-    CoreHarness() : mem(), core(ExecCoreParams{}, mem) {}
+    explicit CoreHarness(SchedulerKind kind = SchedulerKind::Wakeup)
+        : mem(), core(makeParams(kind), mem)
+    {
+        core.setCompleteHook(&CoreHarness::onComplete, this);
+    }
+
+    static ExecCoreParams
+    makeParams(SchedulerKind kind)
+    {
+        ExecCoreParams p;
+        p.scheduler = kind;
+        return p;
+    }
+
+    static void
+    onComplete(void *ctx, DynInst &di)
+    {
+        static_cast<CoreHarness *>(ctx)->completed.push_back(
+            DynInstPtr(&di));
+    }
+
+    void tick(Cycle now) { core.tick(now); }
 
     std::vector<DynInstPtr> completed;
-
-    void
-    tick(Cycle now)
-    {
-        core.tick(now, [this](const DynInstPtr &di) {
-            completed.push_back(di);
-        });
-    }
 
     MemoryHierarchy mem;
     ExecCore core;
 };
 
-TEST(ExecCore, Geometry)
+/** Every core-semantics test runs under both schedulers. */
+class ExecCoreTest : public ::testing::TestWithParam<SchedulerKind>
 {
+  protected:
+    ExecCoreTest() : h(GetParam()) {}
+
     CoreHarness h;
+};
+
+std::string
+schedulerName(const ::testing::TestParamInfo<SchedulerKind> &p)
+{
+    return p.param == SchedulerKind::Wakeup ? "Wakeup" : "Scan";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, ExecCoreTest,
+    ::testing::Values(SchedulerKind::Wakeup, SchedulerKind::Scan),
+    schedulerName);
+
+TEST_P(ExecCoreTest, Geometry)
+{
     EXPECT_EQ(h.core.numFus(), 16u);
     EXPECT_EQ(h.core.rsFree(0), 32u);
 }
 
-TEST(ExecCore, ScheduleStageDelaysExecution)
+TEST_P(ExecCoreTest, ScheduleStageDelaysExecution)
 {
-    CoreHarness h;
     DynInstPtr di = makeInst(1);
     di->issueCycle = 5;
     h.core.dispatch(di);
@@ -131,9 +162,8 @@ TEST(ExecCore, ScheduleStageDelaysExecution)
     EXPECT_EQ(di->completeCycle, 7u);
 }
 
-TEST(ExecCore, WaitsForProducer)
+TEST_P(ExecCoreTest, WaitsForProducer)
 {
-    CoreHarness h;
     DynInstPtr prod = makeInst(1, Op::MUL, 0);
     DynInstPtr cons = makeInst(2, Op::ADD, 1);
     cons->src[0].producer = prod;
@@ -148,9 +178,8 @@ TEST(ExecCore, WaitsForProducer)
     EXPECT_EQ(cons->startCycle, 4u);
 }
 
-TEST(ExecCore, CrossClusterBypassCostsACycle)
+TEST_P(ExecCoreTest, CrossClusterBypassCostsACycle)
 {
-    CoreHarness h;
     DynInstPtr prod = makeInst(1, Op::ADD, 0);      // cluster 0
     DynInstPtr cons = makeInst(2, Op::ADD, 4);      // cluster 1
     cons->src[0].producer = prod;
@@ -164,9 +193,8 @@ TEST(ExecCore, CrossClusterBypassCostsACycle)
     EXPECT_TRUE(cons->bypassDelayed);
 }
 
-TEST(ExecCore, SameClusterBackToBack)
+TEST_P(ExecCoreTest, SameClusterBackToBack)
 {
-    CoreHarness h;
     DynInstPtr prod = makeInst(1, Op::ADD, 0);
     DynInstPtr cons = makeInst(2, Op::ADD, 1);      // same cluster
     cons->src[0].producer = prod;
@@ -178,9 +206,8 @@ TEST(ExecCore, SameClusterBackToBack)
     EXPECT_FALSE(cons->bypassDelayed);
 }
 
-TEST(ExecCore, OldestFirstSelection)
+TEST_P(ExecCoreTest, OldestFirstSelection)
 {
-    CoreHarness h;
     DynInstPtr young = makeInst(10, Op::ADD, 0);
     DynInstPtr old = makeInst(5, Op::ADD, 0);
     h.core.dispatch(young);
@@ -192,9 +219,8 @@ TEST(ExecCore, OldestFirstSelection)
     EXPECT_EQ(young->startCycle, 2u);
 }
 
-TEST(ExecCore, DivideIsUnpipelined)
+TEST_P(ExecCoreTest, DivideIsUnpipelined)
 {
-    CoreHarness h;
     DynInstPtr div = makeInst(1, Op::DIV, 0);
     DynInstPtr next = makeInst(2, Op::ADD, 0);
     h.core.dispatch(div);
@@ -208,9 +234,8 @@ TEST(ExecCore, DivideIsUnpipelined)
     EXPECT_EQ(next->startCycle, 13u);
 }
 
-TEST(ExecCore, StoreAddrKnownThenDataCompletes)
+TEST_P(ExecCoreTest, StoreAddrKnownThenDataCompletes)
 {
-    CoreHarness h;
     DynInstPtr data = makeInst(1, Op::MUL, 0);
     DynInstPtr st = makeInst(2, Op::SW, 1);
     st->isStore = true;
@@ -229,9 +254,8 @@ TEST(ExecCore, StoreAddrKnownThenDataCompletes)
     EXPECT_EQ(st->completeCycle, 4u);
 }
 
-TEST(ExecCore, LoadBlockedByUnknownStoreAddress)
+TEST_P(ExecCoreTest, LoadBlockedByUnknownStoreAddress)
 {
-    CoreHarness h;
     DynInstPtr base = makeInst(1, Op::MUL, 0);  // store address chain
     DynInstPtr st = makeInst(2, Op::SW, 1);
     st->isStore = true;
@@ -256,9 +280,8 @@ TEST(ExecCore, LoadBlockedByUnknownStoreAddress)
     EXPECT_EQ(ld->startCycle, 5u);
 }
 
-TEST(ExecCore, StoreToLoadForwarding)
+TEST_P(ExecCoreTest, StoreToLoadForwarding)
 {
-    CoreHarness h;
     DynInstPtr st = makeInst(1, Op::SW, 0);
     st->isStore = true;
     st->onCorrectPath = true;
@@ -280,9 +303,8 @@ TEST(ExecCore, StoreToLoadForwarding)
                                           st->completeCycle) + 1);
 }
 
-TEST(ExecCore, SquashRangeRemovesFromStations)
+TEST_P(ExecCoreTest, SquashRangeRemovesFromStations)
 {
-    CoreHarness h;
     DynInstPtr a = makeInst(1, Op::ADD, 0);
     DynInstPtr b = makeInst(2, Op::ADD, 1);
     DynInstPtr c = makeInst(3, Op::ADD, 2);
@@ -301,9 +323,8 @@ TEST(ExecCore, SquashRangeRemovesFromStations)
     EXPECT_EQ(h.core.occupancy(), 2u);
 }
 
-TEST(ExecCore, WrongPathLoadsSkipCaches)
+TEST_P(ExecCoreTest, WrongPathLoadsSkipCaches)
 {
-    CoreHarness h;
     DynInstPtr ld = makeInst(1, Op::LW, 0);
     ld->isLoad = true;
     ld->onCorrectPath = false;      // wrong path: fixed fake latency

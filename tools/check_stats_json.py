@@ -23,6 +23,25 @@ Usage:
         byte-identical when canonically re-serialized. On divergence,
         reports the first differing counter per result and exits 1.
 
+    check_stats_json.py SCAN.json WAKEUP.json --compare-timing
+        Enforce the scheduler timing-identity contract (DESIGN.md
+        section 13): two runs of the same workloads under different
+        scheduler implementations must agree on every deterministic
+        counter. Same volatile-key stripping as --compare-replay
+        (host wall-clock and run provenance are not timing); on
+        divergence, names the first differing counter per result.
+
+    check_stats_json.py BASELINE.json BENCH_OUT.json --compare-perf
+        Perf-smoke gate: BASELINE.json is the pinned
+        tcfill-bench-baseline-v1 snapshot (BENCH_baseline.json);
+        BENCH_OUT.json is a google-benchmark --benchmark_out document
+        from bench/perf_simulator. Fails when any baselined
+        benchmark's sim_insts_per_s falls below (1 - tol) x baseline
+        (--perf-tol, default 0.25). The committed baseline is the
+        *pre-optimization* throughput, so this is a floor against
+        catastrophic regression that absorbs host-speed variance,
+        not a precision measurement.
+
 Exit status: 0 clean, 1 validation/diff failure, 2 usage error.
 Stdlib only, so it runs in CI and on dev machines without a venv.
 """
@@ -250,34 +269,102 @@ def first_divergence(live_r, replay_r):
     return None
 
 
-def compare_replay(live_path, live, replay_path, replay):
-    a = canonical_replay_view(live)
-    b = canonical_replay_view(replay)
+def compare_identical(a_path, a_doc, b_path, b_doc, a_role, b_role,
+                      contract):
+    """Shared engine for --compare-replay and --compare-timing: the
+    two documents must be identical modulo the volatile keys."""
+    a = canonical_replay_view(a_doc)
+    b = canonical_replay_view(b_doc)
     a_bytes = json.dumps(a, sort_keys=True)
     b_bytes = json.dumps(b, sort_keys=True)
     if a_bytes == b_bytes:
-        n = len(live["results"])
-        print(f"replay deterministic: {n} result"
+        n = len(a_doc["results"])
+        print(f"{contract}: {n} result"
               f"{'s' if n != 1 else ''} byte-identical "
               f"(modulo {', '.join(REPLAY_VOLATILE_RESULT_KEYS)})")
         return True
 
-    live_pts, replay_pts = by_point(live), by_point(replay)
-    for key in sorted(live_pts.keys() | replay_pts.keys()):
+    a_pts, b_pts = by_point(a_doc), by_point(b_doc)
+    for key in sorted(a_pts.keys() | b_pts.keys()):
         label = f"{key[0]}/{key[1]}"
-        if key not in live_pts:
-            print(f"  !! {label}: only in {replay_path}")
+        if key not in a_pts:
+            print(f"  !! {label}: only in {b_path}")
             continue
-        if key not in replay_pts:
-            print(f"  !! {label}: only in {live_path}")
+        if key not in b_pts:
+            print(f"  !! {label}: only in {a_path}")
             continue
-        div = first_divergence(live_pts[key], replay_pts[key])
+        div = first_divergence(a_pts[key], b_pts[key])
         if div:
             field, a_v, b_v = div
             print(f"  !! {label}: first diverging counter "
-                  f"'{field}': {a_v} (live) vs {b_v} (replay)")
-    print(f"replay NOT deterministic: {live_path} vs {replay_path}")
+                  f"'{field}': {a_v} ({a_role}) vs {b_v} ({b_role})")
+    print(f"{contract} FAILED: {a_path} vs {b_path}")
     return False
+
+
+def compare_replay(live_path, live, replay_path, replay):
+    return compare_identical(live_path, live, replay_path, replay,
+                             "live", "replay", "replay deterministic")
+
+
+def compare_timing(scan_path, scan, wakeup_path, wakeup):
+    return compare_identical(scan_path, scan, wakeup_path, wakeup,
+                             "scan", "wakeup",
+                             "scheduler timing identity")
+
+
+# ---- perf-smoke gate ----------------------------------------------------
+
+BASELINE_SCHEMA = "tcfill-bench-baseline-v1"
+PERF_COUNTER = "sim_insts_per_s"
+
+
+def bench_out_rates(doc):
+    """sim_insts_per_s per benchmark from a google-benchmark
+    --benchmark_out document, preferring the _median aggregate when
+    repetitions were used."""
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if PERF_COUNTER not in b:
+            continue
+        base, sep, agg = name.rpartition("_")
+        if sep and agg in ("median", "mean"):
+            # Medians overwrite plain/mean entries; means only fill
+            # gaps so a median-less run still gates.
+            if agg == "median" or base not in rates:
+                rates[base] = b[PERF_COUNTER]
+        elif name not in rates:
+            rates[name] = b[PERF_COUNTER]
+    return rates
+
+
+def compare_perf(base_path, base, out_path, out, tol):
+    if base.get("schema") != BASELINE_SCHEMA:
+        print(f"{base_path}: expected schema '{BASELINE_SCHEMA}', "
+              f"got {base.get('schema')!r}", file=sys.stderr)
+        return False
+    rates = bench_out_rates(out)
+    ok = True
+    for name, entry in sorted(base.get("benchmarks", {}).items()):
+        want = entry[PERF_COUNTER]
+        floor = (1.0 - tol) * want
+        if name not in rates:
+            print(f"  !! {name}: baselined but absent from "
+                  f"{out_path}")
+            ok = False
+            continue
+        got = rates[name]
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"  {name}: {got:,.0f} {PERF_COUNTER} vs baseline "
+              f"{want:,.0f} (floor {floor:,.0f}, "
+              f"{got / want:.2f}x) {verdict}")
+        if got < floor:
+            ok = False
+    if not ok:
+        print(f"perf smoke FAILED: throughput below "
+              f"(1 - {tol}) x {base_path}")
+    return ok
 
 
 def main():
@@ -291,11 +378,35 @@ def main():
     ap.add_argument("--compare-replay", action="store_true",
                     help="two-file mode: require identical simulation "
                          "content (record/replay determinism check)")
+    ap.add_argument("--compare-timing", action="store_true",
+                    help="two-file mode: require identical simulation "
+                         "content between two scheduler "
+                         "implementations (timing-identity check)")
+    ap.add_argument("--compare-perf", action="store_true",
+                    help="two-file mode: BASELINE.json vs a "
+                         "google-benchmark --benchmark_out document "
+                         "(perf-smoke regression gate)")
+    ap.add_argument("--perf-tol", type=float, default=0.25,
+                    help="relative throughput drop tolerated by "
+                         "--compare-perf (default 0.25)")
     opts = ap.parse_args()
     if len(opts.files) > 2:
         ap.error("expected one or two files")
-    if opts.compare_replay and len(opts.files) != 2:
-        ap.error("--compare-replay needs exactly two files")
+    modes = [m for m in ("--compare-replay", "--compare-timing",
+                         "--compare-perf")
+             if getattr(opts, m[2:].replace("-", "_"))]
+    if len(modes) > 1:
+        ap.error("pick one of " + ", ".join(modes))
+    if modes and len(opts.files) != 2:
+        ap.error(f"{modes[0]} needs exactly two files")
+
+    if opts.compare_perf:
+        # Neither file is a tcfill-stats-v1 document: skip schema
+        # validation and gate directly.
+        base, out = load(opts.files[0]), load(opts.files[1])
+        ok = compare_perf(opts.files[0], base, opts.files[1], out,
+                          opts.perf_tol)
+        sys.exit(0 if ok else 1)
 
     ok = True
     docs = []
@@ -309,6 +420,9 @@ def main():
     if ok and len(docs) == 2:
         if opts.compare_replay:
             ok = compare_replay(opts.files[0], docs[0], opts.files[1],
+                                docs[1])
+        elif opts.compare_timing:
+            ok = compare_timing(opts.files[0], docs[0], opts.files[1],
                                 docs[1])
         else:
             ok = diff(opts.files[0], docs[0], opts.files[1], docs[1],

@@ -23,6 +23,10 @@
  *   --no-inactive-issue    disable inactive issue
  *   --no-promotion         disable branch promotion
  *   --tc-entries N         trace cache entries (default 2048)
+ *   --scheduler KIND       instruction scheduler: wakeup (default,
+ *                          event-driven) or scan (per-cycle rescan
+ *                          reference; identical timing — used by the
+ *                          timing-identity CI job)
  *   --stats                dump full component statistics
  *   --stats-dump           dump component statistics as JSON
  *   --stats-json FILE      write a tcfill-stats-v1 JSON document with
@@ -119,6 +123,7 @@ usage()
         "  --max-insts N\n"
         "  --opts LIST | --fill-latency N | --no-trace-cache\n"
         "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
+        "  --scheduler wakeup|scan\n"
         "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
         "  --pipe-trace FILE | --progress\n"
         "  --record FILE | --replay FILE | --bbv FILE\n"
@@ -220,6 +225,16 @@ main(int argc, char **argv)
             cfg.fill.promoteBranches = false;
         } else if (arg == "--tc-entries") {
             cfg.tcache.entries = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--scheduler") {
+            std::string kind = next();
+            if (kind == "wakeup") {
+                cfg.core.scheduler = SchedulerKind::Wakeup;
+            } else if (kind == "scan") {
+                cfg.core.scheduler = SchedulerKind::Scan;
+            } else {
+                fatal("unknown scheduler '%s' (wakeup|scan)",
+                      kind.c_str());
+            }
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--stats-dump") {
