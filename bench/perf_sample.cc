@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Host-performance benchmark (google-benchmark) for the sampled-run
+ * engine: the checkpoint-parallel runSampled against the serial
+ * re-execute reference it replaced, isolation variants that toggle one
+ * ingredient at a time (checkpoints off, pool off), and the raw
+ * fast-forward interpreter against the virtual CommitSource step path
+ * it bypasses. The sim_insts_per_s counters feed the CI perf-smoke
+ * gate (tools/check_stats_json.py --compare-perf vs
+ * BENCH_baseline.json); the sampled benchmarks report the *estimated*
+ * run's instruction count per wall second, i.e. "how many full-run
+ * instructions does one host second of sampling buy you", so the
+ * runSampled / runSampledReference ratio is exactly the end-to-end
+ * speedup claimed in DESIGN.md section 14.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "arch/executor.hh"
+#include "bench/bench_common.hh"
+#include "tracefile/sample.hh"
+#include "workloads/suite.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+using namespace tcfill::tracefile;
+
+namespace
+{
+
+// Full-length workload for the end-to-end sampled benchmarks: long
+// enough (compress @ scale 8 = ~5.2M insts) that the reference's
+// re-executed prefixes dominate its wall clock, which is the regime
+// sampling exists for. Small interval/warmup keep the timed fraction
+// representative of full-length sampling of real workloads, where
+// warmup + interval << run length; k = 16 simpoints and a capture
+// stride of 8 match that geometry (one checkpoint every ~16K insts,
+// so residual fast-forwards stay tiny next to restore cost).
+constexpr const char *kWorkload = "compress";
+constexpr unsigned kScale = 8;
+
+SampleSpec
+benchSpec()
+{
+    SampleSpec spec;
+    spec.k = 16;
+    spec.interval = 2'000;
+    spec.warmup = 2'000;
+    spec.checkpointStride = 8;
+    return spec;
+}
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.maxInsts = 0; // full run
+    return cfg;
+}
+
+/** Report an estimated-insts-per-host-second rate for a sampled run. */
+void
+reportSampleRate(benchmark::State &state, std::uint64_t est_insts)
+{
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(est_insts), benchmark::Counter::kIsRate);
+}
+
+/** Pre-checkpointing serial baseline: re-execute every prefix. */
+void
+BM_SampledReference(benchmark::State &state)
+{
+    const SimConfig cfg = benchConfig();
+    const SampleSpec spec = benchSpec();
+    std::uint64_t est = 0;
+    for (auto _ : state) {
+        SimResult r = runSampledReference(kWorkload, kScale, cfg, spec);
+        benchmark::DoNotOptimize(r.cycles);
+        est += r.retired;
+    }
+    reportSampleRate(state, est);
+}
+
+/** The shipping path: checkpoints + probe + pooled measurement. */
+void
+BM_SampledRun(benchmark::State &state)
+{
+    const SimConfig cfg = benchConfig();
+    const SampleSpec spec = benchSpec();
+    std::uint64_t est = 0;
+    for (auto _ : state) {
+        SimResult r = runSampled(kWorkload, kScale, cfg, spec);
+        benchmark::DoNotOptimize(r.cycles);
+        est += r.retired;
+    }
+    reportSampleRate(state, est);
+}
+
+/** Checkpoints + probe with the pool pinned to one worker. */
+void
+BM_SampledSerialCheckpoint(benchmark::State &state)
+{
+    const SimConfig cfg = benchConfig();
+    SampleSpec spec = benchSpec();
+    spec.jobs = 1;
+    std::uint64_t est = 0;
+    for (auto _ : state) {
+        SimResult r = runSampled(kWorkload, kScale, cfg, spec);
+        benchmark::DoNotOptimize(r.cycles);
+        est += r.retired;
+    }
+    state.counters["sample_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(est), benchmark::Counter::kIsRate);
+}
+
+/** Pool + probe but re-execute prefixes instead of restoring. */
+void
+BM_SampledPooledReexec(benchmark::State &state)
+{
+    const SimConfig cfg = benchConfig();
+    SampleSpec spec = benchSpec();
+    spec.useCheckpoints = false;
+    std::uint64_t est = 0;
+    for (auto _ : state) {
+        SimResult r = runSampled(kWorkload, kScale, cfg, spec);
+        benchmark::DoNotOptimize(r.cycles);
+        est += r.retired;
+    }
+    state.counters["sample_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(est), benchmark::Counter::kIsRate);
+}
+
+// The fast-forward microbenchmarks run compress @ scale 1 (~636K
+// insts) to completion so both paths execute the identical committed
+// stream.
+
+/** Functional execution through the virtual step()/ExecRecord path. */
+void
+BM_FunctionalStep(benchmark::State &state)
+{
+    const Program prog = workloads::build(kWorkload, 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        Executor exec(prog);
+        CommitSource &src = exec; // the dispatch the profiler used to pay
+        while (!src.halted()) {
+            ExecRecord rec = src.step();
+            benchmark::DoNotOptimize(rec.nextPc);
+        }
+        insts += exec.instCount();
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+/** The same stream through the predecoded record-free fast path. */
+void
+BM_FastForward(benchmark::State &state)
+{
+    const Program prog = workloads::build(kWorkload, 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        Executor exec(prog);
+        insts += exec.fastForward(~InstSeqNum(0));
+        benchmark::DoNotOptimize(exec.state().pc);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_SampledReference)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampledRun)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampledSerialCheckpoint)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampledPooledReexec)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FunctionalStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FastForward)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    tcfill::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

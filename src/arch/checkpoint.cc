@@ -1,0 +1,100 @@
+#include "arch/checkpoint.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace tcfill
+{
+
+CheckpointStore::CheckpointStore(const Program &prog, Executor &exec)
+    : prog_(prog), exec_(exec)
+{
+    // Pages touched by program load are implied by the Program and
+    // reproduced by the fresh Executor a restore starts from; only
+    // writes from here on need journaling.
+    exec_.memory().clearDirty();
+}
+
+std::size_t
+CheckpointStore::capture()
+{
+    Checkpoint cp;
+    cp.state = exec_.state();
+    cp.instCount = exec_.instCount();
+    cp.halted = exec_.halted();
+
+    Memory &mem = exec_.memory();
+    for (Addr no : mem.dirtyPageNumbers()) {
+        const auto *data = mem.pageData(no);
+        panic_if(!data, "checkpoint: dirty page %llu not materialized",
+                 static_cast<unsigned long long>(no));
+        cp.pages.emplace_back(no, *data);
+    }
+    mem.clearDirty();
+
+    pages_stored_ += cp.pages.size();
+    points_.push_back(std::move(cp));
+    return points_.size() - 1;
+}
+
+std::size_t
+CheckpointStore::latestAtOrBefore(InstSeqNum seq) const
+{
+    panic_if(points_.empty() || points_.front().instCount > seq,
+             "checkpoint: no checkpoint at or before seq %llu",
+             static_cast<unsigned long long>(seq));
+    // instCount is strictly increasing in capture order.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].instCount > seq)
+            break;
+        best = i;
+    }
+    return best;
+}
+
+std::uint64_t
+CheckpointStore::pagesUpTo(std::size_t idx) const
+{
+    panic_if(idx >= points_.size(), "checkpoint: pagesUpTo(%zu) of %zu",
+             idx, points_.size());
+    std::unordered_set<Addr> seen;
+    for (std::size_t i = 0; i <= idx; ++i)
+        for (const auto &[no, bytes] : points_[i].pages)
+            seen.insert(no);
+    return seen.size();
+}
+
+std::unique_ptr<Executor>
+CheckpointStore::restore(std::size_t idx, std::uint64_t *pages_applied) const
+{
+    panic_if(idx >= points_.size(), "checkpoint: restore(%zu) of %zu", idx,
+             points_.size());
+
+    auto exec = std::make_unique<Executor>(prog_);
+    Memory &mem = exec->memory();
+    // Newest delta first, copying only the first (i.e. latest) version
+    // of each page: hot pages reappear in most deltas, and replaying
+    // every historical copy made restore cost grow with the journal's
+    // length instead of the working-set size.
+    std::unordered_set<Addr> seen;
+    std::uint64_t applied = 0;
+    for (std::size_t i = idx + 1; i-- > 0;) {
+        for (const auto &[no, bytes] : points_[i].pages) {
+            if (!seen.insert(no).second)
+                continue;
+            mem.writeBlock(no * Memory::kPageBytes, bytes.data(),
+                           bytes.size());
+            ++applied;
+        }
+    }
+    const Checkpoint &cp = points_[idx];
+    exec->restoreState(cp.state, cp.instCount, cp.halted);
+    if (pages_applied)
+        *pages_applied = applied;
+    return exec;
+}
+
+} // namespace tcfill

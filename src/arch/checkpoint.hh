@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Architectural checkpoints for fast mid-run restore.
+ *
+ * A CheckpointStore journals an Executor at chosen points of its
+ * committed stream: each capture records the ArchState (registers +
+ * PC), the committed-instruction count, the halt flag, and — via
+ * Memory's dirty-page journal — only the pages written since the
+ * previous capture. A restore builds a fresh Executor for the same
+ * Program and replays the latest journaled version of every page in
+ * deltas 0..idx, yielding an executor whose onward committed stream is
+ * bit-identical to one that executed from instruction zero (asserted
+ * against the trace CRC in tests).
+ *
+ * restore() is const and touches only immutable journal state, so any
+ * number of worker threads may restore concurrently — the substrate
+ * for parallel per-simpoint measurement in tracefile::runSampled.
+ */
+
+#ifndef TCFILL_ARCH_CHECKPOINT_HH
+#define TCFILL_ARCH_CHECKPOINT_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "arch/executor.hh"
+#include "arch/memory.hh"
+#include "asm/program.hh"
+
+namespace tcfill
+{
+
+/** One captured architectural point plus its incremental page delta. */
+struct Checkpoint
+{
+    ArchState state;
+    InstSeqNum instCount = 0;
+    bool halted = false;
+    /** Pages written since the previous checkpoint, ascending. */
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> pages;
+};
+
+/** Incremental checkpoint journal over one executing Executor. */
+class CheckpointStore
+{
+  public:
+    /**
+     * Bind to a *freshly constructed* @p exec for @p prog. The
+     * executor's dirty set is cleared here: pages materialized by
+     * program load are reproduced by the fresh Executor built on
+     * restore and need not be journaled.
+     */
+    CheckpointStore(const Program &prog, Executor &exec);
+
+    /**
+     * Journal the executor's current architectural point; the page
+     * delta is everything dirtied since the previous capture (or
+     * since construction, for the first). Returns the new index.
+     */
+    std::size_t capture();
+
+    std::size_t size() const { return points_.size(); }
+    const Checkpoint &at(std::size_t i) const { return points_[i]; }
+
+    /**
+     * Index of the latest checkpoint whose instCount is <= @p seq.
+     * At least one capture() must precede this (the boundary-zero
+     * checkpoint guarantees a hit for any seq).
+     */
+    std::size_t latestAtOrBefore(InstSeqNum seq) const;
+
+    /**
+     * Materialize an executor positioned at checkpoint @p idx by
+     * replaying the latest version of each page journaled in deltas
+     * 0..idx onto a fresh Executor — each page is copied once, so a
+     * restore costs the working set, not the journal length.
+     * Thread-safe: reads only the immutable journal. If
+     * @p pages_applied is given it receives the number of pages
+     * written during the replay.
+     */
+    std::unique_ptr<Executor> restore(
+        std::size_t idx, std::uint64_t *pages_applied = nullptr) const;
+
+    /** Total pages journaled across all captures. */
+    std::uint64_t pagesStored() const { return pages_stored_; }
+
+    /**
+     * Pages a restore(idx) replays: the distinct page numbers
+     * journaled across checkpoints 0..idx. Lets callers account
+     * restore traffic without doing one.
+     */
+    std::uint64_t pagesUpTo(std::size_t idx) const;
+
+  private:
+    const Program &prog_;
+    Executor &exec_;
+    std::vector<Checkpoint> points_;
+    std::uint64_t pages_stored_ = 0;
+};
+
+} // namespace tcfill
+
+#endif // TCFILL_ARCH_CHECKPOINT_HH

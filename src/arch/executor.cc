@@ -27,33 +27,109 @@ Executor::fetchDecode(Addr pc) const
     return decode(mem_.readWord(pc));
 }
 
-ExecRecord
-Executor::step()
+void
+Executor::rebuildDecodeCache()
+{
+    decoded_.resize(prog_.text.size());
+    target_.assign(prog_.text.size(), 0);
+    for (std::size_t i = 0; i < decoded_.size(); ++i) {
+        const Addr pc = prog_.textBase + i * 4;
+        Instruction in = decode(mem_.readWord(pc));
+        // Normalize absent sources to R0 (hardwired zero) so the fast
+        // path reads operands unconditionally; architecturally
+        // equivalent since reading kNoReg was mapped to R0 anyway.
+        if (in.src1 == Instruction::kNoReg)
+            in.src1 = kRegZero;
+        if (in.src2 == Instruction::kNoReg)
+            in.src2 = kRegZero;
+        if (in.src3 == Instruction::kNoReg)
+            in.src3 = kRegZero;
+        if (in.isCondBranch()) {
+            target_[i] = pc + 4 +
+                (static_cast<Addr>(static_cast<std::int64_t>(in.imm)) << 2);
+        } else if (in.op == Op::J || in.op == Op::JAL) {
+            target_[i] =
+                static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        }
+        decoded_[i] = in;
+    }
+    decode_stale_ = false;
+}
+
+void
+Executor::restoreState(const ArchState &st, InstSeqNum seq, bool halted)
+{
+    state_ = st;
+    seq_ = seq;
+    halted_ = halted;
+}
+
+template <bool kRecord>
+inline bool
+Executor::stepImpl(ExecRecord *rec, const FetchView &fv, Addr &pc_io)
 {
     panic_if(halted_, "Executor::step() after halt");
 
-    ExecRecord rec;
-    rec.seq = seq_++;
-    rec.pc = state_.pc;
-    rec.inst = fetchDecode(state_.pc);
+    const Addr pc = pc_io;
+    [[maybe_unused]] Instruction fetched;
+    std::size_t fast_idx = 0;
+    const Instruction *inp;
+    if constexpr (kRecord) {
+        fetched = fetchDecode(pc);
+        inp = &fetched;
+    } else {
+        // One unsigned compare covers both text-segment bounds: a PC
+        // below textBase wraps to a huge index.
+        fast_idx = (pc - fv.base) / 4;
+        fatal_if(fast_idx >= fv.n,
+                 "%s: PC 0x%llx escaped the text segment",
+                 prog_.name.c_str(), static_cast<unsigned long long>(pc));
+        inp = &fv.dec[fast_idx];
+    }
+    const Instruction &in = *inp;
 
-    const Instruction &in = rec.inst;
-    Addr next_pc = state_.pc + 4;
+    if constexpr (kRecord) {
+        rec->seq = seq_;
+        rec->pc = pc;
+        rec->inst = in;
+        ++seq_;
+    }
 
-    auto s1 = state_.read(in.src1 == Instruction::kNoReg ? kRegZero
-                                                         : in.src1);
-    auto s2 = state_.read(in.src2 == Instruction::kNoReg ? kRegZero
-                                                         : in.src2);
-    auto s3 = state_.read(in.src3 == Instruction::kNoReg ? kRegZero
-                                                         : in.src3);
+    Addr next_pc = pc + 4;
+
+    // The decode cache pre-normalizes absent sources to R0, so the
+    // fast path reads operands without the kNoReg tests.
+    std::uint32_t s1, s2, s3;
+    if constexpr (kRecord) {
+        s1 = state_.read(in.src1 == Instruction::kNoReg ? kRegZero
+                                                        : in.src1);
+        s2 = state_.read(in.src2 == Instruction::kNoReg ? kRegZero
+                                                        : in.src2);
+        s3 = state_.read(in.src3 == Instruction::kNoReg ? kRegZero
+                                                        : in.src3);
+    } else {
+        s1 = state_.read(in.src1);
+        s2 = state_.read(in.src2);
+        s3 = state_.read(in.src3);
+    }
     auto imm = static_cast<std::uint32_t>(in.imm);
 
     auto branch_to = [&](bool take) {
-        rec.taken = take;
-        if (take) {
-            next_pc = state_.pc + 4 +
-                (static_cast<Addr>(static_cast<std::int64_t>(in.imm)) << 2);
+        if constexpr (kRecord) {
+            rec->taken = take;
+            if (take) {
+                next_pc = pc + 4 +
+                    (static_cast<Addr>(static_cast<std::int64_t>(in.imm))
+                     << 2);
+            }
+        } else if (take) {
+            next_pc = fv.tgt[fast_idx];
         }
+    };
+    auto eff_addr = [&](Addr ea) {
+        if constexpr (kRecord)
+            rec->effAddr = ea;
+        return ea;
     };
 
     switch (in.op) {
@@ -99,47 +175,49 @@ Executor::step()
         break;
 
       case Op::LB:
-        rec.effAddr = s1 + imm;
         state_.write(in.dest, static_cast<std::uint32_t>(
-            static_cast<std::int8_t>(mem_.readByte(rec.effAddr))));
+            static_cast<std::int8_t>(mem_.readByte(eff_addr(s1 + imm)))));
         break;
       case Op::LBU:
-        rec.effAddr = s1 + imm;
-        state_.write(in.dest, mem_.readByte(rec.effAddr));
+        state_.write(in.dest, mem_.readByte(eff_addr(s1 + imm)));
         break;
       case Op::LH:
-        rec.effAddr = s1 + imm;
         state_.write(in.dest, static_cast<std::uint32_t>(
-            static_cast<std::int16_t>(mem_.readHalf(rec.effAddr))));
+            static_cast<std::int16_t>(mem_.readHalf(eff_addr(s1 + imm)))));
         break;
       case Op::LHU:
-        rec.effAddr = s1 + imm;
-        state_.write(in.dest, mem_.readHalf(rec.effAddr));
+        state_.write(in.dest, mem_.readHalf(eff_addr(s1 + imm)));
         break;
       case Op::LW:
-        rec.effAddr = s1 + imm;
-        state_.write(in.dest, mem_.readWord(rec.effAddr));
+        state_.write(in.dest, mem_.readWord(eff_addr(s1 + imm)));
         break;
       case Op::LWX:
-        rec.effAddr = s1 + s2;
-        state_.write(in.dest, mem_.readWord(rec.effAddr));
+        state_.write(in.dest, mem_.readWord(eff_addr(s1 + s2)));
         break;
-      case Op::SB:
-        rec.effAddr = s1 + imm;
-        mem_.writeByte(rec.effAddr, static_cast<std::uint8_t>(s3));
+      case Op::SB: {
+        const Addr ea = eff_addr(s1 + imm);
+        mem_.writeByte(ea, static_cast<std::uint8_t>(s3));
+        noteTextStore(ea);
         break;
-      case Op::SH:
-        rec.effAddr = s1 + imm;
-        mem_.writeHalf(rec.effAddr, static_cast<std::uint16_t>(s3));
+      }
+      case Op::SH: {
+        const Addr ea = eff_addr(s1 + imm);
+        mem_.writeHalf(ea, static_cast<std::uint16_t>(s3));
+        noteTextStore(ea);
         break;
-      case Op::SW:
-        rec.effAddr = s1 + imm;
-        mem_.writeWord(rec.effAddr, s3);
+      }
+      case Op::SW: {
+        const Addr ea = eff_addr(s1 + imm);
+        mem_.writeWord(ea, s3);
+        noteTextStore(ea);
         break;
-      case Op::SWX:
-        rec.effAddr = s1 + s2;
-        mem_.writeWord(rec.effAddr, s3);
+      }
+      case Op::SWX: {
+        const Addr ea = eff_addr(s1 + s2);
+        mem_.writeWord(ea, s3);
+        noteTextStore(ea);
         break;
+      }
 
       case Op::BEQ:  branch_to(s1 == s2); break;
       case Op::BNE:  branch_to(s1 != s2); break;
@@ -149,21 +227,33 @@ Executor::step()
       case Op::BGEZ: branch_to(static_cast<std::int32_t>(s1) >= 0); break;
 
       case Op::J:
-        rec.taken = true;
-        next_pc = static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        if constexpr (kRecord) {
+            rec->taken = true;
+            next_pc =
+                static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        } else {
+            next_pc = fv.tgt[fast_idx];
+        }
         break;
       case Op::JAL:
-        rec.taken = true;
-        state_.write(kRegRA, static_cast<std::uint32_t>(state_.pc + 4));
-        next_pc = static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        if constexpr (kRecord) {
+            rec->taken = true;
+            next_pc =
+                static_cast<Addr>(static_cast<std::uint32_t>(in.imm)) * 4;
+        } else {
+            next_pc = fv.tgt[fast_idx];
+        }
+        state_.write(kRegRA, static_cast<std::uint32_t>(pc + 4));
         break;
       case Op::JR:
-        rec.taken = true;
+        if constexpr (kRecord)
+            rec->taken = true;
         next_pc = s1;
         break;
       case Op::JALR:
-        rec.taken = true;
-        state_.write(in.dest, static_cast<std::uint32_t>(state_.pc + 4));
+        if constexpr (kRecord)
+            rec->taken = true;
+        state_.write(in.dest, static_cast<std::uint32_t>(pc + 4));
         next_pc = s1;
         break;
 
@@ -178,9 +268,54 @@ Executor::step()
         panic("executor: unhandled op %u", unsigned(in.op));
     }
 
-    state_.pc = next_pc;
-    rec.nextPc = next_pc;
+    pc_io = next_pc;
+    if constexpr (kRecord)
+        rec->nextPc = next_pc;
+    return in.isControl() || in.isSerializing();
+}
+
+ExecRecord
+Executor::step()
+{
+    ExecRecord rec;
+    Addr pc = state_.pc;
+    stepImpl<true>(&rec, FetchView{}, pc);
+    state_.pc = pc;
     return rec;
+}
+
+bool
+Executor::fastStep()
+{
+    if (decode_stale_)
+        rebuildDecodeCache();
+    const FetchView fv = fetchView();
+    Addr pc = state_.pc;
+    const bool ends_block = stepImpl<false>(nullptr, fv, pc);
+    state_.pc = pc;
+    ++seq_;
+    return ends_block;
+}
+
+InstSeqNum
+Executor::fastForward(InstSeqNum n)
+{
+    InstSeqNum done = 0;
+    while (done < n && !halted_) {
+        if (decode_stale_)
+            rebuildDecodeCache();
+        // Hot loop over a register-resident FetchView and PC; exits
+        // to re-snapshot whenever a store patches the text segment.
+        const FetchView fv = fetchView();
+        Addr pc = state_.pc;
+        while (done < n && !halted_ && !decode_stale_) {
+            stepImpl<false>(nullptr, fv, pc);
+            ++done;
+        }
+        state_.pc = pc;
+    }
+    seq_ += done;
+    return done;
 }
 
 InstSeqNum

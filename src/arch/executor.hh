@@ -25,10 +25,13 @@ struct ArchState
     std::array<std::uint32_t, kNumArchRegs> regs{};
     Addr pc = 0;
 
+    // Invariant: regs[kRegZero] stays 0 — it is zero-initialized and
+    // write() refuses to store to it — so read() needs no branch.
+    // This runs several times per interpreted instruction.
     std::uint32_t
     read(RegIndex r) const
     {
-        return r == kRegZero ? 0 : regs[r];
+        return regs[r];
     }
 
     void
@@ -103,6 +106,31 @@ class Executor : public CommitSource
      */
     ExecRecord step() override;
 
+    /**
+     * Stripped fast-forward step: commits one instruction with the
+     * exact architectural effects of step() (asserted in tests) but
+     * without materializing an ExecRecord or paying the virtual
+     * CommitSource dispatch, fetching from a predecoded text image.
+     * Returns true when the instruction ends a basic block (control
+     * transfer or serializing) — all the BBV profiler needs.
+     * Must not be called after halted().
+     */
+    bool fastStep();
+
+    /**
+     * Run up to @p n instructions on the fast path, stopping at halt.
+     * Returns the number actually committed.
+     */
+    InstSeqNum fastForward(InstSeqNum n);
+
+    /**
+     * Reposition this executor at a previously captured architectural
+     * point: register file + PC, committed-instruction count and halt
+     * flag. Memory must be restored separately (arch/checkpoint.hh
+     * owns that protocol).
+     */
+    void restoreState(const ArchState &st, InstSeqNum seq, bool halted);
+
     /** Committed instruction count so far. */
     InstSeqNum instCount() const override { return seq_; }
 
@@ -116,11 +144,75 @@ class Executor : public CommitSource
     Instruction fetchDecode(Addr pc) const;
 
   private:
+    /**
+     * Loop-invariant snapshot of the fast-fetch state. The simulated
+     * machine's byte stores go through std::uint8_t writes, which the
+     * compiler must assume alias every member of this object — so a
+     * loop calling stepImpl would otherwise reload the cache pointers
+     * and bounds from memory on every interpreted instruction.
+     * fastForward() snapshots them into locals once per decode-cache
+     * generation and re-snapshots when a text store invalidates it.
+     */
+    struct FetchView
+    {
+        const Instruction *dec = nullptr;
+        const Addr *tgt = nullptr;
+        std::size_t n = 0;
+        Addr base = 0;
+    };
+
+    /** The current decode cache as a FetchView (cache must be fresh). */
+    FetchView
+    fetchView() const
+    {
+        return {decoded_.data(), target_.data(), decoded_.size(),
+                prog_.textBase};
+    }
+
+    /**
+     * Shared semantics for step() and fastStep(). With kRecord the
+     * committed instruction is described into @p rec and seq_
+     * advances; without, no record is built, fetch comes from @p fv's
+     * predecoded text image, and the caller accounts seq_. The PC
+     * lives in @p pc_io (read and advanced there, not in state_) so
+     * fast loops can keep it in a register; callers write it back.
+     * Returns the ends-basic-block flag. Force-inlined into its
+     * same-TU callers: a call per interpreted instruction was ~20% of
+     * the fast path.
+     */
+    template <bool kRecord>
+#if defined(__GNUC__)
+    [[gnu::always_inline]]
+#endif
+    bool stepImpl(ExecRecord *rec, const FetchView &fv, Addr &pc_io);
+
+    /** (Re)decode the in-memory text image into decoded_. */
+    void rebuildDecodeCache();
+
+    /** A store overlapping text invalidates the predecode cache. */
+    void
+    noteTextStore(Addr a)
+    {
+        if (a + 4 > prog_.textBase && a < prog_.textBase + prog_.textSize())
+            decode_stale_ = true;
+    }
+
     const Program &prog_;
     ArchState state_;
     Memory mem_;
     InstSeqNum seq_ = 0;
     bool halted_ = false;
+
+    // Lazily built fast-fetch cache: one decoded Instruction per text
+    // word, rebuilt from the memory image (not Program::text) so prior
+    // self-modifying stores stay visible. Stale until first fastStep()
+    // and again after any store into the text range. target_ carries
+    // the statically known taken-target per slot (conditional
+    // branches, J/JAL) so the fast path skips the sign-extend/shift
+    // address arithmetic on every taken transfer.
+    std::vector<Instruction> decoded_;
+    std::vector<Addr> target_;
+    bool decode_stale_ = true;
 };
 
 /**

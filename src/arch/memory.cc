@@ -23,6 +23,10 @@ Memory::Page &
 Memory::touchPage(Addr a)
 {
     const Addr no = a / kPageBytes;
+    if (no != last_dirty_no_) {
+        last_dirty_no_ = no;
+        dirty_.insert(no);
+    }
     if (no == last_page_no_)
         return *last_page_;
     Page &p = pages_[no];
@@ -33,8 +37,30 @@ Memory::touchPage(Addr a)
     return p;
 }
 
+void
+Memory::clearDirty()
+{
+    dirty_.clear();
+    last_dirty_no_ = ~Addr(0);
+}
+
+std::vector<Addr>
+Memory::dirtyPageNumbers() const
+{
+    std::vector<Addr> nos(dirty_.begin(), dirty_.end());
+    std::sort(nos.begin(), nos.end());
+    return nos;
+}
+
+const Memory::Page *
+Memory::pageData(Addr page_no) const
+{
+    auto it = pages_.find(page_no);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
 std::uint8_t
-Memory::readByte(Addr a) const
+Memory::readByteSlow(Addr a) const
 {
     const Page *p = findPage(a);
     return p ? (*p)[a % kPageBytes] : 0;
@@ -48,9 +74,9 @@ Memory::readHalf(Addr a) const
 }
 
 std::uint32_t
-Memory::readWord(Addr a) const
+Memory::readWordSlow(Addr a) const
 {
-    // Fast path: whole word inside one page.
+    // Whole word inside one (non-MRU) page.
     const Page *p = findPage(a);
     std::size_t off = a % kPageBytes;
     if (p && off + 4 <= kPageBytes) {
@@ -64,7 +90,7 @@ Memory::readWord(Addr a) const
 }
 
 void
-Memory::writeByte(Addr a, std::uint8_t v)
+Memory::writeByteSlow(Addr a, std::uint8_t v)
 {
     touchPage(a)[a % kPageBytes] = v;
 }
@@ -77,7 +103,7 @@ Memory::writeHalf(Addr a, std::uint16_t v)
 }
 
 void
-Memory::writeWord(Addr a, std::uint32_t v)
+Memory::writeWordSlow(Addr a, std::uint32_t v)
 {
     Page &p = touchPage(a);
     std::size_t off = a % kPageBytes;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -23,13 +24,68 @@ class Memory
   public:
     static constexpr std::size_t kPageBytes = 4096;
 
-    std::uint8_t readByte(Addr a) const;
-    std::uint16_t readHalf(Addr a) const;
-    std::uint32_t readWord(Addr a) const;
+    // The byte/word accessors inline their MRU-hit fast path: the
+    // functional interpreter is bound by these on page-local access
+    // streams, and an out-of-line call per load/store dominated its
+    // profile. Misses (page change, first write to a clean page,
+    // page-straddling word) take the out-of-line slow path, which owns
+    // all map and dirty-journal bookkeeping.
 
-    void writeByte(Addr a, std::uint8_t v);
+    std::uint8_t
+    readByte(Addr a) const
+    {
+        if (a / kPageBytes == last_page_no_)
+            return (*last_page_)[a % kPageBytes];
+        return readByteSlow(a);
+    }
+
+    std::uint16_t readHalf(Addr a) const;
+
+    std::uint32_t
+    readWord(Addr a) const
+    {
+        const std::size_t off = a % kPageBytes;
+        if (a / kPageBytes == last_page_no_ && off + 4 <= kPageBytes) {
+            const Page &p = *last_page_;
+            return static_cast<std::uint32_t>(p[off]) |
+                   static_cast<std::uint32_t>(p[off + 1]) << 8 |
+                   static_cast<std::uint32_t>(p[off + 2]) << 16 |
+                   static_cast<std::uint32_t>(p[off + 3]) << 24;
+        }
+        return readWordSlow(a);
+    }
+
+    void
+    writeByte(Addr a, std::uint8_t v)
+    {
+        // Fast only when the page is both MRU-cached and already
+        // dirty: a clean page must reach touchPage() to be journaled.
+        const Addr no = a / kPageBytes;
+        if (no == last_page_no_ && no == last_dirty_no_) {
+            (*last_page_)[a % kPageBytes] = v;
+            return;
+        }
+        writeByteSlow(a, v);
+    }
+
     void writeHalf(Addr a, std::uint16_t v);
-    void writeWord(Addr a, std::uint32_t v);
+
+    void
+    writeWord(Addr a, std::uint32_t v)
+    {
+        const Addr no = a / kPageBytes;
+        const std::size_t off = a % kPageBytes;
+        if (no == last_page_no_ && no == last_dirty_no_ &&
+            off + 4 <= kPageBytes) {
+            Page &p = *last_page_;
+            p[off] = static_cast<std::uint8_t>(v);
+            p[off + 1] = static_cast<std::uint8_t>(v >> 8);
+            p[off + 2] = static_cast<std::uint8_t>(v >> 16);
+            p[off + 3] = static_cast<std::uint8_t>(v >> 24);
+            return;
+        }
+        writeWordSlow(a, v);
+    }
 
     /** Bulk copy-in used by the program loader. */
     void writeBlock(Addr base, const std::uint8_t *data, std::size_t n);
@@ -37,11 +93,42 @@ class Memory
     /** Number of pages currently materialized (for tests). */
     std::size_t numPages() const { return pages_.size(); }
 
-  private:
     using Page = std::vector<std::uint8_t>;
+
+    // ---- dirty-page journal ------------------------------------------
+    //
+    // Every write path funnels through touchPage(), which adds the
+    // page number to the dirty set. Checkpointing (arch/checkpoint.hh)
+    // drains the set at interval boundaries so a checkpoint costs only
+    // the pages written since the previous one.
+
+    /**
+     * Forget the dirty set: dirtyPageNumbers() subsequently reports
+     * only pages written after this call.
+     */
+    void clearDirty();
+
+    /**
+     * Page numbers written since the last clearDirty(), ascending so
+     * consumers iterate deterministically.
+     */
+    std::vector<Addr> dirtyPageNumbers() const;
+
+    /** Pages written since the last clearDirty() (for tests). */
+    std::size_t dirtyPageCount() const { return dirty_.size(); }
+
+    /** Contents of a materialized page by page number, else nullptr. */
+    const Page *pageData(Addr page_no) const;
+
+  private:
 
     const Page *findPage(Addr a) const;
     Page &touchPage(Addr a);
+
+    std::uint8_t readByteSlow(Addr a) const;
+    std::uint32_t readWordSlow(Addr a) const;
+    void writeByteSlow(Addr a, std::uint8_t v);
+    void writeWordSlow(Addr a, std::uint32_t v);
 
     std::unordered_map<Addr, Page> pages_;
 
@@ -53,6 +140,14 @@ class Memory
     // caching on the const read path is not observable behavior.
     mutable Addr last_page_no_ = ~Addr(0);
     mutable Page *last_page_ = nullptr;
+
+    // Dirty journal with its own one-entry MRU. The write MRU above is
+    // shared with the read path (findPage may prime it), so touchPage's
+    // fast path cannot imply "already dirty" — the journal keeps its
+    // own last-marked page to stay off the hash set for page-local
+    // store bursts.
+    std::unordered_set<Addr> dirty_;
+    Addr last_dirty_no_ = ~Addr(0);
 };
 
 } // namespace tcfill

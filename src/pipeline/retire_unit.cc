@@ -82,6 +82,8 @@ RetireUnit::tick(Cycle now)
 
         ++count;
         ++retired_;
+        if (probe_cycle_ && retired_.value() == probe_at_)
+            *probe_cycle_ = now + 1;    // == res.cycles of a run capped here
         last_retire_cycle_ = now;
         tracePipe(tracer_, obs::PipeStage::Retire, *di, now);
 

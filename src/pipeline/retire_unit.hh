@@ -94,6 +94,22 @@ class RetireUnit : public Stage
     /** Attach (or clear, with {}) the per-commit observer. */
     void setCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
+    /**
+     * Cycles-at-retired-count probe: when the @p at th instruction
+     * commits, *out receives the cycle count a run capped at
+     * maxInsts == at would have reported (commit cycle + 1; asserted
+     * equal in tests). Purely observational — a probed run's timing is
+     * bit-identical to an unprobed one. Lets sampled measurement read
+     * the warmup-prefix cycle count out of the full timing run instead
+     * of simulating the warmup twice (tracefile::runSampled).
+     */
+    void
+    setRetireCycleProbe(InstSeqNum at, Cycle *out)
+    {
+        probe_at_ = at;
+        probe_cycle_ = out;
+    }
+
     void regStats(stats::Group &master) override;
 
   private:
@@ -106,6 +122,8 @@ class RetireUnit : public Stage
 
     Cycle last_retire_cycle_ = 0;
     CommitHook commit_hook_;
+    InstSeqNum probe_at_ = 0;
+    Cycle *probe_cycle_ = nullptr;
 
     stats::Counter retired_;
     stats::Counter dyn_moves_;

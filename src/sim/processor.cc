@@ -244,6 +244,12 @@ Processor::setCommitHook(pipeline::CommitHook hook)
     retire_->setCommitHook(std::move(hook));
 }
 
+void
+Processor::setRetireCycleProbe(InstSeqNum at, Cycle *out)
+{
+    retire_->setRetireCycleProbe(at, out);
+}
+
 SimResult
 simulate(const Program &prog, const SimConfig &cfg)
 {

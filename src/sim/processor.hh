@@ -113,6 +113,15 @@ class Processor
      */
     void setCommitHook(pipeline::CommitHook hook);
 
+    /**
+     * Arm the retire unit's cycles-at-retired-count probe; must be
+     * set before run(). When the @p at th instruction commits, *out
+     * receives the cycle count a run capped at maxInsts == @p at
+     * would have reported. Timing-invisible — see
+     * pipeline::RetireUnit::setRetireCycleProbe.
+     */
+    void setRetireCycleProbe(InstSeqNum at, Cycle *out);
+
   private:
     void doCycle();
     /**

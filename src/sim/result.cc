@@ -73,6 +73,17 @@ SimResult::toJson(obs::JsonWriter &w, bool include_host) const
         w.beginObject("host");
         w.field("hostSeconds", hostSeconds);
         w.field("simInstsPerSec", simInstsPerSec());
+        if (mode == "sample") {
+            w.beginObject("sample");
+            w.field("checkpoints", sample.checkpoints);
+            w.field("checkpointPages", sample.checkpointPages);
+            w.field("restores", sample.restores);
+            w.field("restoredPages", sample.restoredPages);
+            w.field("ffInsts", sample.ffInsts);
+            w.field("simpoints", sample.simpoints);
+            w.field("jobs", sample.jobs);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endObject();

@@ -59,6 +59,26 @@ struct SimResult
      */
     bool cacheHit = false;
 
+    /**
+     * Sampled-run mechanics accounting (mode == "sample" only; all
+     * zero otherwise). Describes how the estimate was produced —
+     * checkpoint journal size, restore traffic, residual functional
+     * fast-forwarding and worker-pool width — not what it estimates,
+     * so it lives in the host section of the JSON document (the pool
+     * width is a host choice and must not break the byte-identical
+     * determinism contract of the body).
+     */
+    struct SampleHost
+    {
+        std::uint64_t checkpoints = 0;      ///< checkpoints captured
+        std::uint64_t checkpointPages = 0;  ///< pages journaled
+        std::uint64_t restores = 0;         ///< checkpoint restores
+        std::uint64_t restoredPages = 0;    ///< pages applied on restore
+        std::uint64_t ffInsts = 0;          ///< residual fast-forward insts
+        std::uint64_t simpoints = 0;        ///< measurement tasks
+        std::uint64_t jobs = 0;             ///< worker threads used
+    } sample;
+
     /** Simulator throughput: simulated instructions per host second. */
     double
     simInstsPerSec() const

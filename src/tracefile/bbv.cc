@@ -25,31 +25,21 @@ BbvProfiler::flushBlock()
 void
 BbvProfiler::consume(const ExecRecord &rec)
 {
-    panic_if(finished_, "BbvProfiler::consume() after finish()");
-    if (!in_block_) {
-        block_start_ = rec.pc;
-        in_block_ = true;
-    }
-    ++block_len_;
-    ++cur_.insts;
-    ++total_;
-
     // A block ends at any control transfer (taken or not — SimPoint
     // keys blocks on static extent, and a not-taken branch still ends
     // the static block) or serializing instruction.
-    if (rec.inst.isControl() || rec.inst.isSerializing()) {
-        flushBlock();
-        in_block_ = false;
-    }
+    consume(rec.pc, rec.inst.isControl() || rec.inst.isSerializing());
+}
 
-    if (cur_.insts >= interval_) {
-        // Cut exactly at the interval length; a block straddling the
-        // boundary contributes its halves to both intervals under the
-        // same start-PC key.
-        flushBlock();
-        intervals_.push_back(std::move(cur_));
-        cur_ = BbvInterval{};
-    }
+void
+BbvProfiler::cutInterval()
+{
+    // Cut exactly at the interval length; a block straddling the
+    // boundary contributes its halves to both intervals under the
+    // same start-PC key.
+    flushBlock();
+    intervals_.push_back(std::move(cur_));
+    cur_ = BbvInterval{};
 }
 
 void
@@ -72,6 +62,22 @@ profileBbv(CommitSource &src, InstSeqNum interval, InstSeqNum maxInsts)
     InstSeqNum n = 0;
     while (!src.halted() && (maxInsts == 0 || n < maxInsts)) {
         prof.consume(src.step());
+        ++n;
+    }
+    prof.finish();
+    return prof.intervals();
+}
+
+std::vector<BbvInterval>
+profileBbv(Executor &exec, InstSeqNum interval, InstSeqNum maxInsts)
+{
+    BbvProfiler prof(interval);
+    InstSeqNum n = 0;
+    while (!exec.halted() && (maxInsts == 0 || n < maxInsts)) {
+        // fastStep() advances the PC; read it first (consume keys the
+        // block on the committed instruction's own PC).
+        const Addr pc = exec.state().pc;
+        prof.consume(pc, exec.fastStep());
         ++n;
     }
     prof.finish();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arch/executor.hh"
+#include "common/logging.hh"
 
 namespace tcfill::tracefile
 {
@@ -52,6 +53,35 @@ class BbvProfiler
     /** Account one committed record (records arrive in order). */
     void consume(const ExecRecord &rec);
 
+    /**
+     * Record-free variant for the Executor fast path: @p pc is the
+     * committed instruction's PC and @p ends_block is
+     * Executor::fastStep()'s return (control transfer or serializing).
+     * Produces vectors identical to the ExecRecord overload on the
+     * same stream (asserted in tests). Inline: this runs once per
+     * committed instruction of every profiling pass.
+     */
+    void
+    consume(Addr pc, bool ends_block)
+    {
+        panic_if(finished_, "BbvProfiler::consume() after finish()");
+        if (!in_block_) {
+            block_start_ = pc;
+            in_block_ = true;
+        }
+        ++block_len_;
+        ++cur_.insts;
+        ++total_;
+
+        if (ends_block) {
+            flushBlock();
+            in_block_ = false;
+        }
+
+        if (cur_.insts >= interval_)
+            cutInterval();
+    }
+
     /** Close the trailing partial interval (idempotent). */
     void finish();
 
@@ -68,6 +98,7 @@ class BbvProfiler
 
   private:
     void flushBlock();
+    void cutInterval();
 
     InstSeqNum interval_;
     InstSeqNum total_ = 0;
@@ -86,6 +117,15 @@ class BbvProfiler
  * instructions when non-zero) and return the interval vectors.
  */
 std::vector<BbvInterval> profileBbv(CommitSource &src,
+                                    InstSeqNum interval,
+                                    InstSeqNum maxInsts = 0);
+
+/**
+ * Fast-path overload: profile a live Executor via fastStep(), which
+ * skips ExecRecord construction and the virtual dispatch. Produces
+ * vectors identical to the CommitSource overload (asserted in tests).
+ */
+std::vector<BbvInterval> profileBbv(Executor &exec,
                                     InstSeqNum interval,
                                     InstSeqNum maxInsts = 0);
 

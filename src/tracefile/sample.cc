@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
 
+#include "arch/checkpoint.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "sim/processor.hh"
+#include "sim/runner.hh"
 #include "workloads/suite.hh"
 
 namespace tcfill::tracefile
@@ -189,9 +196,13 @@ selectSimpoints(const std::vector<BbvInterval> &intervals, unsigned k)
 namespace
 {
 
-/** Step @p exec forward @p n committed instructions (or to halt). */
+/**
+ * Step @p exec forward @p n committed instructions (or to halt) on
+ * the virtual record-building path. Part of the reference
+ * implementation: Executor::fastForward is the optimized replacement.
+ */
 void
-fastForward(Executor &exec, InstSeqNum n)
+fastForwardSlow(Executor &exec, InstSeqNum n)
 {
     for (InstSeqNum i = 0; i < n && !exec.halted(); ++i)
         exec.step();
@@ -199,7 +210,10 @@ fastForward(Executor &exec, InstSeqNum n)
 
 /**
  * Cycles for a fresh machine to retire @p cap instructions starting
- * from @p skip committed instructions into @p prog's stream.
+ * from @p skip committed instructions into @p prog's stream. Part of
+ * the reference implementation: the optimized path reads the warmup
+ * cycle count out of the full measurement run via the retire-cycle
+ * probe instead of paying a second capped run.
  */
 Cycle
 timePrefix(const Program &prog, const SimConfig &cfg, InstSeqNum skip,
@@ -208,52 +222,18 @@ timePrefix(const Program &prog, const SimConfig &cfg, InstSeqNum skip,
     if (cap == 0)
         return 0;
     Executor exec(prog);
-    fastForward(exec, skip);
+    fastForwardSlow(exec, skip);
     SimConfig run_cfg = cfg;
     run_cfg.maxInsts = cap;
     Processor proc(exec, prog.name, exec.state().pc, run_cfg);
     return proc.run().cycles;
 }
 
-} // namespace
-
+/** Shared result-document skeleton of both implementations. */
 SimResult
-runSampled(const std::string &workload, unsigned scale,
-           const SimConfig &cfg, const SampleSpec &spec)
+assembleEstimate(const SimConfig &cfg, const Program &prog,
+                 InstSeqNum total, double est_cpi)
 {
-    panic_if(spec.interval == 0, "sample interval must be positive");
-    const Program prog = workloads::build(workload, scale);
-
-    // Functional BBV profile over the same region a full timing run
-    // would retire (cfg.maxInsts-capped).
-    Executor prof_exec(prog);
-    const std::vector<BbvInterval> ivs =
-        profileBbv(prof_exec, spec.interval, cfg.maxInsts);
-    // profileBbv stops at the cap, so this is min(run length, cap).
-    const InstSeqNum total = prof_exec.instCount();
-
-    const std::vector<Simpoint> points = selectSimpoints(ivs, spec.k);
-    panic_if(points.empty(), "no intervals to sample (empty program?)");
-
-    // Per-point measurement: warm the machine on the preceding
-    // `warmup` instructions, then take the exact cycle count of the
-    // interval by prefix subtraction (see file comment).
-    double est_cpi = 0.0;
-    for (const Simpoint &p : points) {
-        const InstSeqNum start =
-            static_cast<InstSeqNum>(p.interval) * spec.interval;
-        const InstSeqNum warm =
-            std::min<InstSeqNum>(spec.warmup, start);
-        const InstSeqNum skip = start - warm;
-        const InstSeqNum measure = ivs[p.interval].insts;
-
-        const Cycle c_warm = timePrefix(prog, cfg, skip, warm);
-        const Cycle c_full = timePrefix(prog, cfg, skip, warm + measure);
-        const double cycles =
-            static_cast<double>(c_full) - static_cast<double>(c_warm);
-        est_cpi += p.weight * (cycles / static_cast<double>(measure));
-    }
-
     SimResult res;
     res.config = cfg.name;
     res.workload = prog.name;
@@ -262,6 +242,202 @@ runSampled(const std::string &workload, unsigned scale,
     res.retired = total;
     res.cycles = static_cast<Cycle>(
         std::llround(est_cpi * static_cast<double>(total)));
+    return res;
+}
+
+/** The (skip, warm, measure) geometry of one simpoint measurement. */
+struct PointTask
+{
+    InstSeqNum skip = 0;
+    InstSeqNum warm = 0;
+    InstSeqNum measure = 0;
+};
+
+PointTask
+pointTask(const Simpoint &p, const std::vector<BbvInterval> &ivs,
+          const SampleSpec &spec)
+{
+    const InstSeqNum start =
+        static_cast<InstSeqNum>(p.interval) * spec.interval;
+    const InstSeqNum warm = std::min<InstSeqNum>(spec.warmup, start);
+    return PointTask{start - warm, warm, ivs[p.interval].insts};
+}
+
+} // namespace
+
+SimResult
+runSampled(const std::string &workload, unsigned scale,
+           const SimConfig &cfg, const SampleSpec &spec,
+           obs::ProgressFn progress)
+{
+    panic_if(spec.interval == 0, "sample interval must be positive");
+    const auto t0 = std::chrono::steady_clock::now();
+    const Program prog = workloads::build(workload, scale);
+
+    // One functional profiling pass on the fast-stepping path over
+    // the same region a full timing run would retire
+    // (cfg.maxInsts-capped): BBV vectors for simpoint selection plus
+    // incremental checkpoints at interval boundaries so each
+    // measurement below restores its start point instead of
+    // re-executing the prefix.
+    Executor prof_exec(prog);
+    CheckpointStore ckpts(prog, prof_exec);
+    const InstSeqNum ckpt_every =
+        spec.interval * std::max(1u, spec.checkpointStride);
+    BbvProfiler prof(spec.interval);
+    if (spec.useCheckpoints)
+        ckpts.capture();    // boundary zero: every skip has a base
+    const InstSeqNum cap = cfg.maxInsts;
+    InstSeqNum n = 0;
+    while (!prof_exec.halted() && (cap == 0 || n < cap)) {
+        const Addr pc = prof_exec.state().pc;
+        const bool ends_block = prof_exec.fastStep();
+        prof.consume(pc, ends_block);
+        ++n;
+        // No checkpoint at the end of the profiled region: no
+        // measurement can start there.
+        if (spec.useCheckpoints && n % ckpt_every == 0 &&
+            !prof_exec.halted() && (cap == 0 || n < cap)) {
+            ckpts.capture();
+        }
+    }
+    prof.finish();
+    const std::vector<BbvInterval> &ivs = prof.intervals();
+    const InstSeqNum total = prof_exec.instCount();
+
+    const std::vector<Simpoint> points = selectSimpoints(ivs, spec.k);
+    panic_if(points.empty(), "no intervals to sample (empty program?)");
+
+    // One independent task per simpoint: restore the nearest
+    // checkpoint at or before the measurement's fast-forward target,
+    // fast-forward the residue, then take both the warmup and the
+    // measured-interval cycle counts out of a single capped timing
+    // run via the retire-cycle probe. Tasks share only immutable
+    // state (Program, CheckpointStore, SimConfig), so any pool width
+    // yields the same per-point cycles; the weighted fold below runs
+    // serially in simpoint order, reproducing the reference
+    // implementation's double arithmetic exactly.
+    SimRunner pool(spec.jobs);
+    if (progress)
+        pool.setProgress(std::move(progress));
+
+    SimResult res;
+    res.sample.jobs = pool.threads();
+    res.sample.simpoints = points.size();
+    res.sample.checkpoints = ckpts.size();
+    res.sample.checkpointPages = ckpts.pagesStored();
+
+    std::vector<PointTask> tasks(points.size());
+    std::vector<std::shared_future<SimResult>> futs(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointTask t = pointTask(points[i], ivs, spec);
+        tasks[i] = t;
+
+        std::size_t base = 0;
+        if (spec.useCheckpoints) {
+            base = ckpts.latestAtOrBefore(t.skip);
+            res.sample.restores += 1;
+            res.sample.restoredPages += ckpts.pagesUpTo(base);
+            res.sample.ffInsts += t.skip - ckpts.at(base).instCount;
+        } else {
+            res.sample.ffInsts += t.skip;
+        }
+
+        // Cache key: everything the measurement depends on — the
+        // committed stream (workload, scale) and the machine /
+        // measurement geometry. Same idiom as tracefile::submitReplay.
+        std::ostringstream key;
+        key << "sample-pt@" << workload << '/' << scale << '#'
+            << configCacheKey(cfg) << '#' << t.skip << ':' << t.warm
+            << ':' << t.measure;
+
+        const bool use_ckpt = spec.useCheckpoints;
+        futs[i] = pool.submitKeyed(
+            key.str(), [&prog, &cfg, &ckpts, t, base, use_ckpt]() {
+                std::unique_ptr<Executor> exec;
+                InstSeqNum residue = t.skip;
+                if (use_ckpt) {
+                    exec = ckpts.restore(base);
+                    residue = t.skip - ckpts.at(base).instCount;
+                } else {
+                    exec = std::make_unique<Executor>(prog);
+                }
+                exec->fastForward(residue);
+
+                SimConfig run_cfg = cfg;
+                run_cfg.maxInsts = t.warm + t.measure;
+                Processor proc(*exec, prog.name, exec->state().pc,
+                               run_cfg);
+                Cycle c_warm = 0;
+                if (t.warm > 0)
+                    proc.setRetireCycleProbe(t.warm, &c_warm);
+                const SimResult full = proc.run();
+
+                SimResult out;
+                out.workload = prog.name;
+                out.mode = "sample-point";
+                out.maxInsts = run_cfg.maxInsts;
+                out.retired = t.measure;
+                out.cycles = full.cycles - c_warm;
+                out.hostSeconds = full.hostSeconds;
+                return out;
+            });
+    }
+
+    double est_cpi = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SimResult r = futs[i].get();
+        est_cpi += points[i].weight *
+            (static_cast<double>(r.cycles) /
+             static_cast<double>(tasks[i].measure));
+    }
+
+    SimResult::SampleHost sample = res.sample;
+    res = assembleEstimate(cfg, prog, total, est_cpi);
+    res.sample = sample;
+    res.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    return res;
+}
+
+SimResult
+runSampledReference(const std::string &workload, unsigned scale,
+                    const SimConfig &cfg, const SampleSpec &spec)
+{
+    panic_if(spec.interval == 0, "sample interval must be positive");
+    const auto t0 = std::chrono::steady_clock::now();
+    const Program prog = workloads::build(workload, scale);
+
+    // Functional BBV profile over the same region a full timing run
+    // would retire (cfg.maxInsts-capped), on the virtual
+    // record-building path the pre-checkpointing implementation used.
+    Executor prof_exec(prog);
+    const std::vector<BbvInterval> ivs = profileBbv(
+        static_cast<CommitSource &>(prof_exec), spec.interval,
+        cfg.maxInsts);
+    // profileBbv stops at the cap, so this is min(run length, cap).
+    const InstSeqNum total = prof_exec.instCount();
+
+    const std::vector<Simpoint> points = selectSimpoints(ivs, spec.k);
+    panic_if(points.empty(), "no intervals to sample (empty program?)");
+
+    // Per-point measurement: warm the machine on the preceding
+    // `warmup` instructions, then take the exact cycle count of the
+    // interval by prefix subtraction across two capped runs.
+    double est_cpi = 0.0;
+    for (const Simpoint &p : points) {
+        const PointTask t = pointTask(p, ivs, spec);
+        const Cycle c_warm = timePrefix(prog, cfg, t.skip, t.warm);
+        const Cycle c_full =
+            timePrefix(prog, cfg, t.skip, t.warm + t.measure);
+        const double cycles =
+            static_cast<double>(c_full) - static_cast<double>(c_warm);
+        est_cpi += p.weight * (cycles / static_cast<double>(t.measure));
+    }
+
+    SimResult res = assembleEstimate(cfg, prog, total, est_cpi);
+    res.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
     return res;
 }
 

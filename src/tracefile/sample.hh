@@ -7,12 +7,19 @@
  * simulation into O(k * (warmup + interval)).
  *
  * Measurement is exact per interval, not approximate: the machine is
- * deterministic, so timing the same fast-forwarded stream twice —
- * once capped at the end of warmup, once capped at the end of the
- * measured interval — makes cycles(warmup+measure) - cycles(warmup)
- * precisely the cycles the measured instructions took, with warmed
- * caches and predictors. The only error left is the clustering
- * approximation itself (bounded empirically in EXPERIMENTS.md).
+ * deterministic, so within a single timing run capped at the end of
+ * the measured interval, cycles(warmup+measure) - cycles(warmup) —
+ * the latter read mid-run by the retire-cycle probe — is precisely
+ * the cycles the measured instructions took, with warmed caches and
+ * predictors. The only error left is the clustering approximation
+ * itself (bounded empirically in EXPERIMENTS.md).
+ *
+ * runSampled reaches each measurement's start point by restoring an
+ * architectural checkpoint dropped during the single functional
+ * profiling pass (arch/checkpoint.hh) and runs the per-simpoint
+ * measurements concurrently on a SimRunner pool; the estimate is
+ * byte-identical to the serial re-execute reference
+ * (runSampledReference) at every job count — see DESIGN.md §14.
  */
 
 #ifndef TCFILL_TRACEFILE_SAMPLE_HH
@@ -22,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/progress.hh"
 #include "sim/config.hh"
 #include "sim/result.hh"
 #include "tracefile/bbv.hh"
@@ -58,6 +66,24 @@ struct SampleSpec
     InstSeqNum interval = 100'000;
     /** Instructions simulated (not measured) before each interval. */
     InstSeqNum warmup = 50'000;
+
+    // None of the knobs below affect the estimate — only how fast it
+    // is produced (asserted byte-identical in tests and CI).
+
+    /** Measurement worker threads (0 = SimRunner::defaultThreads()). */
+    unsigned jobs = 0;
+    /**
+     * Reach measurement start points by restoring interval-boundary
+     * checkpoints (arch/checkpoint.hh); when false, functionally
+     * re-execute the prefix instead (still on the fast path).
+     */
+    bool useCheckpoints = true;
+    /**
+     * Capture a checkpoint every this-many interval boundaries (>= 1).
+     * Wider strides journal fewer pages at the cost of a longer
+     * residual fast-forward per measurement.
+     */
+    unsigned checkpointStride = 1;
 };
 
 /**
@@ -68,10 +94,29 @@ struct SampleSpec
  * (honoring cfg.maxInsts) and cycles is the weighted whole-run
  * estimate, so ipc() is directly comparable to a full run's. The
  * detailed microarchitectural counters are left zero — a sampled run
- * estimates IPC, not the full counter set.
+ * estimates IPC, not the full counter set; SimResult::sample carries
+ * the checkpoint/restore accounting and SimResult::hostSeconds the
+ * end-to-end wall clock.
+ *
+ * @param progress optional SimRunner progress callback observing the
+ *        per-simpoint measurement tasks (see SimRunner::setProgress).
  */
 SimResult runSampled(const std::string &workload, unsigned scale,
-                     const SimConfig &cfg, const SampleSpec &spec);
+                     const SimConfig &cfg, const SampleSpec &spec,
+                     obs::ProgressFn progress = {});
+
+/**
+ * The pre-checkpointing serial implementation, kept as the
+ * correctness oracle and benchmark baseline: every simpoint
+ * re-executes its prefix functionally from instruction zero and times
+ * warmup and warmup+measure as two separate runs. Ignores
+ * SampleSpec's host-side knobs. runSampled must produce a
+ * byte-identical SimResult body (asserted in tests and the CI
+ * sample-determinism job).
+ */
+SimResult runSampledReference(const std::string &workload, unsigned scale,
+                              const SimConfig &cfg,
+                              const SampleSpec &spec);
 
 } // namespace tcfill::tracefile
 

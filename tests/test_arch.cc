@@ -1,10 +1,22 @@
-/** @file Unit tests for Memory and the functional Executor. */
+/**
+ * @file Unit tests for Memory (including the dirty-page journal), the
+ * functional Executor (step and fast-forward paths) and architectural
+ * checkpoint capture/restore.
+ */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/checkpoint.hh"
 #include "arch/executor.hh"
 #include "arch/memory.hh"
 #include "asm/builder.hh"
+#include "tracefile/format.hh"
+#include "workloads/suite.hh"
 
 namespace tcfill
 {
@@ -48,6 +60,65 @@ TEST(Memory, WriteBlock)
     m.writeBlock(0x2000, data, 5);
     for (int i = 0; i < 5; ++i)
         EXPECT_EQ(m.readByte(0x2000 + i), i + 1);
+}
+
+// ---- memory: dirty-page journal --------------------------------------
+
+TEST(Memory, DirtyTrackingFollowsWrites)
+{
+    Memory m;
+    EXPECT_EQ(m.dirtyPageCount(), 0u);
+    m.writeWord(0x100, 1);                      // page 0
+    m.writeByte(5 * Memory::kPageBytes, 2);     // page 5
+    m.writeHalf(0x104, 3);                      // page 0 again
+    EXPECT_EQ(m.dirtyPageCount(), 2u);
+    const std::vector<Addr> nos = m.dirtyPageNumbers();
+    ASSERT_EQ(nos.size(), 2u);
+    EXPECT_EQ(nos[0], 0u);      // ascending
+    EXPECT_EQ(nos[1], 5u);
+
+    m.clearDirty();
+    EXPECT_EQ(m.dirtyPageCount(), 0u);
+    // Reads never dirty.
+    EXPECT_EQ(m.readWord(0x100), 1u);
+    EXPECT_EQ(m.dirtyPageCount(), 0u);
+    // Pages stay materialized across clearDirty.
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(Memory, DirtyMarkingSurvivesReadMruPriming)
+{
+    // findPage() primes the shared last-page MRU on the read path; a
+    // following write to the same page takes touchPage's MRU fast path
+    // and must still land in the dirty journal.
+    Memory m;
+    m.writeWord(0x200, 7);
+    m.clearDirty();
+    EXPECT_EQ(m.readWord(0x200), 7u);   // primes the MRU
+    m.writeWord(0x204, 8);              // MRU fast path
+    ASSERT_EQ(m.dirtyPageCount(), 1u);
+    EXPECT_EQ(m.dirtyPageNumbers()[0], 0u);
+}
+
+TEST(Memory, WriteBlockDirtiesEveryTouchedPage)
+{
+    Memory m;
+    std::vector<std::uint8_t> buf(2 * Memory::kPageBytes + 8, 0xab);
+    m.writeBlock(Memory::kPageBytes - 4, buf.data(), buf.size());
+    const std::vector<Addr> nos = m.dirtyPageNumbers();
+    ASSERT_EQ(nos.size(), 4u);
+    for (std::size_t i = 0; i < nos.size(); ++i)
+        EXPECT_EQ(nos[i], i);
+}
+
+TEST(Memory, DirtyPageCountBoundedByTouchedPages)
+{
+    Memory m;
+    // A million stores into one page: the journal stays at one entry.
+    for (int i = 0; i < 1'000'000; ++i)
+        m.writeWord(0x3000 + (i % 256) * 4, i);
+    EXPECT_EQ(m.dirtyPageCount(), 1u);
+    EXPECT_EQ(m.numPages(), 1u);
 }
 
 // ---- executor: single-instruction semantics --------------------------
@@ -291,6 +362,220 @@ TEST(ExecutorDeath, WildJumpIsFatal)
                 ex.step();
         },
         ::testing::ExitedWithCode(1), "escaped the text segment");
+}
+
+TEST(ExecutorDeath, WildJumpIsFatalOnFastPath)
+{
+    ProgramBuilder pb("t");
+    pb.li(1, 0x100);
+    pb.jr(1);       // outside text
+    Program p = pb.finish();
+    Executor ex(p);
+    EXPECT_EXIT(
+        {
+            while (!ex.halted())
+                ex.fastStep();
+        },
+        ::testing::ExitedWithCode(1), "escaped the text segment");
+}
+
+// ---- executor: fast-forward path -------------------------------------
+
+/** CRC over the committed stream of @p exec for up to @p n steps. */
+std::uint32_t
+streamCrc(Executor &exec, InstSeqNum n)
+{
+    std::uint32_t crc = 0;
+    for (InstSeqNum i = 0; i < n && !exec.halted(); ++i) {
+        const ExecRecord rec = exec.step();
+        // Fixed-width scalar image of the record (tcfill-trace CRC
+        // discipline: every architecturally meaningful field).
+        std::uint64_t img[5] = {rec.seq, rec.pc, rec.nextPc,
+                                rec.effAddr,
+                                (static_cast<std::uint64_t>(
+                                     encode(rec.inst))
+                                 << 1) |
+                                    (rec.taken ? 1 : 0)};
+        crc = tracefile::crc32(img, sizeof(img), crc);
+    }
+    return crc;
+}
+
+TEST(ExecutorFast, FastStepMatchesStepOnEveryWorkload)
+{
+    // Lockstep: the fast path must produce the exact architectural
+    // state transitions and ends-basic-block classification of the
+    // record-building path.
+    for (const auto &w : workloads::suite()) {
+        const Program prog = w.build(1);
+        Executor ref(prog), fast(prog);
+        for (InstSeqNum i = 0; i < 20'000 && !ref.halted(); ++i) {
+            const ExecRecord rec = ref.step();
+            const bool ends = fast.fastStep();
+            ASSERT_EQ(ends, rec.inst.isControl() ||
+                                rec.inst.isSerializing())
+                << w.name << " @" << i;
+            ASSERT_EQ(fast.state().pc, ref.state().pc)
+                << w.name << " @" << i;
+            ASSERT_EQ(fast.instCount(), ref.instCount());
+            ASSERT_EQ(fast.halted(), ref.halted());
+        }
+        EXPECT_EQ(0, std::memcmp(fast.state().regs.data(),
+                                 ref.state().regs.data(),
+                                 sizeof(ref.state().regs)))
+            << w.name;
+    }
+}
+
+TEST(ExecutorFast, FastForwardCountsAndStopsAtHalt)
+{
+    ProgramBuilder pb("t");
+    Label top = pb.newLabel();
+    pb.li(1, 10);
+    pb.bind(top);
+    pb.addi(1, 1, -1);
+    pb.bgtz(1, top);
+    pb.halt();
+    Program p = pb.finish();
+
+    Executor ex(p);
+    EXPECT_EQ(ex.fastForward(5), 5u);
+    EXPECT_FALSE(ex.halted());
+    // 1 li + 10 x (addi, bgtz) + halt = 22 total; 17 remain.
+    EXPECT_EQ(ex.fastForward(1'000'000), 17u);
+    EXPECT_TRUE(ex.halted());
+    EXPECT_EQ(ex.instCount(), 22u);
+}
+
+TEST(ExecutorFast, SelfModifyingStoreInvalidatesPredecode)
+{
+    // Store a new instruction word over a later text slot, then
+    // execute it: the fast path must re-decode and match step().
+    ProgramBuilder pb("t");
+    Addr patch_site;
+    {
+        Label over = pb.newLabel();
+        pb.li(1, 0);
+        Instruction patch;      // addi r1, r1, 41
+        patch.op = Op::ADDI;
+        patch.dest = 1;
+        patch.src1 = 1;
+        patch.imm = 41;
+        pb.li(2, static_cast<std::int32_t>(encode(patch)));
+        pb.j(over);
+        patch_site = pb.here();
+        pb.nop();               // will be overwritten with the addi
+        pb.halt();
+        pb.bind(over);
+        pb.la(3, patch_site);
+        pb.sw(2, 3, 0);         // self-modifying store into text
+        pb.la(4, patch_site);
+        pb.jr(4);               // run the patched instruction
+    }
+    Program p = pb.finish();
+
+    Executor slow(p);
+    while (!slow.halted())
+        slow.step();
+
+    Executor fast(p);
+    EXPECT_EQ(fast.fastForward(1'000), slow.instCount());
+    EXPECT_TRUE(fast.halted());
+    EXPECT_EQ(fast.state().read(1), 41u);
+    EXPECT_EQ(fast.state().read(1), slow.state().read(1));
+}
+
+// ---- architectural checkpoints ---------------------------------------
+
+TEST(Checkpoint, IncrementalDeltasAndPageBounds)
+{
+    const Program prog = workloads::build("compress", 1);
+    Executor exec(prog);
+    CheckpointStore ckpts(prog, exec);
+
+    // Boundary zero journals nothing: the fresh-Executor image is
+    // implied by the Program.
+    ckpts.capture();
+    EXPECT_EQ(ckpts.at(0).pages.size(), 0u);
+
+    exec.fastForward(10'000);
+    ckpts.capture();
+    exec.fastForward(10'000);
+    ckpts.capture();
+    ASSERT_EQ(ckpts.size(), 3u);
+
+    // Deltas are incremental: each capture journals at most the pages
+    // the whole run has materialized, and bounds hold per capture.
+    const std::size_t all_pages = exec.memory().numPages();
+    EXPECT_GT(ckpts.at(1).pages.size(), 0u);
+    EXPECT_LE(ckpts.at(1).pages.size(), all_pages);
+    EXPECT_LE(ckpts.at(2).pages.size(), all_pages);
+    EXPECT_EQ(ckpts.pagesStored(),
+              ckpts.at(1).pages.size() + ckpts.at(2).pages.size());
+    // pagesUpTo counts distinct pages (what one restore copies), so
+    // pages re-dirtied across deltas count once, not per delta.
+    EXPECT_LE(ckpts.pagesUpTo(2), ckpts.pagesStored());
+    EXPECT_GE(ckpts.pagesUpTo(2),
+              std::max(ckpts.at(1).pages.size(),
+                       ckpts.at(2).pages.size()));
+
+    EXPECT_EQ(ckpts.latestAtOrBefore(0), 0u);
+    EXPECT_EQ(ckpts.latestAtOrBefore(9'999), 0u);
+    EXPECT_EQ(ckpts.latestAtOrBefore(10'000), 1u);
+    EXPECT_EQ(ckpts.latestAtOrBefore(25'000), 2u);
+}
+
+TEST(Checkpoint, RestoredStreamCrcEqualAcrossSuite)
+{
+    // The committed stream after a restore must be bit-identical to
+    // uninterrupted execution, for every workload in the suite.
+    constexpr InstSeqNum kBoundary = 5'000;
+    constexpr InstSeqNum kTail = 5'000;
+    for (const auto &w : workloads::suite()) {
+        const Program prog = w.build(1);
+
+        // Uninterrupted reference: fast-forward to the boundary on
+        // the *record* path, then CRC the next kTail records.
+        Executor ref(prog);
+        for (InstSeqNum i = 0; i < kBoundary && !ref.halted(); ++i)
+            ref.step();
+        const InstSeqNum boundary_seq = ref.instCount();
+        const std::uint32_t want = streamCrc(ref, kTail);
+
+        // Checkpointed run: profile on the fast path, capturing at
+        // the same boundary, then restore and CRC.
+        Executor prof(prog);
+        CheckpointStore ckpts(prog, prof);
+        ckpts.capture();
+        prof.fastForward(kBoundary);
+        const std::size_t idx = ckpts.capture();
+
+        std::uint64_t pages_applied = 0;
+        auto restored = ckpts.restore(idx, &pages_applied);
+        EXPECT_EQ(restored->instCount(), boundary_seq) << w.name;
+        EXPECT_EQ(pages_applied, ckpts.pagesUpTo(idx)) << w.name;
+        EXPECT_EQ(streamCrc(*restored, kTail), want) << w.name;
+    }
+}
+
+TEST(Checkpoint, RestoreIsRepeatableAfterDonorAdvances)
+{
+    // Restoring twice — including after the profiling executor has
+    // run far past the checkpoint — yields the same machine.
+    const Program prog = workloads::build("li", 1);
+    Executor prof(prog);
+    CheckpointStore ckpts(prog, prof);
+    ckpts.capture();
+    prof.fastForward(7'000);
+    const std::size_t idx = ckpts.capture();
+
+    auto first = ckpts.restore(idx);
+    prof.fastForward(50'000);   // donor moves on; journal is immutable
+    auto second = ckpts.restore(idx);
+
+    const std::uint32_t a = streamCrc(*first, 3'000);
+    const std::uint32_t b = streamCrc(*second, 3'000);
+    EXPECT_EQ(a, b);
 }
 
 } // namespace

@@ -806,6 +806,135 @@ TEST(Sampling, IpcWithinBoundOfFullRun)
     }
 }
 
+TEST(Sampling, RetireProbeMatchesPrefixSubtraction)
+{
+    // The single-run warmup probe must read exactly the cycle count a
+    // separate run capped at the warmup boundary would report — the
+    // deterministic-prefix property the sampled estimate rests on.
+    const Program prog = workloads::build("compress", 1);
+    const SimConfig base = testConfig();
+    constexpr InstSeqNum kSkip = 20'000;
+    constexpr InstSeqNum kWarm = 10'000;
+    constexpr InstSeqNum kMeasure = 10'000;
+
+    auto position = [&prog](InstSeqNum skip) {
+        Executor exec(prog);
+        exec.fastForward(skip);
+        return exec;
+    };
+
+    // Reference: two capped runs, as the pre-checkpointing
+    // implementation timed them.
+    Cycle c_warm_ref, c_full_ref;
+    {
+        Executor exec = position(kSkip);
+        SimConfig cfg = base;
+        cfg.maxInsts = kWarm;
+        Processor proc(exec, prog.name, exec.state().pc, cfg);
+        c_warm_ref = proc.run().cycles;
+    }
+    {
+        Executor exec = position(kSkip);
+        SimConfig cfg = base;
+        cfg.maxInsts = kWarm + kMeasure;
+        Processor proc(exec, prog.name, exec.state().pc, cfg);
+        c_full_ref = proc.run().cycles;
+    }
+
+    // One probed run reproduces both numbers.
+    Executor exec = position(kSkip);
+    SimConfig cfg = base;
+    cfg.maxInsts = kWarm + kMeasure;
+    Processor proc(exec, prog.name, exec.state().pc, cfg);
+    Cycle c_probe = 0;
+    proc.setRetireCycleProbe(kWarm, &c_probe);
+    const SimResult full = proc.run();
+    EXPECT_EQ(c_probe, c_warm_ref);
+    EXPECT_EQ(full.cycles, c_full_ref);
+    EXPECT_EQ(full.cycles - c_probe, c_full_ref - c_warm_ref);
+}
+
+TEST(Sampling, FastProfileMatchesVirtualProfile)
+{
+    for (const char *workload : {"compress", "li"}) {
+        const Program prog = workloads::build(workload, 1);
+        Executor slow(prog), fast(prog);
+        const auto a = profileBbv(static_cast<CommitSource &>(slow),
+                                  1'000, 50'000);
+        const auto b = profileBbv(fast, 1'000, 50'000);
+        ASSERT_EQ(a.size(), b.size()) << workload;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].insts, b[i].insts);
+            EXPECT_EQ(a[i].blocks, b[i].blocks) << workload << " @" << i;
+        }
+    }
+}
+
+TEST(Sampling, MatchesReferenceImplementation)
+{
+    // The checkpoint-parallel path must reproduce the serial
+    // re-execute reference bit for bit: same simpoints, same
+    // per-interval cycles, same fold.
+    const SimConfig cfg = testConfig(100'000);
+    SampleSpec spec;
+    spec.k = 8;
+    spec.interval = 10'000;
+    spec.warmup = 50'000;
+    for (const char *workload : {"compress", "li"}) {
+        const SimResult ref =
+            runSampledReference(workload, 1, cfg, spec);
+        const SimResult opt = runSampled(workload, 1, cfg, spec);
+        EXPECT_EQ(opt.mode, ref.mode) << workload;
+        EXPECT_EQ(opt.retired, ref.retired) << workload;
+        EXPECT_EQ(opt.cycles, ref.cycles) << workload;
+        EXPECT_EQ(opt.maxInsts, ref.maxInsts) << workload;
+    }
+}
+
+TEST(Sampling, DeterministicAcrossJobsAndCheckpointKnobs)
+{
+    const SimConfig cfg = testConfig(100'000);
+    SampleSpec spec;
+    spec.k = 8;
+    spec.interval = 10'000;
+    spec.warmup = 50'000;
+
+    spec.jobs = 1;
+    const SimResult serial = runSampled("compress", 1, cfg, spec);
+
+    spec.jobs = 8;
+    const SimResult pooled = runSampled("compress", 1, cfg, spec);
+    EXPECT_EQ(pooled.cycles, serial.cycles);
+    EXPECT_EQ(pooled.retired, serial.retired);
+    EXPECT_EQ(pooled.sample.jobs, 8u);
+
+    // Re-executing prefixes instead of restoring checkpoints changes
+    // only the host-side accounting, never the estimate.
+    spec.useCheckpoints = false;
+    const SimResult reexec = runSampled("compress", 1, cfg, spec);
+    EXPECT_EQ(reexec.cycles, serial.cycles);
+    EXPECT_EQ(reexec.sample.checkpoints, 0u);
+    EXPECT_EQ(reexec.sample.restores, 0u);
+
+    // A sparser checkpoint stride trades restore traffic for residual
+    // fast-forward without moving the estimate.
+    spec.useCheckpoints = true;
+    spec.checkpointStride = 3;
+    const SimResult strided = runSampled("compress", 1, cfg, spec);
+    EXPECT_EQ(strided.cycles, serial.cycles);
+    EXPECT_LT(strided.sample.checkpoints, serial.sample.checkpoints);
+    EXPECT_GE(strided.sample.ffInsts, serial.sample.ffInsts);
+
+    // Checkpoint accounting of the dense serial run: one restore per
+    // simpoint, a checkpoint at every interval boundary but the
+    // region's end, and every restore bounded by the journal.
+    EXPECT_EQ(serial.sample.simpoints, serial.sample.restores);
+    EXPECT_EQ(serial.sample.checkpoints, 10u);
+    EXPECT_GT(serial.sample.checkpointPages, 0u);
+    EXPECT_LE(serial.sample.restoredPages,
+              serial.sample.restores * serial.sample.checkpointPages);
+}
+
 // --------------------------------------------------------------------
 // Replay result caching
 // --------------------------------------------------------------------

@@ -31,16 +31,18 @@ Usage:
         (host wall-clock and run provenance are not timing); on
         divergence, names the first differing counter per result.
 
-    check_stats_json.py BASELINE.json BENCH_OUT.json --compare-perf
+    check_stats_json.py BASELINE.json BENCH_OUT.json... --compare-perf
         Perf-smoke gate: BASELINE.json is the pinned
-        tcfill-bench-baseline-v1 snapshot (BENCH_baseline.json);
-        BENCH_OUT.json is a google-benchmark --benchmark_out document
-        from bench/perf_simulator. Fails when any baselined
-        benchmark's sim_insts_per_s falls below (1 - tol) x baseline
-        (--perf-tol, default 0.25). The committed baseline is the
-        *pre-optimization* throughput, so this is a floor against
-        catastrophic regression that absorbs host-speed variance,
-        not a precision measurement.
+        tcfill-bench-baseline-v1 snapshot (BENCH_baseline.json); each
+        following file is a google-benchmark --benchmark_out document
+        (bench/perf_simulator, bench/perf_sample, ...) and their
+        benchmark rows are merged so one gate covers every baselined
+        binary. Fails when any baselined benchmark's sim_insts_per_s
+        falls below (1 - tol) x baseline (--perf-tol, default 0.25).
+        The committed baseline is the throughput the optimization
+        shipped with (or, for perf_simulator, the pre-optimization
+        floor), so this is a floor against catastrophic regression
+        that absorbs host-speed variance, not a precision measurement.
 
 Exit status: 0 clean, 1 validation/diff failure, 2 usage error.
 Stdlib only, so it runs in CI and on dev machines without a venv.
@@ -339,12 +341,23 @@ def bench_out_rates(doc):
     return rates
 
 
-def compare_perf(base_path, base, out_path, out, tol):
+def compare_perf(base_path, base, out_paths, outs, tol):
     if base.get("schema") != BASELINE_SCHEMA:
         print(f"{base_path}: expected schema '{BASELINE_SCHEMA}', "
               f"got {base.get('schema')!r}", file=sys.stderr)
         return False
-    rates = bench_out_rates(out)
+    # Merge rows across every bench-out document (one per benchmark
+    # binary); duplicate benchmark names across binaries would shadow
+    # each other, so reject them loudly.
+    rates = {}
+    for path, out in zip(out_paths, outs):
+        for name, rate in bench_out_rates(out).items():
+            if name in rates:
+                print(f"  !! {name}: appears in more than one "
+                      f"bench-out document (again in {path})")
+                return False
+            rates[name] = rate
+    out_path = ", ".join(out_paths)
     ok = True
     for name, entry in sorted(base.get("benchmarks", {}).items()):
         want = entry[PERF_COUNTER]
@@ -383,30 +396,33 @@ def main():
                          "content between two scheduler "
                          "implementations (timing-identity check)")
     ap.add_argument("--compare-perf", action="store_true",
-                    help="two-file mode: BASELINE.json vs a "
-                         "google-benchmark --benchmark_out document "
-                         "(perf-smoke regression gate)")
+                    help="multi-file mode: BASELINE.json vs one or "
+                         "more google-benchmark --benchmark_out "
+                         "documents (perf-smoke regression gate)")
     ap.add_argument("--perf-tol", type=float, default=0.25,
                     help="relative throughput drop tolerated by "
                          "--compare-perf (default 0.25)")
     opts = ap.parse_args()
-    if len(opts.files) > 2:
-        ap.error("expected one or two files")
     modes = [m for m in ("--compare-replay", "--compare-timing",
                          "--compare-perf")
              if getattr(opts, m[2:].replace("-", "_"))]
     if len(modes) > 1:
         ap.error("pick one of " + ", ".join(modes))
-    if modes and len(opts.files) != 2:
-        ap.error(f"{modes[0]} needs exactly two files")
-
     if opts.compare_perf:
-        # Neither file is a tcfill-stats-v1 document: skip schema
+        if len(opts.files) < 2:
+            ap.error("--compare-perf needs a baseline and at least "
+                     "one bench-out file")
+        # None of the files is a tcfill-stats-v1 document: skip schema
         # validation and gate directly.
-        base, out = load(opts.files[0]), load(opts.files[1])
-        ok = compare_perf(opts.files[0], base, opts.files[1], out,
+        base = load(opts.files[0])
+        outs = [load(p) for p in opts.files[1:]]
+        ok = compare_perf(opts.files[0], base, opts.files[1:], outs,
                           opts.perf_tol)
         sys.exit(0 if ok else 1)
+    if len(opts.files) > 2:
+        ap.error("expected one or two files")
+    if modes and len(opts.files) != 2:
+        ap.error(f"{modes[0]} needs exactly two files")
 
     ok = True
     docs = []

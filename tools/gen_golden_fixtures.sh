@@ -21,3 +21,11 @@ mkdir -p "$OUT"
     --stats-json "$OUT/li-none.json" li > /dev/null
 "$TCFILL" -j 1 --max-insts 20000 --opts extended --no-inactive-issue \
     --stats-json "$OUT/m88ksim-extended-nii.json" m88ksim > /dev/null
+
+# Sampled-run estimate (checkpoint-parallel engine, DESIGN.md §14).
+# The body is independent of --sample-jobs and of the checkpoint knobs
+# (asserted in CI's sample-determinism job), so one fixture pins the
+# whole engine.
+"$TCFILL" --max-insts 200000 --opts all \
+    --sample 4:10000 --sample-warmup 5000 --sample-jobs 1 \
+    --stats-json "$OUT/compress-sample.json" compress > /dev/null

@@ -50,6 +50,16 @@
  *                          over INTERVAL-instruction intervals
  *   --sample-warmup N      warmup instructions before each sampled
  *                          interval (default 50000)
+ *   --sample-jobs N        measurement worker threads (default: all
+ *                          cores; the estimate is byte-identical at
+ *                          every job count)
+ *   --sample-no-checkpoint functionally re-execute each measurement
+ *                          prefix instead of restoring checkpoints
+ *   --sample-ckpt-stride N checkpoint every N interval boundaries
+ *                          (default 1)
+ *   --sample-reference     use the serial two-runs-per-point
+ *                          reference implementation (oracle for the
+ *                          CI sample-determinism job)
  */
 
 #include <cstdlib>
@@ -127,7 +137,9 @@ usage()
         "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
         "  --pipe-trace FILE | --progress\n"
         "  --record FILE | --replay FILE | --bbv FILE\n"
-        "  --bbv-interval N | --sample K:INTERVAL | --sample-warmup N\n";
+        "  --bbv-interval N | --sample K:INTERVAL | --sample-warmup N\n"
+        "  --sample-jobs N | --sample-no-checkpoint\n"
+        "  --sample-ckpt-stride N | --sample-reference\n";
     std::exit(2);
 }
 
@@ -178,6 +190,7 @@ main(int argc, char **argv)
     InstSeqNum bbv_interval = 100'000;
     tracefile::SampleSpec sample_spec;
     bool do_sample = false;
+    bool sample_reference = false;
     SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
     cfg.name = "opts=all";
 
@@ -271,6 +284,18 @@ main(int argc, char **argv)
             do_sample = true;
         } else if (arg == "--sample-warmup") {
             sample_spec.warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sample-jobs") {
+            sample_spec.jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--sample-no-checkpoint") {
+            sample_spec.useCheckpoints = false;
+        } else if (arg == "--sample-ckpt-stride") {
+            sample_spec.checkpointStride = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            fatal_if(sample_spec.checkpointStride == 0,
+                     "--sample-ckpt-stride must be positive");
+        } else if (arg == "--sample-reference") {
+            sample_reference = true;
         } else if (arg == "--progress") {
             show_progress = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -322,9 +347,29 @@ main(int argc, char **argv)
             if (!record_path.empty()) {
                 res = tracefile::recordTrace(names[0], scale, cfg,
                                              record_path);
+            } else if (sample_reference) {
+                // (falls through to the serial oracle; pool knobs are
+                // meaningless there)
+                res = tracefile::runSampledReference(names[0], scale,
+                                                     cfg, sample_spec);
             } else {
+                // --threads/-j also applies to the measurement pool
+                // unless --sample-jobs picked a width explicitly.
+                if (sample_spec.jobs == 0)
+                    sample_spec.jobs = threads;
+                // Per-simpoint progress rides the SimRunner callback
+                // the measurement pool already exposes.
+                obs::ConsoleProgress console(std::cerr);
+                obs::ProgressFn progress;
+                if (show_progress) {
+                    progress = [&console](const obs::SweepProgress &p) {
+                        console(p);
+                    };
+                }
                 res = tracefile::runSampled(names[0], scale, cfg,
-                                            sample_spec);
+                                            sample_spec, progress);
+                if (show_progress)
+                    console.finish();
             }
         }
         res.dump(std::cout);
