@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Telemetry-overhead benchmark (google-benchmark): simulator
+ * throughput with each PR-7 observability feature attached — interval
+ * timeline collection (with and without BBV phase tagging), the
+ * Chrome trace-event exporter and the host self-profiler — against
+ * the same machine with telemetry off. Not a paper figure; this
+ * guards the subsystem's "observational means cheap" contract: with
+ * telemetry off the hot loop is untouched (a null check per retire),
+ * and with the timeline on the overhead must stay under 3%.
+ *
+ * Besides the google-benchmark rows, `--check-overhead` runs a
+ * self-contained interleaved A/B measurement and exits non-zero when
+ * the timeline-on median overhead exceeds the gate — this is what the
+ * CI perf-smoke job calls, because it is robust to absolute
+ * host-speed variance in a way a pinned throughput floor is not.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "obs/host_prof.hh"
+#include "obs/trace_events.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+
+namespace
+{
+
+constexpr InstSeqNum kBenchInsts = 50'000;
+constexpr InstSeqNum kTimelineInterval = 5'000;
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.maxInsts = kBenchInsts;
+    return cfg;
+}
+
+void
+recordRates(benchmark::State &state, const char *label,
+            std::uint64_t insts, SimResult last)
+{
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    last.config = label;
+    recordResult(last);
+}
+
+/** The reference: same machine, same workload, telemetry off. */
+void
+BM_TelemetryOff(benchmark::State &state)
+{
+    Program prog = workloads::build("compress", 1);
+    const SimConfig cfg = benchConfig();
+    std::uint64_t insts = 0;
+    SimResult last;
+    for (auto _ : state) {
+        SimResult r = simulate(prog, cfg);
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.cycles);
+        last = std::move(r);
+    }
+    recordRates(state, "BM_TelemetryOff", insts, std::move(last));
+}
+
+/** Timeline collection: per-retire bookkeeping + interval snapshots. */
+void
+BM_TimelineOn(benchmark::State &state)
+{
+    Program prog = workloads::build("compress", 1);
+    SimConfig cfg = benchConfig();
+    cfg.statsInterval = kTimelineInterval;
+    std::uint64_t insts = 0;
+    SimResult last;
+    for (auto _ : state) {
+        SimResult r = simulate(prog, cfg);
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.timeline->intervals.size());
+        last = std::move(r);
+    }
+    recordRates(state, "BM_TimelineOn", insts, std::move(last));
+}
+
+/** Timeline + BBV phase tagging (per-retire block tracking + k-means). */
+void
+BM_TimelinePhases(benchmark::State &state)
+{
+    Program prog = workloads::build("compress", 1);
+    SimConfig cfg = benchConfig();
+    cfg.statsInterval = kTimelineInterval;
+    cfg.statsPhases = 4;
+    std::uint64_t insts = 0;
+    SimResult last;
+    for (auto _ : state) {
+        SimResult r = simulate(prog, cfg);
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.timeline->intervals.size());
+        last = std::move(r);
+    }
+    recordRates(state, "BM_TimelinePhases", insts, std::move(last));
+}
+
+/**
+ * Host self-profiler: six scoped steady_clock reads per simulated
+ * cycle. Much heavier than the timeline by design — it exists for
+ * one-off diagnosis runs, not sweeps — but its cost should stay on
+ * the record.
+ */
+void
+BM_HostProfiler(benchmark::State &state)
+{
+    Program prog = workloads::build("compress", 1);
+    const SimConfig cfg = benchConfig();
+    std::uint64_t insts = 0;
+    SimResult last;
+    for (auto _ : state) {
+        obs::HostProfiler prof;
+        Processor proc(prog, cfg);
+        proc.setHostProfiler(&prof);
+        SimResult r = proc.run();
+        insts += r.retired;
+        benchmark::DoNotOptimize(prof.rows().size());
+        last = std::move(r);
+    }
+    recordRates(state, "BM_HostProfiler", insts, std::move(last));
+}
+
+/**
+ * Trace-event export into a memory sink: full per-instruction span
+ * rendering and JSON serialization. Heavy by nature (it writes ~5
+ * events per instruction); tracked so the exporter's cost per
+ * instruction stays visible.
+ */
+void
+BM_TraceEventExport(benchmark::State &state)
+{
+    Program prog = workloads::build("compress", 1);
+    SimConfig cfg = benchConfig();
+    cfg.maxInsts = 10'000;    // the sink grows ~200 bytes/inst
+    std::uint64_t insts = 0;
+    SimResult last;
+    for (auto _ : state) {
+        std::ostringstream sink;
+        obs::TraceEventWriter w(sink);
+        obs::TraceEventTracer tracer(w);
+        Processor proc(prog, cfg);
+        proc.setTracer(&tracer);
+        SimResult r = proc.run();
+        tracer.finish();
+        w.close();
+        insts += r.retired;
+        benchmark::DoNotOptimize(sink.str().size());
+        last = std::move(r);
+    }
+    recordRates(state, "BM_TraceEventExport", insts, std::move(last));
+}
+
+// --------------------------------------------------------------------
+// --check-overhead: the CI gate
+// --------------------------------------------------------------------
+
+double
+medianSeconds(std::vector<double> &xs)
+{
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/**
+ * Interleaved A/B: timeline-on vs telemetry-off medians over
+ * @p reps pairs (plus one warmup pair each). Interleaving and the
+ * median make the ratio robust to host-speed drift within the run.
+ */
+int
+checkOverhead(double max_overhead)
+{
+    constexpr int reps = 9;
+    Program prog = workloads::build("compress", 1);
+    SimConfig off_cfg = benchConfig();
+    off_cfg.maxInsts = 200'000;
+    SimConfig on_cfg = off_cfg;
+    on_cfg.statsInterval = kTimelineInterval;
+
+    simulate(prog, off_cfg);    // warmup (page cache, branch history)
+    simulate(prog, on_cfg);
+
+    std::vector<double> off, on;
+    InstSeqNum retired_off = 0, retired_on = 0;
+    for (int i = 0; i < reps; ++i) {
+        SimResult a = simulate(prog, off_cfg);
+        SimResult b = simulate(prog, on_cfg);
+        off.push_back(a.hostSeconds);
+        on.push_back(b.hostSeconds);
+        retired_off = a.retired;
+        retired_on = b.retired;
+        // Telemetry must never change the simulation itself.
+        if (a.retired != b.retired || a.cycles != b.cycles) {
+            std::fprintf(stderr,
+                         "FAIL: timeline perturbed the simulation "
+                         "(%llu/%llu insts, %llu/%llu cycles)\n",
+                         static_cast<unsigned long long>(a.retired),
+                         static_cast<unsigned long long>(b.retired),
+                         static_cast<unsigned long long>(a.cycles),
+                         static_cast<unsigned long long>(b.cycles));
+            return 1;
+        }
+    }
+    const double off_med = medianSeconds(off);
+    const double on_med = medianSeconds(on);
+    const double overhead = on_med / off_med - 1.0;
+    std::printf("telemetry overhead: off %.4fs, timeline-on %.4fs "
+                "(%+.2f%%, gate %.0f%%) over %d x %llu insts\n",
+                off_med, on_med, overhead * 100.0,
+                max_overhead * 100.0, reps,
+                static_cast<unsigned long long>(retired_off));
+    (void)retired_on;
+    if (overhead > max_overhead) {
+        std::printf("telemetry overhead FAILED: %.2f%% > %.0f%%\n",
+                    overhead * 100.0, max_overhead * 100.0);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+BENCHMARK(BM_TelemetryOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TimelineOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TimelinePhases)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HostProfiler)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceEventExport)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    // --check-overhead [FRAC]: run the A/B gate instead of the
+    // google-benchmark rows (FRAC defaults to 0.03).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check-overhead") == 0) {
+            double gate = 0.03;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                gate = std::atof(argv[i + 1]);
+            return checkOverhead(gate);
+        }
+    }
+    tcfill::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

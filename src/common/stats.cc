@@ -41,6 +41,27 @@ Group::has(const std::string &name) const
                        [&](const Entry &e) { return e.name == name; });
 }
 
+std::vector<std::string>
+Group::timingCounterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        if (e.counter && e.timing)
+            names.push_back(e.name);
+    }
+    return names;
+}
+
+void
+Group::timingCounterValues(std::vector<std::uint64_t> &out) const
+{
+    for (const auto &e : entries_) {
+        if (e.counter && e.timing)
+            out.push_back(e.counter->value());
+    }
+}
+
 void
 Group::dump(std::ostream &os) const
 {

@@ -87,13 +87,23 @@ class Group
   public:
     explicit Group(std::string name) : name_(std::move(name)) {}
 
-    /** Register a counter by reference; the component keeps ownership. */
+    /**
+     * Register a counter by reference; the component keeps ownership.
+     * @p timing marks the counter a fact of the timing model — equal
+     * across interchangeable implementations of the same machine (the
+     * scan/wakeup schedulers, live/replay commit sources). Pass false
+     * for implementation diagnostics whose value depends on *how* the
+     * model computes (e.g. scheduler scan-retry counts): they still
+     * dump and register normally, but the timeline collector skips
+     * them so interval series stay byte-identical across variants.
+     */
     void
     addCounter(const std::string &name, const Counter &c,
-               const std::string &desc)
+               const std::string &desc, bool timing = true)
     {
         entries_.push_back({name, desc,
-            [&c]() { return static_cast<double>(c.value()); }, &c});
+            [&c]() { return static_cast<double>(c.value()); }, &c,
+            timing});
     }
 
     /** Register a derived value computed on demand (e.g. IPC). */
@@ -130,6 +140,22 @@ class Group
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Names of the registered timing-model counters (formulas and
+     * non-timing diagnostics excluded), in registration order — the
+     * column set of the obs::Timeline interval series. Stable for a
+     * given wiring, so timeline JSON layout is byte-deterministic.
+     */
+    std::vector<std::string> timingCounterNames() const;
+
+    /**
+     * Append the current values of the timing-model counters to
+     * @p out, in the same order as timingCounterNames(). Cheap (one
+     * 64-bit load per counter): this is the timeline's interval-cut
+     * snapshot path.
+     */
+    void timingCounterValues(std::vector<std::uint64_t> &out) const;
+
   private:
     struct Entry
     {
@@ -138,6 +164,8 @@ class Group
         std::function<double()> eval;
         /** Backing counter when the entry is one (else nullptr). */
         const Counter *counter = nullptr;
+        /** Timing-model fact vs implementation diagnostic. */
+        bool timing = true;
     };
 
     std::string name_;

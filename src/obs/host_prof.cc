@@ -1,0 +1,44 @@
+#include "obs/host_prof.hh"
+
+namespace tcfill::obs
+{
+
+const char *
+hostSectionName(HostSection s)
+{
+    switch (s) {
+      case HostSection::Fill: return "fill";
+      case HostSection::Recovery: return "recovery";
+      case HostSection::Retire: return "retire";
+      case HostSection::Dispatch: return "dispatch";
+      case HostSection::Fetch: return "fetch";
+      case HostSection::Issue: return "issue";
+      case HostSection::Profile: return "profile";
+      case HostSection::Checkpoint: return "checkpoint";
+      case HostSection::Restore: return "restore";
+      case HostSection::FastForward: return "fastForward";
+      case HostSection::Measure: return "measure";
+      case HostSection::NumSections: break;
+    }
+    return "?";
+}
+
+std::vector<HostProfiler::Row>
+HostProfiler::rows() const
+{
+    std::vector<Row> out;
+    for (std::size_t i = 0; i < kSections; ++i) {
+        const std::uint64_t calls =
+            calls_[i].load(std::memory_order_relaxed);
+        if (calls == 0)
+            continue;
+        out.push_back(Row{
+            hostSectionName(static_cast<HostSection>(i)),
+            static_cast<double>(ns_[i].load(std::memory_order_relaxed)) *
+                1e-9,
+            calls});
+    }
+    return out;
+}
+
+} // namespace tcfill::obs

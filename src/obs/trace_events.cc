@@ -1,0 +1,309 @@
+#include "obs/trace_events.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace tcfill::obs
+{
+
+// --------------------------------------------------------------------
+// TraceEventWriter
+// --------------------------------------------------------------------
+
+TraceEventWriter::TraceEventWriter(std::ostream &os)
+    : os_(os), epoch_(std::chrono::steady_clock::now())
+{
+    os_ << "{\"traceEvents\": [";
+}
+
+TraceEventWriter::~TraceEventWriter()
+{
+    close();
+}
+
+void
+TraceEventWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+        return;
+    closed_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+void
+TraceEventWriter::emit(char ph, int pid, int tid, std::string_view name,
+                       const double *ts, const double *dur,
+                       std::string_view args)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    panic_if(closed_, "TraceEventWriter: emit after close()");
+    os_ << (events_++ ? ",\n" : "\n");
+    os_ << "{\"ph\": \"" << ph << "\", \"pid\": " << pid
+        << ", \"tid\": " << tid << ", \"name\": ";
+    jsonQuote(os_, name);
+    if (ts)
+        os_ << ", \"ts\": " << jsonNumber(*ts);
+    if (dur)
+        os_ << ", \"dur\": " << jsonNumber(*dur);
+    if (ph == 'i')
+        os_ << ", \"s\": \"t\"";    // thread-scoped instant
+    if (!args.empty())
+        os_ << ", \"args\": {" << args << '}';
+    os_ << '}';
+}
+
+void
+TraceEventWriter::complete(int pid, int tid, std::string_view name,
+                           double ts, double dur, std::string_view args)
+{
+    emit('X', pid, tid, name, &ts, &dur, args);
+}
+
+void
+TraceEventWriter::instant(int pid, int tid, std::string_view name,
+                          double ts, std::string_view args)
+{
+    emit('i', pid, tid, name, &ts, nullptr, args);
+}
+
+void
+TraceEventWriter::counter(int pid, std::string_view name, double ts,
+                          std::string_view series, double value)
+{
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"%.*s\": %s",
+                  static_cast<int>(series.size()), series.data(),
+                  jsonNumber(value).c_str());
+    emit('C', pid, 0, name, &ts, nullptr, args);
+}
+
+void
+TraceEventWriter::processName(int pid, std::string_view name)
+{
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"name\": \"%.*s\"",
+                  static_cast<int>(name.size()), name.data());
+    const double ts = 0.0;
+    emit('M', pid, 0, "process_name", &ts, nullptr, args);
+}
+
+void
+TraceEventWriter::threadName(int pid, int tid, std::string_view name)
+{
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"name\": \"%.*s\"",
+                  static_cast<int>(name.size()), name.data());
+    const double ts = 0.0;
+    emit('M', pid, tid, "thread_name", &ts, nullptr, args);
+}
+
+// --------------------------------------------------------------------
+// TraceEventTracer
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Sim-process thread tracks, in display order. */
+enum SimTid : int
+{
+    kTidFetch = 1,
+    kTidRename = 2,
+    kTidIssue = 3,
+    kTidExecute = 4,
+    kTidCommit = 5,
+    kTidFill = 6,
+    kTidRecovery = 7,
+};
+
+constexpr const char *kSegmentName[5] = {
+    "fetch", "rename", "issue", "execute", "commit",
+};
+
+constexpr int kSegmentTid[5] = {
+    kTidFetch, kTidRename, kTidIssue, kTidExecute, kTidCommit,
+};
+
+} // namespace
+
+TraceEventTracer::TraceEventTracer(TraceEventWriter &w) : w_(w)
+{
+    w_.processName(kTracePidSim, "tcfill sim (1 cycle = 1us)");
+    w_.processName(kTracePidHost, "tcfill host (wall clock)");
+    w_.threadName(kTracePidSim, kTidFetch, "fetch");
+    w_.threadName(kTracePidSim, kTidRename, "rename");
+    w_.threadName(kTracePidSim, kTidIssue, "issue");
+    w_.threadName(kTracePidSim, kTidExecute, "execute");
+    w_.threadName(kTracePidSim, kTidCommit, "commit");
+    w_.threadName(kTracePidSim, kTidFill, "fill unit");
+    w_.threadName(kTracePidSim, kTidRecovery, "recovery");
+}
+
+void
+TraceEventTracer::noteStage(const PipeEvent &ev, unsigned idx)
+{
+    Life &life = inflight_[ev.seq];
+    life.pc = ev.pc;
+    life.stage[idx] = ev.cycle;
+    life.seen[idx] = true;
+    life.fromTrace |= ev.fromTrace;
+    life.inactive |= ev.inactive;
+    life.moveMarked |= ev.moveMarked;
+    life.reassociated |= ev.reassociated;
+    life.scaled |= ev.scaled;
+    life.elided |= ev.elided;
+}
+
+void
+TraceEventTracer::occupancyDelta(Cycle now, int delta)
+{
+    if (occ_pending_ && now != occ_cycle_)
+        flushOccupancy();
+    occupancy_ += delta;
+    occ_cycle_ = now;
+    occ_pending_ = true;
+}
+
+void
+TraceEventTracer::flushOccupancy()
+{
+    if (!occ_pending_)
+        return;
+    w_.counter(kTracePidSim, "in-flight",
+               static_cast<double>(occ_cycle_), "insts",
+               static_cast<double>(occupancy_));
+    occ_pending_ = false;
+}
+
+void
+TraceEventTracer::flushSquashes()
+{
+    if (squash_count_ == 0)
+        return;
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"squashed\": %" PRIu64,
+                  squash_count_);
+    w_.instant(kTracePidSim, kTidRecovery, "squash",
+               static_cast<double>(squash_cycle_), args);
+    squash_count_ = 0;
+}
+
+void
+TraceEventTracer::emitSpans(const Life &life, Cycle retire_cycle,
+                            InstSeqNum seq)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "0x%" PRIx64,
+                  static_cast<std::uint64_t>(life.pc));
+    char args[192];
+    std::snprintf(
+        args, sizeof(args),
+        "\"seq\": %" PRIu64 ", \"fromTrace\": %d, \"inactive\": %d, "
+        "\"moveMarked\": %d, \"reassociated\": %d, \"scaled\": %d, "
+        "\"elided\": %d",
+        static_cast<std::uint64_t>(seq), life.fromTrace ? 1 : 0,
+        life.inactive ? 1 : 0, life.moveMarked ? 1 : 0,
+        life.reassociated ? 1 : 0, life.scaled ? 1 : 0,
+        life.elided ? 1 : 0);
+
+    // One span per pipeline segment between consecutive observed
+    // milestones; the final milestone's segment runs to retirement.
+    Cycle start = 0;
+    int open = -1;      // index of the segment currently open
+    for (unsigned i = 0; i < 5; ++i) {
+        if (!life.seen[i])
+            continue;
+        if (open >= 0) {
+            const Cycle end =
+                life.stage[i] > start ? life.stage[i] : start;
+            w_.complete(kTracePidSim, kSegmentTid[open],
+                        name, static_cast<double>(start),
+                        static_cast<double>(end - start), args);
+        }
+        open = static_cast<int>(i);
+        start = life.stage[i];
+    }
+    if (open >= 0) {
+        const Cycle end = retire_cycle > start ? retire_cycle : start;
+        w_.complete(kTracePidSim, kSegmentTid[open], name,
+                    static_cast<double>(start),
+                    static_cast<double>(end - start), args);
+    }
+}
+
+void
+TraceEventTracer::instEvent(const PipeEvent &ev)
+{
+    switch (ev.stage) {
+      case PipeStage::Fetch:
+        noteStage(ev, 0);
+        occupancyDelta(ev.cycle, +1);
+        break;
+      case PipeStage::Rename:
+        noteStage(ev, 1);
+        break;
+      case PipeStage::Issue:
+        noteStage(ev, 2);
+        break;
+      case PipeStage::Execute:
+        noteStage(ev, 3);
+        break;
+      case PipeStage::Complete:
+        // Stamp is the completion cycle (may be in the future
+        // relative to the emission point); spans are emitted at
+        // retire so ordering is irrelevant here.
+        noteStage(ev, 4);
+        break;
+      case PipeStage::Retire: {
+        auto it = inflight_.find(ev.seq);
+        if (it != inflight_.end()) {
+            emitSpans(it->second, ev.cycle, ev.seq);
+            inflight_.erase(it);
+        }
+        occupancyDelta(ev.cycle, -1);
+        break;
+      }
+      case PipeStage::Squash: {
+        if (squash_count_ > 0 && ev.cycle != squash_cycle_)
+            flushSquashes();
+        squash_cycle_ = ev.cycle;
+        ++squash_count_;
+        if (inflight_.erase(ev.seq))
+            occupancyDelta(ev.cycle, -1);
+        break;
+      }
+    }
+}
+
+void
+TraceEventTracer::fillEvent(const FillEvent &ev)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "segment 0x%" PRIx64,
+                  static_cast<std::uint64_t>(ev.startPc));
+    char args[224];
+    std::snprintf(
+        args, sizeof(args),
+        "\"insts\": %u, \"blocks\": %u, \"movesMarked\": %u, "
+        "\"reassociated\": %u, \"scaledAdds\": %u, \"deadElided\": %u, "
+        "\"promotedBranches\": %u",
+        ev.insts, ev.blocks, ev.movesMarked, ev.reassociated,
+        ev.scaledAdds, ev.deadElided, ev.promotedBranches);
+    w_.instant(kTracePidSim, kTidFill, name,
+               static_cast<double>(ev.cycle), args);
+}
+
+void
+TraceEventTracer::finish()
+{
+    flushSquashes();
+    flushOccupancy();
+    inflight_.clear();  // still-in-flight at run end: no spans
+}
+
+} // namespace tcfill::obs

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto JSON export of the pipeline: a
+ * strict `{"traceEvents":[...]}` writer plus a PipeTracer that turns
+ * the per-instruction lifecycle stream into per-stage occupancy
+ * spans, fill-unit finalization instants, aggregated squash/recovery
+ * episodes and an in-flight-window counter track — loadable directly
+ * in chrome://tracing or ui.perfetto.dev.
+ *
+ * Timebases: simulated events live on pid 1 with 1 cycle rendered as
+ * 1 microsecond (`ts`/`dur` are cycle counts); host-side spans
+ * (sampled-run checkpoint/restore/fast-forward/measure, emitted by
+ * tracefile::runSampled) live on pid 2 in real wall-clock
+ * microseconds since the writer was created. The two process tracks
+ * are independent — don't compare timestamps across them.
+ *
+ * Like every obs hook, export is purely observational and
+ * null-gated: a run with a TraceEventTracer attached retires the
+ * same instructions in the same cycles as an untraced run (asserted
+ * in tests/test_obs.cc).
+ */
+
+#ifndef TCFILL_OBS_TRACE_EVENTS_HH
+#define TCFILL_OBS_TRACE_EVENTS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "obs/pipe_trace.hh"
+
+namespace tcfill::obs
+{
+
+/** Process IDs of the two timebases in an exported file. */
+constexpr int kTracePidSim = 1;   ///< ts = simulated cycles (as us)
+constexpr int kTracePidHost = 2;  ///< ts = wall-clock us since open
+
+/**
+ * Serializer for the Chrome trace-event JSON array format. Events
+ * append under a mutex (sampled-run host spans arrive from pool
+ * workers); close() terminates the document and further appends are
+ * a bug. Every event carries the `ph`/`ts`/`pid`/`tid` fields the
+ * Perfetto importer requires; `args` bodies are caller-rendered JSON
+ * member lists (numbers only — keep them machine-parseable).
+ */
+class TraceEventWriter
+{
+  public:
+    explicit TraceEventWriter(std::ostream &os);
+    ~TraceEventWriter();
+
+    /** Write the closing "]}" (idempotent). */
+    void close();
+
+    /** Complete event ("X"): a span [ts, ts + dur]. */
+    void complete(int pid, int tid, std::string_view name, double ts,
+                  double dur, std::string_view args = {});
+
+    /** Instant event ("i", thread-scoped). */
+    void instant(int pid, int tid, std::string_view name, double ts,
+                 std::string_view args = {});
+
+    /** Counter event ("C"): one series sample. */
+    void counter(int pid, std::string_view name, double ts,
+                 std::string_view series, double value);
+
+    /** Metadata: name the process / thread tracks ("M"). */
+    void processName(int pid, std::string_view name);
+    void threadName(int pid, int tid, std::string_view name);
+
+    /** Events emitted so far. */
+    std::uint64_t events() const { return events_; }
+
+    /** Wall-clock microseconds since construction (host-span ts). */
+    double
+    nowUs() const
+    {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+  private:
+    void emit(char ph, int pid, int tid, std::string_view name,
+              const double *ts, const double *dur,
+              std::string_view args);
+
+    std::mutex mu_;
+    std::ostream &os_;
+    std::uint64_t events_ = 0;
+    bool closed_ = false;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * PipeTracer rendering instruction lifecycles as trace events. Per
+ * retired instruction it emits one span per pipeline segment the
+ * instruction occupied (fetch→rename, rename→issue, issue→execute,
+ * execute→complete, complete→retire), each on its stage's thread
+ * track; squashes aggregate into one instant per recovery cycle, and
+ * fill-unit finalizations become instants with the per-pass
+ * transform counts as args. An in-flight counter track samples the
+ * window occupancy each cycle it changes.
+ *
+ * Attach via Processor::setTracer and call finish() after run() to
+ * flush the trailing aggregates (the writer stays open for host
+ * spans; the owner calls TraceEventWriter::close()).
+ */
+class TraceEventTracer : public PipeTracer
+{
+  public:
+    explicit TraceEventTracer(TraceEventWriter &w);
+
+    void instEvent(const PipeEvent &ev) override;
+    void fillEvent(const FillEvent &ev) override;
+
+    /** Flush pending per-cycle aggregates (squash + occupancy). */
+    void finish();
+
+  private:
+    /** Lifecycle milestones observed so far for one in-flight inst. */
+    struct Life
+    {
+        Addr pc = 0;
+        Cycle stage[5] = {};    ///< fetch/rename/issue/execute/complete
+        bool seen[5] = {};
+        bool fromTrace = false;
+        bool inactive = false;
+        bool moveMarked = false;
+        bool reassociated = false;
+        bool scaled = false;
+        bool elided = false;
+    };
+
+    void noteStage(const PipeEvent &ev, unsigned idx);
+    void emitSpans(const Life &life, Cycle retire_cycle,
+                   InstSeqNum seq);
+    void occupancyDelta(Cycle now, int delta);
+    void flushOccupancy();
+    void flushSquashes();
+
+    TraceEventWriter &w_;
+    std::unordered_map<InstSeqNum, Life> inflight_;
+
+    // Window-occupancy counter, coalesced to one sample per cycle.
+    std::int64_t occupancy_ = 0;
+    Cycle occ_cycle_ = 0;
+    bool occ_pending_ = false;
+
+    // Per-cycle squash aggregation.
+    Cycle squash_cycle_ = 0;
+    std::uint64_t squash_count_ = 0;
+};
+
+} // namespace tcfill::obs
+
+#endif // TCFILL_OBS_TRACE_EVENTS_HH

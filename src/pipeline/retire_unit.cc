@@ -118,6 +118,16 @@ RetireUnit::tick(Cycle now)
         if (di->bypassDelayed)
             ++bypass_delayed_;
 
+        // After the commit's counter increments, so the interval that
+        // ends on this instruction includes it in its deltas. The
+        // block-end predicate mirrors BbvProfiler::consume.
+        if (timeline_) {
+            timeline_->onRetire(di->pc,
+                                di->archInst.isControl() ||
+                                    di->archInst.isSerializing(),
+                                now);
+        }
+
         if (di == ctrl_.stallSerialize)
             ctrl_.stallSerialize = nullptr;
 

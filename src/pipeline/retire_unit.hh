@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "fill/fill_unit.hh"
+#include "obs/timeline.hh"
 #include "pipeline/issue_stage.hh"
 #include "pipeline/latches.hh"
 #include "pipeline/oracle.hh"
@@ -95,6 +96,17 @@ class RetireUnit : public Stage
     void setCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
     /**
+     * Attach the interval-telemetry collector (nullptr detaches); a
+     * dedicated seam rather than a CommitHook so it composes with a
+     * BbvProfiler hook and stays a direct (inlineable) call. Fed once
+     * per commit, after the commit's own counter increments, so each
+     * interval's deltas include its boundary instruction. Purely
+     * observational — timing is bit-identical either way (asserted in
+     * tests/test_obs.cc).
+     */
+    void setTimeline(obs::Timeline *tl) { timeline_ = tl; }
+
+    /**
      * Cycles-at-retired-count probe: when the @p at th instruction
      * commits, *out receives the cycle count a run capped at
      * maxInsts == at would have reported (commit cycle + 1; asserted
@@ -122,6 +134,7 @@ class RetireUnit : public Stage
 
     Cycle last_retire_cycle_ = 0;
     CommitHook commit_hook_;
+    obs::Timeline *timeline_ = nullptr;
     InstSeqNum probe_at_ = 0;
     Cycle *probe_cycle_ = nullptr;
 

@@ -60,6 +60,20 @@ struct SimConfig
     Cycle maxCycles = 0;
 
     /**
+     * Timeline telemetry (obs/timeline.hh): snapshot the delta of
+     * every timing-model counter each time this many instructions
+     * retire (0 = off). Purely observational — never changes
+     * simulated cycles — but keyed in configCacheKey() because it
+     * changes the SimResult document (the timeline section).
+     */
+    InstSeqNum statsInterval = 0;
+    /**
+     * Tag timeline intervals with one of this many BBV phase
+     * clusters (0 = no tagging; requires statsInterval != 0).
+     */
+    unsigned statsPhases = 0;
+
+    /**
      * Convenience: the paper's baseline with a chosen optimization
      * set and fill latency.
      */

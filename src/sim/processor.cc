@@ -83,6 +83,14 @@ Processor::wireStages(const pipeline::StagePolicy &policy)
     dispatch_->regStats(stats_); // rename.* + dispatch.*
     retire_->regStats(stats_);
     recovery_->regStats(stats_);
+
+    // Interval telemetry: built after registration so the collector
+    // sees the full (ordered) timing-counter column set.
+    if (cfg_.statsInterval != 0) {
+        timeline_ = std::make_unique<obs::Timeline>(
+            stats_, cfg_.statsInterval, cfg_.statsPhases);
+        retire_->setTimeline(timeline_.get());
+    }
 }
 
 // --------------------------------------------------------------------
@@ -92,6 +100,10 @@ Processor::wireStages(const pipeline::StagePolicy &policy)
 void
 Processor::doCycle()
 {
+    if (host_prof_) {
+        doCycleProfiled();
+        return;
+    }
     fill_.tick(cycle_);
     recovery_->tick(cycle_);
     retire_->tick(cycle_);
@@ -99,6 +111,42 @@ Processor::doCycle()
     issue_->dispatchPending();
     fetch_->tick(cycle_);
     issue_->tick(cycle_);
+    ++cycle_;
+}
+
+void
+Processor::doCycleProfiled()
+{
+    using obs::HostSection;
+    using obs::ScopedHostTimer;
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Fill);
+        fill_.tick(cycle_);
+    }
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Recovery);
+        recovery_->tick(cycle_);
+    }
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Retire);
+        retire_->tick(cycle_);
+    }
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Dispatch);
+        dispatch_->tick(cycle_);
+    }
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Issue);
+        issue_->dispatchPending();
+    }
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Fetch);
+        fetch_->tick(cycle_);
+    }
+    {
+        ScopedHostTimer t(host_prof_, HostSection::Issue);
+        issue_->tick(cycle_);
+    }
     ++cycle_;
 }
 
@@ -212,6 +260,11 @@ Processor::run()
     res.dynElided = stats_.counterValue("retire.dyn_elided");
     res.dynMoveIdioms = stats_.counterValue("retire.dyn_move_idioms");
     res.bypassDelayed = stats_.counterValue("retire.bypass_delayed");
+    if (timeline_) {
+        res.timeline = timeline_->finish(cycle_);
+        retire_->setTimeline(nullptr);
+        timeline_.reset();
+    }
     return res;
 }
 

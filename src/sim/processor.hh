@@ -31,7 +31,9 @@
 #include "bpred/predictor.hh"
 #include "fill/fill_unit.hh"
 #include "mem/cache.hh"
+#include "obs/host_prof.hh"
 #include "obs/pipe_trace.hh"
+#include "obs/timeline.hh"
 #include "pipeline/latches.hh"
 #include "pipeline/oracle.hh"
 #include "pipeline/policy.hh"
@@ -122,8 +124,20 @@ class Processor
      */
     void setRetireCycleProbe(InstSeqNum at, Cycle *out);
 
+    /**
+     * Attach the host self-profiler (nullptr detaches); must be set
+     * before run(). Wraps each stage tick in a ScopedHostTimer so
+     * host.profile attributes wall-clock to stages. Observational
+     * only: simulated cycles are bit-identical with or without it.
+     */
+    void setHostProfiler(obs::HostProfiler *prof)
+    {
+        host_prof_ = prof;
+    }
+
   private:
     void doCycle();
+    void doCycleProfiled();
     /**
      * Event-driven idle-cycle elision: when no latch holds work for
      * the next tick, advance cycle_ directly to the earliest cycle
@@ -172,6 +186,10 @@ class Processor
     Cycle cycle_ = 0;
 
     stats::Group stats_;
+
+    /** Interval telemetry (cfg_.statsInterval != 0 only). */
+    std::unique_ptr<obs::Timeline> timeline_;
+    obs::HostProfiler *host_prof_ = nullptr;
 };
 
 /** Build, run and summarize one (program, config) pair. */

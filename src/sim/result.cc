@@ -69,10 +69,24 @@ SimResult::toJson(obs::JsonWriter &w, bool include_host) const
     w.field("fracMoveIdioms", fracMoveIdioms());
     w.field("fracElided", fracElided());
     w.field("fracBypassDelayed", fracBypassDelayed());
+    if (timeline) {
+        w.key("timeline");
+        timeline->toJson(w);
+    }
     if (include_host) {
         w.beginObject("host");
         w.field("hostSeconds", hostSeconds);
         w.field("simInstsPerSec", simInstsPerSec());
+        if (!hostProfile.empty()) {
+            w.beginObject("profile");
+            for (const HostProfileRow &row : hostProfile) {
+                w.beginObject(row.name);
+                w.field("seconds", row.seconds);
+                w.field("calls", row.calls);
+                w.endObject();
+            }
+            w.endObject();
+        }
         if (mode == "sample") {
             w.beginObject("sample");
             w.field("checkpoints", sample.checkpoints);

@@ -8,10 +8,13 @@
 #define TCFILL_SIM_RESULT_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
+#include "obs/timeline.hh"
 
 namespace tcfill
 {
@@ -78,6 +81,28 @@ struct SimResult
         std::uint64_t simpoints = 0;        ///< measurement tasks
         std::uint64_t jobs = 0;             ///< worker threads used
     } sample;
+
+    /**
+     * Interval telemetry series (cfg.statsInterval != 0 only; null
+     * otherwise). Deterministic simulation data — serialized in the
+     * document body (not the host section) and byte-identical across
+     * -j1/-j8, schedulers and record/replay. Shared (immutable) so
+     * SimRunner result-cache copies stay cheap.
+     */
+    std::shared_ptr<const obs::TimelineData> timeline;
+
+    /**
+     * Host self-profiler rows (--stats-host with profiling only;
+     * empty otherwise). Wall-clock noise like hostSeconds — emitted
+     * under host.profile, never in the deterministic body.
+     */
+    struct HostProfileRow
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+    std::vector<HostProfileRow> hostProfile;
 
     /** Simulator throughput: simulated instructions per host second. */
     double

@@ -53,7 +53,7 @@ static_assert(sizeof(BiasTable::Params) == 16,
               "BiasTable::Params changed: update configCacheKey()");
 static_assert(sizeof(ExecCoreParams) == 24,
               "ExecCoreParams changed: update configCacheKey()");
-static_assert(sizeof(SimConfig) == sizeof(std::string) + 360,
+static_assert(sizeof(SimConfig) == sizeof(std::string) + 376,
               "SimConfig changed: update configCacheKey()");
 #endif
 
@@ -66,7 +66,12 @@ configCacheKey(const SimConfig &cfg)
        << ";fw=" << cfg.fetchWidth << ";fq=" << cfg.fetchQueueLines
        << ";rw=" << cfg.retireWidth << ";win=" << cfg.windowCap
        << ";ras=" << cfg.rasDepth << ";mi=" << cfg.maxInsts
-       << ";mc=" << cfg.maxCycles;
+       << ";mc=" << cfg.maxCycles
+       // Timeline telemetry never changes timing, but it changes the
+       // result document (the timeline section), so results produced
+       // at different telemetry settings must never alias in the
+       // cache.
+       << ";ti=" << cfg.statsInterval << ";tp=" << cfg.statsPhases;
     // Fill unit.
     const FillUnitConfig &f = cfg.fill;
     os << "|fill=" << f.latency << ',' << f.packTraces << ','

@@ -3,78 +3,27 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "arch/checkpoint.hh"
+#include "common/kmeans.hh"
 #include "common/logging.hh"
-#include "common/random.hh"
+#include "obs/host_prof.hh"
+#include "obs/trace_events.hh"
 #include "sim/processor.hh"
 #include "sim/runner.hh"
 #include "workloads/suite.hh"
 
 namespace tcfill::tracefile
 {
-
-namespace
-{
-
-/** Projection dimensionality (SimPoint uses 15; 16 packs nicely). */
-constexpr std::size_t kProjDims = 16;
-
-/** Fixed seed: selection must be reproducible across runs/platforms. */
-constexpr std::uint64_t kSelectSeed = 0x51e0b0d15ee7ull;
-
-using ProjVec = std::array<double, kProjDims>;
-
-/**
- * Pseudo-random projection weight for (block PC, dimension) in
- * [-1, 1), derived by hashing so no projection matrix is stored and
- * every interval sees the same weights. SplitMix64 finalizer.
- */
-double
-projWeight(Addr pc, std::size_t dim)
-{
-    std::uint64_t z = pc * 0x9e3779b97f4a7c15ull + dim + 1;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    z ^= z >> 31;
-    return static_cast<double>(z >> 11) * (2.0 / 9007199254740992.0) -
-           1.0;
-}
-
-/** Project an interval's block counts, normalized to frequencies. */
-ProjVec
-project(const BbvInterval &iv)
-{
-    ProjVec v{};
-    if (iv.insts == 0)
-        return v;
-    const double inv = 1.0 / static_cast<double>(iv.insts);
-    for (const auto &[pc, count] : iv.blocks) {
-        const double f = static_cast<double>(count) * inv;
-        for (std::size_t d = 0; d < kProjDims; ++d)
-            v[d] += f * projWeight(pc, d);
-    }
-    return v;
-}
-
-double
-dist2(const ProjVec &a, const ProjVec &b)
-{
-    double s = 0.0;
-    for (std::size_t d = 0; d < kProjDims; ++d) {
-        const double diff = a[d] - b[d];
-        s += diff * diff;
-    }
-    return s;
-}
-
-} // namespace
 
 std::vector<Simpoint>
 selectSimpoints(const std::vector<BbvInterval> &intervals, unsigned k)
@@ -83,86 +32,16 @@ selectSimpoints(const std::vector<BbvInterval> &intervals, unsigned k)
     const std::size_t n = intervals.size();
     if (n == 0)
         return {};
-    k = static_cast<unsigned>(
-        std::min<std::size_t>(k, n));
 
-    std::vector<ProjVec> pts(n);
+    // Projection and clustering live in common/kmeans.{hh,cc} (shared
+    // with the obs::Timeline phase tagger); the numerics are pinned by
+    // the sample golden fixture, so the hoist is behavior-verbatim.
+    std::vector<BbvPoint> pts(n);
     for (std::size_t i = 0; i < n; ++i)
-        pts[i] = project(intervals[i]);
-
-    // k-means++ seeding from a fixed-seed deterministic stream.
-    Random rng(kSelectSeed);
-    std::vector<ProjVec> centroids;
-    centroids.reserve(k);
-    centroids.push_back(pts[rng.below(n)]);
-    std::vector<double> best(n, 0.0);
-    while (centroids.size() < k) {
-        double total = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            best[i] = dist2(pts[i], centroids[0]);
-            for (std::size_t c = 1; c < centroids.size(); ++c)
-                best[i] = std::min(best[i], dist2(pts[i], centroids[c]));
-            total += best[i];
-        }
-        if (total <= 0.0) {
-            // All points coincide with a centroid; further centroids
-            // are redundant, stop with fewer clusters.
-            break;
-        }
-        // Draw proportional to squared distance using a fixed-point
-        // slice of the generator (deterministic, no doubles from rng).
-        const double r = total *
-            (static_cast<double>(rng.next() >> 11) /
-             9007199254740992.0);
-        double acc = 0.0;
-        std::size_t pick = n - 1;
-        for (std::size_t i = 0; i < n; ++i) {
-            acc += best[i];
-            if (acc >= r) {
-                pick = i;
-                break;
-            }
-        }
-        centroids.push_back(pts[pick]);
-    }
-
-    // Lloyd iterations to convergence (bounded; ties break low-index
-    // so assignment is deterministic).
-    std::vector<std::size_t> assign(n, 0);
-    for (int iter = 0; iter < 100; ++iter) {
-        bool moved = false;
-        for (std::size_t i = 0; i < n; ++i) {
-            std::size_t bc = 0;
-            double bd = dist2(pts[i], centroids[0]);
-            for (std::size_t c = 1; c < centroids.size(); ++c) {
-                const double d = dist2(pts[i], centroids[c]);
-                if (d < bd) {
-                    bd = d;
-                    bc = c;
-                }
-            }
-            if (assign[i] != bc) {
-                assign[i] = bc;
-                moved = true;
-            }
-        }
-        if (!moved && iter > 0)
-            break;
-        std::vector<ProjVec> sums(centroids.size(), ProjVec{});
-        std::vector<std::size_t> counts(centroids.size(), 0);
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t d = 0; d < kProjDims; ++d)
-                sums[assign[i]][d] += pts[i][d];
-            ++counts[assign[i]];
-        }
-        for (std::size_t c = 0; c < centroids.size(); ++c) {
-            if (counts[c] == 0)
-                continue; // empty cluster keeps its centroid
-            for (std::size_t d = 0; d < kProjDims; ++d)
-                centroids[c][d] = sums[c][d] /
-                    static_cast<double>(counts[c]);
-        }
-    }
+        pts[i] = projectBbv(intervals[i].blocks, intervals[i].insts);
+    const KmeansResult km = kmeansBbv(pts, k, kBbvSelectSeed);
+    const std::vector<std::size_t> &assign = km.assign;
+    const std::vector<BbvPoint> &centroids = km.centroids;
 
     // Representative per non-empty cluster: the member closest to the
     // centroid; weight is the cluster's share of all intervals.
@@ -175,7 +54,7 @@ selectSimpoints(const std::vector<BbvInterval> &intervals, unsigned k)
             if (assign[i] != c)
                 continue;
             ++members;
-            const double d = dist2(pts[i], centroids[c]);
+            const double d = bbvDist2(pts[i], centroids[c]);
             if (d < bd) {
                 bd = d;
                 rep = i;
@@ -263,6 +142,28 @@ pointTask(const Simpoint &p, const std::vector<BbvInterval> &ivs,
     return PointTask{start - warm, warm, ivs[p.interval].insts};
 }
 
+// Host-timebase thread tracks of a sampled run's trace-event export:
+// tid 1 is the profiling pass, each simpoint measurement gets its own
+// track (tasks run concurrently on the pool, so sharing one track
+// would interleave the spans).
+constexpr int kHostTidProfile = 1;
+
+int
+hostTidPoint(std::size_t i)
+{
+    return static_cast<int>(i) + 2;
+}
+
+/** Emit one host-timebase span; @p t0 from TraceEventWriter::nowUs. */
+void
+hostSpan(obs::TraceEventWriter *ev, int tid, std::string_view name,
+         double t0, std::string_view args = {})
+{
+    if (ev)
+        ev->complete(obs::kTracePidHost, tid, name, t0,
+                     ev->nowUs() - t0, args);
+}
+
 } // namespace
 
 SimResult
@@ -274,36 +175,64 @@ runSampled(const std::string &workload, unsigned scale,
     const auto t0 = std::chrono::steady_clock::now();
     const Program prog = workloads::build(workload, scale);
 
+    if (spec.events) {
+        spec.events->processName(obs::kTracePidHost,
+                                 "tcfill sampled-run host (wall clock)");
+        spec.events->threadName(obs::kTracePidHost, kHostTidProfile,
+                                "profile");
+    }
+
     // One functional profiling pass on the fast-stepping path over
     // the same region a full timing run would retire
     // (cfg.maxInsts-capped): BBV vectors for simpoint selection plus
     // incremental checkpoints at interval boundaries so each
     // measurement below restores its start point instead of
-    // re-executing the prefix.
+    // re-executing the prefix. The host profiler's sections nest:
+    // "profile" is inclusive of the "checkpoint" captures taken
+    // inside the pass.
     Executor prof_exec(prog);
     CheckpointStore ckpts(prog, prof_exec);
     const InstSeqNum ckpt_every =
         spec.interval * std::max(1u, spec.checkpointStride);
     BbvProfiler prof(spec.interval);
-    if (spec.useCheckpoints)
-        ckpts.capture();    // boundary zero: every skip has a base
-    const InstSeqNum cap = cfg.maxInsts;
-    InstSeqNum n = 0;
-    while (!prof_exec.halted() && (cap == 0 || n < cap)) {
-        const Addr pc = prof_exec.state().pc;
-        const bool ends_block = prof_exec.fastStep();
-        prof.consume(pc, ends_block);
-        ++n;
-        // No checkpoint at the end of the profiled region: no
-        // measurement can start there.
-        if (spec.useCheckpoints && n % ckpt_every == 0 &&
-            !prof_exec.halted() && (cap == 0 || n < cap)) {
+    const double prof_t0 = spec.events ? spec.events->nowUs() : 0.0;
+    {
+        obs::ScopedHostTimer profile_timer(spec.profiler,
+                                           obs::HostSection::Profile);
+        if (spec.useCheckpoints) {
+            // Boundary zero: every skip has a base.
+            obs::ScopedHostTimer ckpt_timer(
+                spec.profiler, obs::HostSection::Checkpoint);
             ckpts.capture();
         }
+        const InstSeqNum cap = cfg.maxInsts;
+        InstSeqNum n = 0;
+        while (!prof_exec.halted() && (cap == 0 || n < cap)) {
+            const Addr pc = prof_exec.state().pc;
+            const bool ends_block = prof_exec.fastStep();
+            prof.consume(pc, ends_block);
+            ++n;
+            // No checkpoint at the end of the profiled region: no
+            // measurement can start there.
+            if (spec.useCheckpoints && n % ckpt_every == 0 &&
+                !prof_exec.halted() && (cap == 0 || n < cap)) {
+                obs::ScopedHostTimer ckpt_timer(
+                    spec.profiler, obs::HostSection::Checkpoint);
+                ckpts.capture();
+            }
+        }
+        prof.finish();
     }
-    prof.finish();
     const std::vector<BbvInterval> &ivs = prof.intervals();
     const InstSeqNum total = prof_exec.instCount();
+    if (spec.events) {
+        char args[96];
+        std::snprintf(args, sizeof(args),
+                      "\"insts\": %" PRIu64 ", \"checkpoints\": %zu",
+                      static_cast<std::uint64_t>(total), ckpts.size());
+        hostSpan(spec.events, kHostTidProfile, "profile", prof_t0,
+                 args);
+    }
 
     const std::vector<Simpoint> points = selectSimpoints(ivs, spec.k);
     panic_if(points.empty(), "no intervals to sample (empty program?)");
@@ -352,18 +281,48 @@ runSampled(const std::string &workload, unsigned scale,
             << ':' << t.measure;
 
         const bool use_ckpt = spec.useCheckpoints;
+        obs::TraceEventWriter *ev = spec.events;
+        obs::HostProfiler *hp = spec.profiler;
+        const int host_tid = hostTidPoint(i);
+        if (ev) {
+            char name[32];
+            std::snprintf(name, sizeof(name), "simpoint %zu", i);
+            ev->threadName(obs::kTracePidHost, host_tid, name);
+        }
         futs[i] = pool.submitKeyed(
-            key.str(), [&prog, &cfg, &ckpts, t, base, use_ckpt]() {
+            key.str(),
+            [&prog, &cfg, &ckpts, t, base, use_ckpt, ev, hp,
+             host_tid]() {
                 std::unique_ptr<Executor> exec;
                 InstSeqNum residue = t.skip;
-                if (use_ckpt) {
-                    exec = ckpts.restore(base);
-                    residue = t.skip - ckpts.at(base).instCount;
-                } else {
-                    exec = std::make_unique<Executor>(prog);
+                {
+                    obs::ScopedHostTimer timer(
+                        hp, obs::HostSection::Restore);
+                    const double span_t0 = ev ? ev->nowUs() : 0.0;
+                    if (use_ckpt) {
+                        exec = ckpts.restore(base);
+                        residue = t.skip - ckpts.at(base).instCount;
+                    } else {
+                        exec = std::make_unique<Executor>(prog);
+                    }
+                    hostSpan(ev, host_tid, "restore", span_t0);
                 }
-                exec->fastForward(residue);
+                {
+                    obs::ScopedHostTimer timer(
+                        hp, obs::HostSection::FastForward);
+                    const double span_t0 = ev ? ev->nowUs() : 0.0;
+                    exec->fastForward(residue);
+                    char args[48];
+                    std::snprintf(args, sizeof(args),
+                                  "\"insts\": %" PRIu64,
+                                  static_cast<std::uint64_t>(residue));
+                    hostSpan(ev, host_tid, "fastForward", span_t0,
+                             args);
+                }
 
+                obs::ScopedHostTimer timer(hp,
+                                           obs::HostSection::Measure);
+                const double span_t0 = ev ? ev->nowUs() : 0.0;
                 SimConfig run_cfg = cfg;
                 run_cfg.maxInsts = t.warm + t.measure;
                 Processor proc(*exec, prog.name, exec->state().pc,
@@ -380,6 +339,15 @@ runSampled(const std::string &workload, unsigned scale,
                 out.retired = t.measure;
                 out.cycles = full.cycles - c_warm;
                 out.hostSeconds = full.hostSeconds;
+                char args[96];
+                std::snprintf(args, sizeof(args),
+                              "\"warm\": %" PRIu64
+                              ", \"measure\": %" PRIu64
+                              ", \"cycles\": %" PRIu64,
+                              static_cast<std::uint64_t>(t.warm),
+                              static_cast<std::uint64_t>(t.measure),
+                              static_cast<std::uint64_t>(out.cycles));
+                hostSpan(ev, host_tid, "measure", span_t0, args);
                 return out;
             });
     }
@@ -395,6 +363,13 @@ runSampled(const std::string &workload, unsigned scale,
     SimResult::SampleHost sample = res.sample;
     res = assembleEstimate(cfg, prog, total, est_cpi);
     res.sample = sample;
+    if (spec.profiler) {
+        for (const obs::HostProfiler::Row &row :
+             spec.profiler->rows()) {
+            res.hostProfile.push_back(SimResult::HostProfileRow{
+                row.name, row.seconds, row.calls});
+        }
+    }
     res.hostSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
     return res;

@@ -34,6 +34,12 @@
 #include "sim/result.hh"
 #include "tracefile/bbv.hh"
 
+namespace tcfill::obs
+{
+class HostProfiler;
+class TraceEventWriter;
+} // namespace tcfill::obs
+
 namespace tcfill::tracefile
 {
 
@@ -84,6 +90,24 @@ struct SampleSpec
      * residual fast-forward per measurement.
      */
     unsigned checkpointStride = 1;
+
+    /**
+     * Optional Chrome trace-event writer: runSampled appends its
+     * profile/checkpoint spans plus per-simpoint restore /
+     * fast-forward / measure spans on the host timebase
+     * (obs::kTracePidHost; wall-clock us since the writer opened).
+     * Purely observational — the estimate is byte-identical with or
+     * without it. The caller owns the writer (and its close()).
+     */
+    obs::TraceEventWriter *events = nullptr;
+    /**
+     * Optional host self-profiler: runSampled attributes its wall
+     * clock to the profile / checkpoint / restore / fastForward /
+     * measure sections and copies the rows into
+     * SimResult::hostProfile. Thread-safe (pool workers share it);
+     * purely observational.
+     */
+    obs::HostProfiler *profiler = nullptr;
 };
 
 /**

@@ -684,8 +684,15 @@ ExecCore::regStats(stats::Group &group)
                      "cross-cluster bypass");
     group.addCounter("core.load_forwards", load_forwards_,
                      "loads satisfied by store forwarding");
+    // Not a timing fact: the scan scheduler counts one stall per
+    // blocked scan attempt (re-scanned every cycle) while the wakeup
+    // scheduler counts one per RetryAt/ParkOn event, so the value is
+    // scheduler-implementation-dependent even though timing is
+    // bit-identical. Registered non-timing so the obs::Timeline
+    // interval series stays byte-equal across --scheduler variants.
     group.addCounter("core.mem_sched_stalls", mem_sched_stalls_,
-                     "load selects blocked by unknown store addresses");
+                     "load selects blocked by unknown store addresses",
+                     /*timing=*/false);
 }
 
 } // namespace tcfill

@@ -9,16 +9,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 #include "asm/builder.hh"
 #include "common/stats.hh"
+#include "obs/host_prof.hh"
 #include "obs/json.hh"
 #include "obs/pipe_trace.hh"
+#include "obs/timeline.hh"
+#include "obs/trace_events.hh"
 #include "sim/processor.hh"
 #include "sim/runner.hh"
 #include "sim/stats_io.hh"
+#include "tracefile/replay.hh"
 
 namespace tcfill
 {
@@ -414,6 +421,302 @@ TEST(StatsJson, ByteIdenticalAcrossThreadCounts)
     EXPECT_FALSE(v.at("results").arr[0].at("cacheHit").boolean);
     EXPECT_TRUE(v.at("results").arr[4].at("cacheHit").boolean);
 }
+
+// --------------------------------------------------------------------
+// Interval timeline telemetry
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Deterministic JSON body of one result (no host section). */
+std::string
+bodyJson(const SimResult &res)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss);
+    res.toJson(w, /*include_host=*/false);
+    w.finish();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(Timeline, IntervalsTileTheRunExactly)
+{
+    // Run length deliberately not a multiple of the interval: the
+    // trailing partial interval must still close, and the spans must
+    // tile both retired instructions and total cycles with no gap.
+    Program p = loopProgram(400);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.statsInterval = 1000;
+    SimResult res = simulate(p, cfg);
+
+    ASSERT_TRUE(res.timeline);
+    const obs::TimelineData &tl = *res.timeline;
+    EXPECT_EQ(tl.interval, 1000u);
+    EXPECT_NE(res.retired % tl.interval, 0u);
+    ASSERT_FALSE(tl.intervals.empty());
+    ASSERT_FALSE(tl.counters.empty());
+
+    InstSeqNum insts = 0;
+    Cycle cycles = 0;
+    for (const obs::TimelineInterval &iv : tl.intervals) {
+        EXPECT_EQ(iv.startInst, insts);
+        EXPECT_EQ(iv.startCycle, cycles);
+        EXPECT_GT(iv.insts, 0u);
+        EXPECT_LE(iv.insts, tl.interval);
+        EXPECT_EQ(iv.deltas.size(), tl.counters.size());
+        EXPECT_EQ(iv.phase, -1);    // phase tagging off
+        insts += iv.insts;
+        cycles += iv.cycles;
+    }
+    EXPECT_EQ(insts, res.retired);
+    EXPECT_EQ(cycles, res.cycles);
+
+    // Every full interval holds exactly `interval` instructions.
+    for (std::size_t i = 0; i + 1 < tl.intervals.size(); ++i)
+        EXPECT_EQ(tl.intervals[i].insts, tl.interval);
+
+    // The retired-instruction counter's deltas account for every
+    // instruction (it is one of the timing counters by construction).
+    std::size_t retired_col = tl.counters.size();
+    for (std::size_t i = 0; i < tl.counters.size(); ++i) {
+        if (tl.counters[i] == "retire.retired")
+            retired_col = i;
+    }
+    ASSERT_LT(retired_col, tl.counters.size());
+    std::uint64_t retired_sum = 0;
+    for (const obs::TimelineInterval &iv : tl.intervals)
+        retired_sum += iv.deltas[retired_col];
+    EXPECT_EQ(retired_sum, res.retired);
+}
+
+TEST(Timeline, ExactMultipleLeavesNoEmptyTrailingInterval)
+{
+    Program p = loopProgram(2000);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.statsInterval = 1000;
+    cfg.maxInsts = 5000;    // exact multiple of the interval
+    SimResult res = simulate(p, cfg);
+
+    ASSERT_TRUE(res.timeline);
+    ASSERT_EQ(res.retired, 5000u);
+    ASSERT_EQ(res.timeline->intervals.size(), 5u);
+    for (const obs::TimelineInterval &iv : res.timeline->intervals)
+        EXPECT_EQ(iv.insts, 1000u);
+    Cycle cycles = 0;
+    for (const obs::TimelineInterval &iv : res.timeline->intervals)
+        cycles += iv.cycles;
+    EXPECT_EQ(cycles, res.cycles);
+}
+
+TEST(Timeline, PhaseLabelsInRangeAndFirstAppearanceOrdered)
+{
+    Program p = loopProgram(2000);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.statsInterval = 1000;
+    cfg.statsPhases = 3;
+    SimResult res = simulate(p, cfg);
+
+    ASSERT_TRUE(res.timeline);
+    const obs::TimelineData &tl = *res.timeline;
+    ASSERT_FALSE(tl.intervals.empty());
+    // Clusters are relabeled by first appearance: the opening
+    // interval is always phase 0, and a label can only appear after
+    // every smaller label has.
+    EXPECT_EQ(tl.intervals.front().phase, 0);
+    int seen_max = -1;
+    for (const obs::TimelineInterval &iv : tl.intervals) {
+        ASSERT_GE(iv.phase, 0);
+        ASSERT_LT(iv.phase, 3);
+        EXPECT_LE(iv.phase, seen_max + 1);
+        seen_max = std::max(seen_max, iv.phase);
+    }
+}
+
+TEST(Timeline, ByteIdenticalAcrossSchedulers)
+{
+    // mem_sched_stalls counts differently under scan and wakeup
+    // (per-attempt vs per-event); it is registered as a non-timing
+    // diagnostic precisely so this holds.
+    Program p = loopProgram(1500);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.statsInterval = 500;
+    cfg.statsPhases = 2;
+
+    SimConfig wakeup = cfg;
+    wakeup.core.scheduler = SchedulerKind::Wakeup;
+    SimConfig scan = cfg;
+    scan.core.scheduler = SchedulerKind::Scan;
+
+    EXPECT_EQ(bodyJson(simulate(p, wakeup)),
+              bodyJson(simulate(p, scan)));
+}
+
+TEST(Timeline, ByteIdenticalAcrossThreadCounts)
+{
+    // Through the SimRunner pool (cached copies share the immutable
+    // TimelineData): any -j width serializes the same bytes.
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = "tl";
+    cfg.maxInsts = 20'000;
+    cfg.statsInterval = 4000;
+    cfg.statsPhases = 2;
+
+    auto doc = [&cfg](unsigned threads) {
+        SimRunner pool(threads);
+        std::vector<SimResult> results;
+        for (const char *w : {"compress", "li"})
+            results.push_back(pool.run(w, cfg));
+        std::ostringstream ss;
+        writeStatsJson(ss, "test_obs", results, nullptr,
+                       /*include_host=*/false);
+        return ss.str();
+    };
+    const std::string doc1 = doc(1);
+    EXPECT_EQ(doc1, doc(8));
+    // And the section actually made it into the document.
+    JsonValue v = JsonValue::parse(doc1);
+    const JsonValue &tl = v.at("results").arr[0].at("timeline");
+    EXPECT_EQ(tl.at("schema").str, "tcfill-timeline-v1");
+    EXPECT_EQ(tl.at("interval").u64(), 4000u);
+    EXPECT_GT(tl.at("intervals").arr.size(), 0u);
+}
+
+TEST(Timeline, RecordReplayIdentical)
+{
+    const std::string path =
+        ::testing::TempDir() + "tcfill_timeline_rr.tctrace";
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = "tl-rr";
+    cfg.maxInsts = 20'000;
+    cfg.statsInterval = 3000;
+    cfg.statsPhases = 2;
+
+    SimResult live = tracefile::recordTrace("compress", 1, cfg, path);
+    SimResult replay = tracefile::replayTrace(path, cfg);
+    ASSERT_TRUE(live.timeline);
+    ASSERT_TRUE(replay.timeline);
+    // The body differs only in mode provenance; neutralize it and
+    // require byte identity (timeline included).
+    live.mode = replay.mode = "x";
+    EXPECT_EQ(bodyJson(live), bodyJson(replay));
+    std::remove(path.c_str());
+}
+
+TEST(Timeline, TelemetryNeverPerturbsTiming)
+{
+    // The acceptance bar for the whole subsystem: timeline
+    // collection, phase tagging and the host profiler are all
+    // observational — the simulated machine is bit-identical.
+    Program p = loopProgram(800);
+    SimConfig plain_cfg = SimConfig::withOpts(FillOptimizations::all());
+    SimResult base = simulate(p, plain_cfg);
+
+    SimConfig tl_cfg = plain_cfg;
+    tl_cfg.statsInterval = 700;
+    tl_cfg.statsPhases = 2;
+    obs::HostProfiler prof;
+    Processor proc(p, tl_cfg);
+    proc.setHostProfiler(&prof);
+    SimResult r = proc.run();
+
+    EXPECT_EQ(r.retired, base.retired);
+    EXPECT_EQ(r.cycles, base.cycles);
+    EXPECT_EQ(r.tcHits, base.tcHits);
+    EXPECT_EQ(r.mispredicts, base.mispredicts);
+    EXPECT_EQ(r.dynMoves, base.dynMoves);
+    EXPECT_EQ(r.dynReassoc, base.dynReassoc);
+    // The profiler actually measured the stage ticks it wrapped.
+    bool saw_retire = false;
+    for (const obs::HostProfiler::Row &row : prof.rows())
+        saw_retire |= std::string_view(row.name) == "retire";
+    EXPECT_TRUE(saw_retire);
+}
+
+// --------------------------------------------------------------------
+// Chrome trace-event export
+// --------------------------------------------------------------------
+
+TEST(TraceEvents, WriterEmitsStrictDocument)
+{
+    std::ostringstream ss;
+    {
+        obs::TraceEventWriter w(ss);
+        w.processName(obs::kTracePidSim, "sim");
+        w.threadName(obs::kTracePidSim, 1, "fetch");
+        w.complete(obs::kTracePidSim, 1, "0x100", 10.0, 5.0,
+                   "\"seq\": 1");
+        w.instant(obs::kTracePidSim, 1, "squash", 12.0);
+        w.counter(obs::kTracePidSim, "in-flight", 13.0, "insts", 7.0);
+        EXPECT_EQ(w.events(), 5u);
+        w.close();
+        w.close();    // idempotent
+    }
+    JsonValue v = JsonValue::parse(ss.str());
+    const JsonValue &evs = v.at("traceEvents");
+    ASSERT_TRUE(evs.isArray());
+    ASSERT_EQ(evs.arr.size(), 5u);
+    for (const JsonValue &e : evs.arr) {
+        EXPECT_FALSE(e.at("ph").str.empty());
+        EXPECT_GT(e.at("pid").u64(), 0u);
+    }
+    EXPECT_EQ(evs.arr[2].at("ph").str, "X");
+    EXPECT_EQ(evs.arr[2].at("ts").num(), 10.0);
+    EXPECT_EQ(evs.arr[2].at("dur").num(), 5.0);
+    EXPECT_EQ(evs.arr[2].at("args").at("seq").u64(), 1u);
+    EXPECT_EQ(evs.arr[3].at("s").str, "t");
+    EXPECT_EQ(evs.arr[4].at("args").at("insts").num(), 7.0);
+}
+
+#if TCFILL_PIPE_TRACE_ENABLED
+
+TEST(TraceEvents, TracerRendersPipelineAndPreservesTiming)
+{
+    Program p = loopProgram(500);
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    SimResult base = simulate(p, cfg);
+
+    std::ostringstream ss;
+    obs::TraceEventWriter w(ss);
+    obs::TraceEventTracer tracer(w);
+    Processor proc(p, cfg);
+    proc.setTracer(&tracer);
+    SimResult r = proc.run();
+    tracer.finish();
+    w.close();
+
+    EXPECT_EQ(r.retired, base.retired);
+    EXPECT_EQ(r.cycles, base.cycles);
+
+    JsonValue v = JsonValue::parse(ss.str());
+    const JsonValue &evs = v.at("traceEvents");
+    ASSERT_TRUE(evs.isArray());
+    std::size_t spans = 0, counters = 0, meta = 0;
+    double max_end = 0.0;
+    for (const JsonValue &e : evs.arr) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "X") {
+            ++spans;
+            EXPECT_GE(e.at("dur").num(), 0.0);
+            max_end = std::max(max_end,
+                               e.at("ts").num() + e.at("dur").num());
+        } else if (ph == "C") {
+            ++counters;
+        } else if (ph == "M") {
+            ++meta;
+        }
+    }
+    // Every retired instruction produces at least one segment span.
+    EXPECT_GE(spans, static_cast<std::size_t>(base.retired));
+    EXPECT_GT(counters, 0u);
+    EXPECT_GE(meta, 9u);    // 2 process names + 7 thread names
+    // Sim timebase: 1 cycle = 1us, so no span outlives the run.
+    EXPECT_LE(max_end, static_cast<double>(base.cycles));
+}
+
+#endif // TCFILL_PIPE_TRACE_ENABLED
 
 TEST(StatsJson, HostSectionsAppearOnRequest)
 {

@@ -141,6 +141,10 @@ TEST(SimRunner, ConfigKeyCoversEveryKnob)
         {"rasDepth", [](SimConfig &c) { c.rasDepth = 2; }},
         {"maxInsts", [](SimConfig &c) { c.maxInsts = 123; }},
         {"maxCycles", [](SimConfig &c) { c.maxCycles = 456; }},
+        // Timeline telemetry changes the result document (not its
+        // timing), so it must key the cache too.
+        {"statsInterval", [](SimConfig &c) { c.statsInterval = 777; }},
+        {"statsPhases", [](SimConfig &c) { c.statsPhases = 5; }},
         // FillUnitConfig.
         {"fill.latency", [](SimConfig &c) { c.fill.latency = 9; }},
         {"fill.packTraces",

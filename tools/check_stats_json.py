@@ -6,6 +6,17 @@ Usage:
         Validate one document against the tcfill-stats-v1 schema:
         required fields and types, internal consistency (ipc ==
         retired/cycles, rates inside [0, 1], sweep counters add up).
+        Optional sections are validated when present: the per-result
+        `timeline` series (tcfill-timeline-v1: intervals must tile
+        retired/cycles exactly, delta rows must match the counter
+        column set, phase labels must be in range), the sampled-run
+        host.sample accounting and the self-profiler's host.profile.
+
+    check_stats_json.py EVENTS.json --validate-trace-events
+        Validate a Chrome/Perfetto trace-event export (--trace-events):
+        top-level {"traceEvents": [...]}, every event carries
+        ph/pid/tid/name, non-metadata events carry ts, complete events
+        carry dur, and both known process tracks are named.
 
     check_stats_json.py OLD.json NEW.json [--ipc-tol FRAC]
         Validate both documents, then compare IPC per
@@ -54,6 +65,13 @@ import math
 import sys
 
 SCHEMA = "tcfill-stats-v1"
+TIMELINE_SCHEMA = "tcfill-timeline-v1"
+
+# host.sample: sampled-run mechanics accounting (mode == "sample").
+SAMPLE_HOST_FIELDS = (
+    "checkpoints", "checkpointPages", "restores", "restoredPages",
+    "ffInsts", "simpoints", "jobs",
+)
 
 # field name -> required type(s). bool is checked before int because
 # bool is a subclass of int in Python.
@@ -150,12 +168,123 @@ class Checker:
         for f in RATE_FIELDS:
             if not 0.0 <= r[f] <= 1.0:
                 self.error(where, f"'{f}' = {r[f]} outside [0, 1]")
+        if "timeline" in r:
+            self.check_timeline(where, r)
         if "host" in r:
-            h = r["host"]
-            self.check_type(f"{where}.host", h, "hostSeconds",
-                            (int, float))
-            self.check_type(f"{where}.host", h, "simInstsPerSec",
-                            (int, float))
+            self.check_host(where, r)
+
+    def check_timeline(self, where, r):
+        tl = r["timeline"]
+        where = f"{where}.timeline"
+        if not isinstance(tl, dict):
+            self.error(where, "not an object")
+            return
+        if tl.get("schema") != TIMELINE_SCHEMA:
+            self.error(where, f"expected schema '{TIMELINE_SCHEMA}', "
+                              f"got {tl.get('schema')!r}")
+        for f in ("interval", "phases"):
+            self.check_type(where, tl, f, int)
+        counters = tl.get("counters")
+        if not isinstance(counters, list) or \
+                not all(isinstance(c, str) for c in counters):
+            self.error(where, "counters missing or not a string array")
+            return
+        ivs = tl.get("intervals")
+        if not isinstance(ivs, list):
+            self.error(where, "intervals missing or not an array")
+            return
+        if self.errors:
+            return
+        if tl["interval"] <= 0:
+            self.error(where, f"interval {tl['interval']} <= 0")
+        phases = tl["phases"]
+        next_inst, next_cycle = 0, 0
+        for i, iv in enumerate(ivs):
+            w = f"{where}.intervals[{i}]"
+            if not isinstance(iv, dict):
+                self.error(w, "not an object")
+                return
+            for f in ("startInst", "insts", "startCycle", "cycles",
+                      "phase"):
+                if not self.check_type(w, iv, f, int):
+                    return
+            if not self.check_type(w, iv, "ipc", (int, float)):
+                return
+            # Intervals tile the run: each starts where its
+            # predecessor ended, in both instructions and cycles.
+            if iv["startInst"] != next_inst:
+                self.error(w, f"startInst {iv['startInst']}, "
+                              f"expected {next_inst}")
+            if iv["startCycle"] != next_cycle:
+                self.error(w, f"startCycle {iv['startCycle']}, "
+                              f"expected {next_cycle}")
+            if iv["insts"] <= 0:
+                self.error(w, f"insts {iv['insts']} <= 0")
+            next_inst = iv["startInst"] + iv["insts"]
+            next_cycle = iv["startCycle"] + iv["cycles"]
+            if iv["cycles"] > 0:
+                want = iv["insts"] / iv["cycles"]
+                if not math.isclose(iv["ipc"], want, rel_tol=1e-12):
+                    self.error(w, f"ipc {iv['ipc']} != "
+                                  f"insts/cycles {want}")
+            elif iv["ipc"] != 0:
+                self.error(w, "ipc nonzero with zero cycles")
+            if phases > 0:
+                if not 0 <= iv["phase"] < phases:
+                    self.error(w, f"phase {iv['phase']} outside "
+                                  f"[0, {phases})")
+            elif iv["phase"] != -1:
+                self.error(w, f"phase {iv['phase']} with phase "
+                              f"tagging off (expected -1)")
+            deltas = iv.get("deltas")
+            if not isinstance(deltas, list) or \
+                    len(deltas) != len(counters):
+                self.error(w, "deltas missing or length != counters")
+            elif not all(isinstance(d, int) and
+                         not isinstance(d, bool) and d >= 0
+                         for d in deltas):
+                self.error(w, "deltas hold a non-counter value")
+        if next_inst != r["retired"]:
+            self.error(where, f"interval insts sum to {next_inst}, "
+                              f"result retired {r['retired']}")
+        if next_cycle != r["cycles"]:
+            self.error(where, f"interval cycles sum to {next_cycle}, "
+                              f"result cycles {r['cycles']}")
+
+    def check_host(self, where, r):
+        h = r["host"]
+        where = f"{where}.host"
+        self.check_type(where, h, "hostSeconds", (int, float))
+        self.check_type(where, h, "simInstsPerSec", (int, float))
+        if "profile" in h:
+            prof = h["profile"]
+            if not isinstance(prof, dict):
+                self.error(f"{where}.profile", "not an object")
+            else:
+                for name, row in prof.items():
+                    w = f"{where}.profile.{name}"
+                    if not isinstance(row, dict):
+                        self.error(w, "not an object")
+                        continue
+                    self.check_type(w, row, "seconds", (int, float))
+                    self.check_type(w, row, "calls", int)
+        if r["mode"] == "sample":
+            if "sample" not in h:
+                self.error(where,
+                           "sampled result missing host.sample")
+                return
+            s = h["sample"]
+            for f in SAMPLE_HOST_FIELDS:
+                self.check_type(f"{where}.sample", s, f, int)
+            if self.errors:
+                return
+            if s["jobs"] < 1:
+                self.error(f"{where}.sample", "jobs < 1")
+            if s["simpoints"] < 1:
+                self.error(f"{where}.sample", "simpoints < 1")
+            if s["restores"] > 0 and s["checkpoints"] == 0:
+                self.error(f"{where}.sample",
+                           "restores without checkpoints")
 
     def check_document(self, doc):
         if not isinstance(doc, dict):
@@ -315,6 +444,81 @@ def compare_timing(scan_path, scan, wakeup_path, wakeup):
                              "scheduler timing identity")
 
 
+# ---- trace-event export validation --------------------------------------
+
+# Event phases tcfill emits: complete spans, instants, counters,
+# metadata. Anything else means the writer grew without this check.
+TRACE_EVENT_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_trace_events(path):
+    doc = load(path)
+    errors = []
+
+    def error(i, msg):
+        errors.append(f"{path}: traceEvents[{i}]: {msg}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print(f"{path}: top level is not {{\"traceEvents\": [...]}}",
+              file=sys.stderr)
+        return False
+    evs = doc["traceEvents"]
+    if not isinstance(evs, list):
+        print(f"{path}: traceEvents is not an array", file=sys.stderr)
+        return False
+    named_pids = set()
+    for i, e in enumerate(evs):
+        if not isinstance(e, dict):
+            error(i, "not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in TRACE_EVENT_PHASES:
+            error(i, f"unknown ph {ph!r}")
+            continue
+        for f in ("pid", "tid"):
+            if not isinstance(e.get(f), int) or \
+                    isinstance(e.get(f), bool):
+                error(i, f"missing or non-integer '{f}'")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            error(i, "missing or empty 'name'")
+        if ph != "M":
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or \
+                    isinstance(ts, bool):
+                error(i, "missing or non-numeric 'ts'")
+            elif ts < 0:
+                error(i, f"negative ts {ts}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or \
+                    isinstance(dur, bool):
+                error(i, "complete event missing numeric 'dur'")
+            elif dur < 0:
+                error(i, f"negative dur {dur}")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            error(i, f"instant scope {e.get('s')!r} not in t/p/g")
+        if ph == "C" and not isinstance(e.get("args"), dict):
+            error(i, "counter event missing args object")
+        if ph == "M" and e.get("name") == "process_name":
+            named_pids.add(e.get("pid"))
+    # Both emitters name their process track up front; an export with
+    # payload events on an unnamed pid points at a wiring bug.
+    payload_pids = {e.get("pid") for e in evs
+                    if isinstance(e, dict) and e.get("ph") != "M"}
+    for pid in sorted(p for p in payload_pids if p is not None):
+        if pid not in named_pids:
+            errors.append(f"{path}: pid {pid} has events but no "
+                          f"process_name metadata")
+    for e in errors[:20]:
+        print(e, file=sys.stderr)
+    if len(errors) > 20:
+        print(f"{path}: ... and {len(errors) - 20} more errors",
+              file=sys.stderr)
+    if not errors:
+        print(f"{path}: OK ({len(evs)} trace events)")
+    return not errors
+
+
 # ---- perf-smoke gate ----------------------------------------------------
 
 BASELINE_SCHEMA = "tcfill-bench-baseline-v1"
@@ -402,12 +606,19 @@ def main():
     ap.add_argument("--perf-tol", type=float, default=0.25,
                     help="relative throughput drop tolerated by "
                          "--compare-perf (default 0.25)")
+    ap.add_argument("--validate-trace-events", action="store_true",
+                    help="validate Chrome/Perfetto trace-event "
+                         "exports (--trace-events files) instead of "
+                         "stats documents")
     opts = ap.parse_args()
     modes = [m for m in ("--compare-replay", "--compare-timing",
-                         "--compare-perf")
+                         "--compare-perf", "--validate-trace-events")
              if getattr(opts, m[2:].replace("-", "_"))]
     if len(modes) > 1:
         ap.error("pick one of " + ", ".join(modes))
+    if opts.validate_trace_events:
+        ok = all([validate_trace_events(p) for p in opts.files])
+        sys.exit(0 if ok else 1)
     if opts.compare_perf:
         if len(opts.files) < 2:
             ap.error("--compare-perf needs a baseline and at least "

@@ -29,3 +29,10 @@ mkdir -p "$OUT"
 "$TCFILL" --max-insts 200000 --opts all \
     --sample 4:10000 --sample-warmup 5000 --sample-jobs 1 \
     --stats-json "$OUT/compress-sample.json" compress > /dev/null
+
+# Interval timeline with BBV phase tagging (DESIGN.md §15): pins the
+# timing-counter column set, the interval boundary convention and the
+# deterministic k-means phase labels in one document.
+"$TCFILL" -j 1 --max-insts 20000 --opts all \
+    --stats-interval 5000 --stats-phases 3 \
+    --stats-json "$OUT/compress-timeline.json" compress > /dev/null

@@ -33,9 +33,22 @@
  *                          one record per workload (byte-identical
  *                          across reruns and -j values by default)
  *   --stats-host           include wall-clock sections in --stats-json
+ *                          (and, for in-process runs, the host
+ *                          self-profiler's host.profile section)
+ *   --stats-interval N     timeline telemetry: snapshot every
+ *                          timing-counter delta each N retired insts
+ *                          into a `timeline` section of --stats-json
+ *                          (deterministic; DESIGN.md §15)
+ *   --stats-phases K       tag timeline intervals with one of K BBV
+ *                          phase clusters (requires --stats-interval)
+ *   --trace-events FILE    write a Chrome/Perfetto trace-event JSON
+ *                          file (per-stage spans, fill finalizations,
+ *                          squash episodes; single workload — with
+ *                          --sample, host checkpoint/restore spans)
  *   --pipe-trace FILE      write a JSONL pipeline lifecycle trace
  *                          (single workload; see DESIGN.md §9)
  *   --progress             live sweep progress on stderr
+ *   --help, -h             full option descriptions
  *
  * Trace capture / replay / sampling (single workload; DESIGN.md §12):
  *   --record FILE          run live and capture the committed stream
@@ -72,8 +85,10 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/host_prof.hh"
 #include "obs/pipe_trace.hh"
 #include "obs/progress.hh"
+#include "obs/trace_events.hh"
 #include "sim/processor.hh"
 #include "sim/runner.hh"
 #include "sim/stats_io.hh"
@@ -135,12 +150,98 @@ usage()
         "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
         "  --scheduler wakeup|scan\n"
         "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
+        "  --stats-interval N | --stats-phases K | --trace-events FILE\n"
         "  --pipe-trace FILE | --progress\n"
         "  --record FILE | --replay FILE | --bbv FILE\n"
         "  --bbv-interval N | --sample K:INTERVAL | --sample-warmup N\n"
         "  --sample-jobs N | --sample-no-checkpoint\n"
-        "  --sample-ckpt-stride N | --sample-reference\n";
+        "  --sample-ckpt-stride N | --sample-reference\n"
+        "run `tcfill_sim --help` for full option descriptions\n";
     std::exit(2);
+}
+
+[[noreturn]] void
+help()
+{
+    std::cout <<
+        "usage: tcfill_sim [options] [workload[,workload...] | all]\n"
+        "\n"
+        "General:\n"
+        "  --list                 list available workloads and exit\n"
+        "  --list-workloads       bare workload names, one per line\n"
+        "  --threads N, -j N      worker threads for multi-workload\n"
+        "                         runs (default: all cores;\n"
+        "                         TCFILL_THREADS also honored)\n"
+        "  --scale N              workload scale factor (default 1)\n"
+        "  --max-insts N          retire at most N instructions\n"
+        "\n"
+        "Machine configuration:\n"
+        "  --opts LIST            comma list of moves,reassoc,scaled,\n"
+        "                         placement,dce — or all/none/extended\n"
+        "  --fill-latency N       fill pipeline latency (default 5)\n"
+        "  --no-trace-cache       fetch from the I-cache only\n"
+        "  --no-inactive-issue    disable inactive issue\n"
+        "  --no-promotion         disable branch promotion\n"
+        "  --tc-entries N         trace cache entries (default 2048)\n"
+        "  --scheduler KIND       wakeup (default, event-driven) or\n"
+        "                         scan (per-cycle rescan reference;\n"
+        "                         identical timing)\n"
+        "\n"
+        "Statistics and telemetry (DESIGN.md §9, §15):\n"
+        "  --stats                dump full component statistics\n"
+        "  --stats-dump           dump component statistics as JSON\n"
+        "  --stats-json FILE      tcfill-stats-v1 document, one record\n"
+        "                         per workload (byte-identical across\n"
+        "                         reruns and -j values by default)\n"
+        "  --stats-host           include wall-clock host sections in\n"
+        "                         --stats-json; in-process runs also\n"
+        "                         get the host self-profiler's\n"
+        "                         host.profile stage breakdown\n"
+        "  --stats-interval N     timeline telemetry: snapshot every\n"
+        "                         timing-counter delta each N retired\n"
+        "                         instructions into a deterministic\n"
+        "                         `timeline` JSON section\n"
+        "  --stats-phases K       tag timeline intervals with one of K\n"
+        "                         BBV phase clusters (SimPoint-style;\n"
+        "                         requires --stats-interval)\n"
+        "  --trace-events FILE    Chrome/Perfetto trace-event JSON:\n"
+        "                         per-stage pipeline spans, fill-unit\n"
+        "                         finalizations, squash episodes and a\n"
+        "                         window-occupancy track (single\n"
+        "                         workload; with --sample, host-side\n"
+        "                         checkpoint/restore/measure spans)\n"
+        "  --pipe-trace FILE      JSONL pipeline lifecycle trace\n"
+        "                         (single workload)\n"
+        "  --progress             live sweep progress on stderr\n"
+        "\n"
+        "Trace capture / replay (DESIGN.md §12):\n"
+        "  --record FILE          run live and capture the committed\n"
+        "                         stream to a tcfill-trace-v1 file\n"
+        "  --replay FILE          replay a captured trace (workload\n"
+        "                         comes from the trace header)\n"
+        "  --bbv FILE             write a tcfill-bbv-v1 basic-block\n"
+        "                         vector profile (functional run)\n"
+        "  --bbv-interval N       BBV interval length (default 100000)\n"
+        "\n"
+        "BBV sampling (DESIGN.md §14):\n"
+        "  --sample K:INTERVAL    BBV-sampled timing estimate: K\n"
+        "                         clusters over INTERVAL-instruction\n"
+        "                         intervals\n"
+        "  --sample-warmup N      warmup instructions before each\n"
+        "                         sampled interval (default 50000)\n"
+        "  --sample-jobs N        measurement worker threads (default:\n"
+        "                         all cores; the estimate is\n"
+        "                         byte-identical at every job count)\n"
+        "  --sample-no-checkpoint functionally re-execute each\n"
+        "                         measurement prefix instead of\n"
+        "                         restoring checkpoints\n"
+        "  --sample-ckpt-stride N checkpoint every N interval\n"
+        "                         boundaries (default 1; wider strides\n"
+        "                         journal fewer pages, fast-forward\n"
+        "                         more)\n"
+        "  --sample-reference     serial two-runs-per-point reference\n"
+        "                         implementation (correctness oracle)\n";
+    std::exit(0);
 }
 
 std::vector<std::string>
@@ -184,6 +285,7 @@ main(int argc, char **argv)
     bool show_progress = false;
     std::string stats_json;
     std::string pipe_trace;
+    std::string trace_events;
     std::string record_path;
     std::string replay_path;
     std::string bbv_path;
@@ -201,7 +303,9 @@ main(int argc, char **argv)
                 usage();
             return argv[++i];
         };
-        if (arg == "--list") {
+        if (arg == "--help" || arg == "-h") {
+            help();
+        } else if (arg == "--list") {
             for (const auto &w : workloads::suite()) {
                 std::printf("%-14s (%-5s) %s\n", w.name.c_str(),
                             w.shortName.c_str(), w.traits.c_str());
@@ -256,6 +360,15 @@ main(int argc, char **argv)
             stats_json = next();
         } else if (arg == "--stats-host") {
             stats_host = true;
+        } else if (arg == "--stats-interval") {
+            cfg.statsInterval = std::strtoull(next(), nullptr, 10);
+            fatal_if(cfg.statsInterval == 0,
+                     "--stats-interval must be positive");
+        } else if (arg == "--stats-phases") {
+            cfg.statsPhases = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--trace-events") {
+            trace_events = next();
         } else if (arg == "--pipe-trace") {
             pipe_trace = next();
         } else if (arg == "--record") {
@@ -306,6 +419,12 @@ main(int argc, char **argv)
         }
     }
 
+    fatal_if(cfg.statsPhases != 0 && cfg.statsInterval == 0,
+             "--stats-phases requires --stats-interval");
+    fatal_if(!trace_events.empty() && !pipe_trace.empty(),
+             "--trace-events and --pipe-trace are mutually exclusive "
+             "(both claim the pipeline tracer seam)");
+
     const int trace_modes = (record_path.empty() ? 0 : 1) +
         (replay_path.empty() ? 0 : 1) + (bbv_path.empty() ? 0 : 1) +
         (do_sample ? 1 : 0);
@@ -315,6 +434,25 @@ main(int argc, char **argv)
         fatal_if(dump_stats || stats_dump_json || !pipe_trace.empty(),
                  "--stats/--stats-dump/--pipe-trace do not combine "
                  "with trace capture/replay/sampling modes");
+        fatal_if(!trace_events.empty() && !do_sample,
+                 "--trace-events combines with normal runs and "
+                 "--sample only");
+
+        // Sampled-run host telemetry: checkpoint/restore/fast-forward
+        // spans on the host timebase, plus the self-profiler's
+        // section breakdown. Neither affects the estimate.
+        std::ofstream events_os;
+        std::unique_ptr<obs::TraceEventWriter> events;
+        if (!trace_events.empty()) {
+            events_os.open(trace_events);
+            fatal_if(!events_os, "cannot open '%s'",
+                     trace_events.c_str());
+            events = std::make_unique<obs::TraceEventWriter>(events_os);
+            sample_spec.events = events.get();
+        }
+        obs::HostProfiler host_prof;
+        if (stats_host && do_sample)
+            sample_spec.profiler = &host_prof;
 
         SimResult res;
         if (!replay_path.empty()) {
@@ -385,11 +523,15 @@ main(int argc, char **argv)
 
     std::vector<std::string> names = parseWorkloads(workload);
 
-    const bool in_process =
-        dump_stats || stats_dump_json || !pipe_trace.empty();
-    if (names.size() == 1 && in_process) {
-        // Component statistics and the pipeline tracer need the live
-        // Processor, so this path runs in-process.
+    const bool in_process = dump_stats || stats_dump_json ||
+        !pipe_trace.empty() || !trace_events.empty();
+    // --stats-host on a single workload also runs in-process so the
+    // host self-profiler can attach; on a sweep it stays on the pool
+    // path (host sections there carry wall clock only, no profile).
+    if (names.size() == 1 && (in_process || stats_host)) {
+        // Component statistics, the pipeline tracers and the host
+        // self-profiler need the live Processor, so this path runs
+        // in-process.
         Program prog = workloads::build(names[0], scale);
         Processor proc(prog, cfg);
 
@@ -408,7 +550,40 @@ main(int argc, char **argv)
             proc.setTracer(tracer.get());
         }
 
+        std::ofstream events_os;
+        std::unique_ptr<obs::TraceEventWriter> events;
+        std::unique_ptr<obs::TraceEventTracer> events_tracer;
+        if (!trace_events.empty()) {
+#if !TCFILL_PIPE_TRACE_ENABLED
+            warn("tracer hooks compiled out (TCFILL_PIPE_TRACE=OFF): "
+                 "'%s' will only hold metadata events",
+                 trace_events.c_str());
+#endif
+            events_os.open(trace_events);
+            fatal_if(!events_os, "cannot open '%s'",
+                     trace_events.c_str());
+            events =
+                std::make_unique<obs::TraceEventWriter>(events_os);
+            events_tracer =
+                std::make_unique<obs::TraceEventTracer>(*events);
+            proc.setTracer(events_tracer.get());
+        }
+
+        obs::HostProfiler host_prof;
+        if (stats_host)
+            proc.setHostProfiler(&host_prof);
+
         SimResult res = proc.run();
+        if (events_tracer) {
+            events_tracer->finish();
+            events->close();
+        }
+        if (stats_host) {
+            for (const auto &row : host_prof.rows()) {
+                res.hostProfile.push_back(SimResult::HostProfileRow{
+                    row.name, row.seconds, row.calls});
+            }
+        }
         res.dump(std::cout);
         std::cout << "\n";
         if (dump_stats)
@@ -424,8 +599,8 @@ main(int argc, char **argv)
         return 0;
     }
     fatal_if(in_process && names.size() > 1,
-             "--stats/--stats-dump/--pipe-trace work with a single "
-             "workload only");
+             "--stats/--stats-dump/--pipe-trace/--trace-events work "
+             "with a single workload only");
 
     // One simulation per workload, executed concurrently on the
     // runner pool; results print in the requested order.
