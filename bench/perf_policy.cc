@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Fill-policy overhead benchmark (google-benchmark): simulator
+ * throughput with each pass-selection policy against the static
+ * configuration. Guards the policy seam's cost contract (DESIGN.md
+ * §16): with --fill-policy=static the hot loop gains only a cached
+ * boolean test per retire (the golden fixtures already pin that the
+ * *simulated* machine is untouched), and the adaptive policies'
+ * machinery — per-retire signal delivery, the online BBV tracker and
+ * window closing — must stay within a few percent.
+ *
+ * `--check-overhead` runs an interleaved A/B of static vs a
+ * uniform-map oracle (the heaviest always-on machinery: signals +
+ * tracker, while provably simulating the identical machine) and exits
+ * non-zero past the gate; it also fails if the uniform oracle
+ * perturbs retired/cycles, re-asserting the seam identity the tests
+ * pin. CI's perf-smoke job calls this form, because an interleaved
+ * ratio is robust to absolute host-speed variance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "fill/policy.hh"
+
+using namespace tcfill;
+using namespace tcfill::bench;
+
+namespace
+{
+
+constexpr InstSeqNum kBenchInsts = 50'000;
+constexpr InstSeqNum kWindow = 10'000;
+
+SimConfig
+policyConfig(FillPolicyKind kind, const std::string &oracle_map = "")
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.maxInsts = kBenchInsts;
+    cfg.fill.policy.kind = kind;
+    cfg.fill.policy.windowInsts = kWindow;
+    cfg.fill.policy.oracleMap = oracle_map;
+    return cfg;
+}
+
+void
+recordRates(benchmark::State &state, const char *label,
+            std::uint64_t insts, SimResult last)
+{
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    last.config = label;
+    recordResult(last);
+}
+
+void
+runPolicy(benchmark::State &state, const char *label,
+          const SimConfig &cfg)
+{
+    Program prog = workloads::build("compress", 1);
+    std::uint64_t insts = 0;
+    SimResult last;
+    for (auto _ : state) {
+        SimResult r = simulate(prog, cfg);
+        insts += r.retired;
+        benchmark::DoNotOptimize(r.cycles);
+        last = std::move(r);
+    }
+    recordRates(state, label, insts, std::move(last));
+}
+
+/** The reference: the pre-policy hot path (StaticPolicy). */
+void
+BM_PolicyStatic(benchmark::State &state)
+{
+    runPolicy(state, "BM_PolicyStatic",
+              policyConfig(FillPolicyKind::Static));
+}
+
+/**
+ * Windowed machinery at full weight, zero decision changes: signal
+ * delivery + BBV tracking + window closes, identical simulated
+ * machine. The purest measure of the adaptive plumbing's cost.
+ */
+void
+BM_PolicyOracleUniform(benchmark::State &state)
+{
+    runPolicy(state, "BM_PolicyOracleUniform",
+              policyConfig(FillPolicyKind::Oracle,
+                           "*=" + std::to_string(kPassMaskAll)));
+}
+
+/** Explore-then-exploit: tracker plus actual mask switching. */
+void
+BM_PolicyPhase(benchmark::State &state)
+{
+    runPolicy(state, "BM_PolicyPhase",
+              policyConfig(FillPolicyKind::Phase));
+}
+
+/** Feedback: windowing without the tracker (cheapest adaptive). */
+void
+BM_PolicyFeedback(benchmark::State &state)
+{
+    runPolicy(state, "BM_PolicyFeedback",
+              policyConfig(FillPolicyKind::Feedback));
+}
+
+// --------------------------------------------------------------------
+// --check-overhead: the CI gate
+// --------------------------------------------------------------------
+
+double
+medianSeconds(std::vector<double> &xs)
+{
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/**
+ * Interleaved A/B: static vs uniform-map oracle medians over @p reps
+ * pairs (plus one warmup pair each). The uniform oracle runs the full
+ * adaptive machinery while provably simulating the identical machine,
+ * so the ratio isolates the seam's cost — and any retired/cycles
+ * divergence is a correctness failure, not noise.
+ */
+int
+checkOverhead(double max_overhead)
+{
+    constexpr int reps = 9;
+    Program prog = workloads::build("compress", 1);
+    SimConfig static_cfg = policyConfig(FillPolicyKind::Static);
+    static_cfg.maxInsts = 200'000;
+    SimConfig oracle_cfg =
+        policyConfig(FillPolicyKind::Oracle,
+                     "*=" + std::to_string(kPassMaskAll));
+    oracle_cfg.maxInsts = 200'000;
+
+    simulate(prog, static_cfg);    // warmup (page cache, branch history)
+    simulate(prog, oracle_cfg);
+
+    std::vector<double> st, orc;
+    InstSeqNum retired = 0;
+    for (int i = 0; i < reps; ++i) {
+        SimResult a = simulate(prog, static_cfg);
+        SimResult b = simulate(prog, oracle_cfg);
+        st.push_back(a.hostSeconds);
+        orc.push_back(b.hostSeconds);
+        retired = a.retired;
+        // The seam identity: a uniform-map oracle must simulate the
+        // exact machine the static configuration does.
+        if (a.retired != b.retired || a.cycles != b.cycles) {
+            std::fprintf(stderr,
+                         "FAIL: uniform oracle perturbed the "
+                         "simulation (%llu/%llu insts, %llu/%llu "
+                         "cycles)\n",
+                         static_cast<unsigned long long>(a.retired),
+                         static_cast<unsigned long long>(b.retired),
+                         static_cast<unsigned long long>(a.cycles),
+                         static_cast<unsigned long long>(b.cycles));
+            return 1;
+        }
+    }
+    const double st_med = medianSeconds(st);
+    const double orc_med = medianSeconds(orc);
+    const double overhead = orc_med / st_med - 1.0;
+    std::printf("policy overhead: static %.4fs, oracle-uniform %.4fs "
+                "(%+.2f%%, gate %.0f%%) over %d x %llu insts\n",
+                st_med, orc_med, overhead * 100.0,
+                max_overhead * 100.0, reps,
+                static_cast<unsigned long long>(retired));
+    if (overhead > max_overhead) {
+        std::printf("policy overhead FAILED: %.2f%% > %.0f%%\n",
+                    overhead * 100.0, max_overhead * 100.0);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+BENCHMARK(BM_PolicyStatic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyOracleUniform)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyPhase)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyFeedback)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    // --check-overhead [FRAC]: run the A/B gate instead of the
+    // google-benchmark rows (FRAC defaults to 0.05).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check-overhead") == 0) {
+            double gate = 0.05;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                gate = std::atof(argv[i + 1]);
+            return checkOverhead(gate);
+        }
+    }
+    tcfill::bench::Session session(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,7 +7,10 @@ namespace tcfill
 
 FillUnit::FillUnit(const FillUnitConfig &config, TraceCache &tcache,
                    BiasTable &bias)
-    : config_(config), tcache_(tcache), bias_(bias)
+    : config_(config), tcache_(tcache), bias_(bias),
+      pipeline_(config.opts.reassocOptions),
+      policy_(makeFillPolicy(config.policy, config.opts)),
+      policy_signals_(policy_->wantsRetireSignals())
 {
     fatal_if(config.maxInsts == 0 || config.maxInsts > kSegmentMaxInsts,
              "fill unit: maxInsts must be in [1,%u]", kSegmentMaxInsts);
@@ -17,9 +20,19 @@ FillUnit::FillUnit(const FillUnitConfig &config, TraceCache &tcache,
 }
 
 void
-FillUnit::retire(const ExecRecord &rec, Cycle now, bool miss_target)
+FillUnit::retire(const ExecRecord &rec, Cycle now, bool miss_target,
+                 bool bypass_delayed)
 {
     const Instruction &inst = rec.inst;
+
+    // Feed adaptive pass-selection policies the commit stream. Done
+    // first so a window decision is already in force if this very
+    // instruction triggers a finalize below.
+    if (policy_signals_) {
+        policy_->onRetire(rec.pc,
+                          inst.isControl() || inst.isSerializing(), now,
+                          bypass_delayed);
+    }
 
     // Boundary convergence: start a fresh segment at addresses the
     // fetch stream demanded from the instruction cache.
@@ -117,21 +130,22 @@ FillUnit::finalize(Cycle now)
         ? 1
         : static_cast<unsigned>(seg.insts.back().blockNum) + 1;
 
-    // The optimization pipeline (paper §4). Dependency pre-decode is
-    // part of the baseline fill unit.
-    markDependencies(seg);
-    if (config_.opts.markMoves)
-        moves_ += markMoves(seg);
-    if (config_.opts.reassociate)
-        reassoc_ += reassociate(seg, config_.opts.reassocOptions);
-    if (config_.opts.scaledAdds)
-        scaled_ += createScaledAdds(seg);
-    if (config_.opts.deadCodeElim)
-        dce_ += eliminateDeadWrites(seg);
-    if (config_.opts.placement)
-        placeInstructions(seg, kSegmentMaxInsts, 4, &placement_hints_);
-    else
-        placeIdentity(seg);
+    // The optimization pipeline (paper §4) with the pass set the
+    // policy currently selects. Dependency pre-decode is part of the
+    // baseline fill unit and always runs.
+    const PassMask mask = policy_->mask();
+#if TCFILL_PIPE_TRACE_ENABLED
+    if (tracer_ && last_mask_ >= 0 &&
+        mask != static_cast<PassMask>(last_mask_)) {
+        obs::PolicyEvent pe;
+        pe.cycle = now;
+        pe.prevMask = static_cast<std::uint8_t>(last_mask_);
+        pe.newMask = mask;
+        tracer_->policyEvent(pe);
+    }
+#endif
+    last_mask_ = mask;
+    pipeline_.run(seg, mask, &placement_hints_);
 
     ++segments_;
     insts_ += seg.size();
@@ -180,19 +194,31 @@ FillUnit::avgSegmentLength() const
     return seg_length_.mean();
 }
 
+PolicySummary
+FillUnit::policySummary() const
+{
+    PolicySummary s;
+    policy_->summarize(s);
+    s.movesMarked = pipeline_.movesMarked();
+    s.reassociations = pipeline_.reassociations();
+    s.scaledAdds = pipeline_.scaledAdds();
+    s.deadElided = pipeline_.deadElided();
+    return s;
+}
+
 void
 FillUnit::regStats(stats::Group &group)
 {
     group.addCounter("fill.segments", segments_, "trace segments built");
     group.addCounter("fill.insts", insts_,
                      "instructions collected into segments");
-    group.addCounter("fill.moves_marked", moves_,
+    group.addCounter("fill.moves_marked", pipeline_.movesCounter(),
                      "register moves marked (static, per segment build)");
-    group.addCounter("fill.reassociations", reassoc_,
+    group.addCounter("fill.reassociations", pipeline_.reassocCounter(),
                      "instructions reassociated (static)");
-    group.addCounter("fill.scaled_adds", scaled_,
+    group.addCounter("fill.scaled_adds", pipeline_.scaledCounter(),
                      "scaled operands created (static)");
-    group.addCounter("fill.dead_elided", dce_,
+    group.addCounter("fill.dead_elided", pipeline_.dceCounter(),
                      "dead writes elided (static, extension)");
     group.addCounter("fill.promoted_branches", promoted_branches_,
                      "conditional branches recorded promoted");

@@ -10,50 +10,20 @@
 #define TCFILL_FILL_FILL_UNIT_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "arch/executor.hh"
 #include "bpred/predictor.hh"
 #include "common/stats.hh"
 #include "fill/passes.hh"
+#include "fill/policy.hh"
 #include "obs/pipe_trace.hh"
 #include "trace/segment.hh"
 #include "trace/tcache.hh"
 
 namespace tcfill
 {
-
-/** Which dynamic trace optimizations the fill unit performs. */
-struct FillOptimizations
-{
-    bool markMoves = false;
-    bool reassociate = false;
-    bool scaledAdds = false;
-    bool placement = false;
-    /**
-     * Extension (paper §5 future work): same-region dead-write
-     * elision. Not part of the paper's evaluated configuration, so
-     * not included in all().
-     */
-    bool deadCodeElim = false;
-    ReassocOptions reassocOptions{};
-
-    /** The paper's four evaluated optimizations. */
-    static FillOptimizations
-    all()
-    {
-        return {true, true, true, true, false, {}};
-    }
-
-    /** The four paper optimizations plus dead-write elision. */
-    static FillOptimizations
-    extended()
-    {
-        return {true, true, true, true, true, {}};
-    }
-
-    static FillOptimizations none() { return {}; }
-};
 
 /** Fill unit configuration (paper defaults). */
 struct FillUnitConfig
@@ -82,6 +52,8 @@ struct FillUnitConfig
     unsigned maxInsts = kSegmentMaxInsts;
     unsigned maxCondBranches = kSegmentMaxCondBranches;
     FillOptimizations opts{};
+    /** Pass-selection policy (default: static, i.e. opts as-is). */
+    FillPolicyParams policy{};
 };
 
 /**
@@ -100,9 +72,12 @@ class FillUnit
      * @param miss_target the instruction's fetch missed the trace
      *        cache and started an instruction-cache line — a future
      *        fetch address the trace cache should serve.
+     * @param bypass_delayed the instruction's result arrived through
+     *        a delayed (cross-cluster) bypass — a feedback signal for
+     *        adaptive pass-selection policies.
      */
     void retire(const ExecRecord &rec, Cycle now,
-                bool miss_target = false);
+                bool miss_target = false, bool bypass_delayed = false);
 
     /** Install all segments whose readyCycle <= @p now. */
     void tick(Cycle now);
@@ -115,10 +90,22 @@ class FillUnit
     // ---- statistics ---------------------------------------------------
     std::uint64_t segmentsBuilt() const { return segments_.value(); }
     std::uint64_t instsCollected() const { return insts_.value(); }
-    std::uint64_t movesMarked() const { return moves_.value(); }
-    std::uint64_t reassociations() const { return reassoc_.value(); }
-    std::uint64_t scaledAddsCreated() const { return scaled_.value(); }
-    std::uint64_t deadWritesElided() const { return dce_.value(); }
+    std::uint64_t movesMarked() const { return pipeline_.movesMarked(); }
+    std::uint64_t reassociations() const
+    {
+        return pipeline_.reassociations();
+    }
+    std::uint64_t scaledAddsCreated() const { return pipeline_.scaledAdds(); }
+    std::uint64_t deadWritesElided() const { return pipeline_.deadElided(); }
+
+    // ---- pass-selection policy ----------------------------------------
+    const FillPolicy &policy() const { return *policy_; }
+
+    /** Stable address of the active mask (Timeline interval probe). */
+    const std::uint8_t *activeMaskPtr() const { return policy_->maskPtr(); }
+
+    /** Decision record plus pass transform totals (SimResult). */
+    PolicySummary policySummary() const;
 
     /** Mean instructions per finalized segment. */
     double avgSegmentLength() const;
@@ -139,6 +126,13 @@ class FillUnit
     TraceCache &tcache_;
     BiasTable &bias_;
 
+    PassPipeline pipeline_;
+    std::unique_ptr<FillPolicy> policy_;
+    /** Cached policy_->wantsRetireSignals(): one branch on hot path. */
+    bool policy_signals_ = false;
+    /** Mask applied to the previous finalize (policy-switch tracing). */
+    int last_mask_ = -1;
+
     TraceSegment pending_;
     unsigned pending_cond_branches_ = 0;
     unsigned pending_blocks_ = 1;
@@ -154,10 +148,6 @@ class FillUnit
 
     stats::Counter segments_;
     stats::Counter insts_;
-    stats::Counter moves_;
-    stats::Counter reassoc_;
-    stats::Counter scaled_;
-    stats::Counter dce_;
     stats::Counter promoted_branches_;
     stats::Histogram seg_length_{kSegmentMaxInsts + 1};
 

@@ -420,6 +420,220 @@ placeIdentity(TraceSegment &seg)
         ti.slot = ti.origIdx & 15;
 }
 
+PassMask
+passMaskFromOpts(const FillOptimizations &opts)
+{
+    PassMask m = kPassMaskNone;
+    if (opts.markMoves)
+        m |= kPassMarkMoves;
+    if (opts.reassociate)
+        m |= kPassReassociate;
+    if (opts.scaledAdds)
+        m |= kPassScaledAdds;
+    if (opts.deadCodeElim)
+        m |= kPassDeadCodeElim;
+    if (opts.placement)
+        m |= kPassPlacement;
+    return m;
+}
+
+FillOptimizations
+optsFromPassMask(PassMask mask, const FillOptimizations &base)
+{
+    FillOptimizations o = base;
+    o.markMoves = mask & kPassMarkMoves;
+    o.reassociate = mask & kPassReassociate;
+    o.scaledAdds = mask & kPassScaledAdds;
+    o.deadCodeElim = mask & kPassDeadCodeElim;
+    o.placement = mask & kPassPlacement;
+    return o;
+}
+
+std::string
+passMaskName(PassMask mask)
+{
+    if (mask == kPassMaskNone)
+        return "none";
+    if (mask == kPassMaskAll)
+        return "all";
+    if (mask == kPassMaskExtended)
+        return "extended";
+    static const struct { PassMask bit; const char *name; } kBits[] = {
+        {kPassMarkMoves, "moves"},     {kPassReassociate, "reassoc"},
+        {kPassScaledAdds, "scaled"},   {kPassDeadCodeElim, "dce"},
+        {kPassPlacement, "placement"},
+    };
+    std::string out;
+    for (const auto &b : kBits) {
+        if (!(mask & b.bit))
+            continue;
+        if (!out.empty())
+            out += '+';
+        out += b.name;
+    }
+    return out;
+}
+
+PassMask
+parsePassMask(const std::string &token)
+{
+    if (token == "none")
+        return kPassMaskNone;
+    if (token == "all")
+        return kPassMaskAll;
+    if (token == "extended")
+        return kPassMaskExtended;
+    if (!token.empty() && token.find_first_not_of("0123456789") ==
+                              std::string::npos) {
+        unsigned long v = std::stoul(token);
+        fatal_if(v > kPassMaskEvery, "pass mask value out of range: %s",
+                 token.c_str());
+        return static_cast<PassMask>(v);
+    }
+    PassMask m = kPassMaskNone;
+    std::size_t pos = 0;
+    while (pos <= token.size()) {
+        std::size_t end = token.find('+', pos);
+        if (end == std::string::npos)
+            end = token.size();
+        const std::string part = token.substr(pos, end - pos);
+        if (part == "moves")
+            m |= kPassMarkMoves;
+        else if (part == "reassoc")
+            m |= kPassReassociate;
+        else if (part == "scaled")
+            m |= kPassScaledAdds;
+        else if (part == "dce")
+            m |= kPassDeadCodeElim;
+        else if (part == "placement")
+            m |= kPassPlacement;
+        else
+            fatal("unknown pass mask token '%s' in '%s'", part.c_str(),
+                  token.c_str());
+        pos = end + 1;
+    }
+    return m;
+}
+
+// --------------------------------------------------------------------
+// Pass objects
+// --------------------------------------------------------------------
+
+namespace
+{
+
+class MarkMovesPass final : public TracePass
+{
+  public:
+    MarkMovesPass() : TracePass("mark-moves", kPassMarkMoves) {}
+
+    void
+    apply(TraceSegment &seg, PassContext &) override
+    {
+        applied_ += markMoves(seg);
+    }
+};
+
+class ReassociatePass final : public TracePass
+{
+  public:
+    ReassociatePass() : TracePass("reassociate", kPassReassociate) {}
+
+    void
+    apply(TraceSegment &seg, PassContext &ctx) override
+    {
+        applied_ += reassociate(seg, ctx.reassoc);
+    }
+};
+
+class ScaledAddsPass final : public TracePass
+{
+  public:
+    ScaledAddsPass() : TracePass("scaled-adds", kPassScaledAdds) {}
+
+    void
+    apply(TraceSegment &seg, PassContext &) override
+    {
+        applied_ += createScaledAdds(seg);
+    }
+};
+
+class DeadWritePass final : public TracePass
+{
+  public:
+    DeadWritePass() : TracePass("dead-write-elision", kPassDeadCodeElim) {}
+
+    void
+    apply(TraceSegment &seg, PassContext &) override
+    {
+        applied_ += eliminateDeadWrites(seg);
+    }
+};
+
+class PlacementPass final : public TracePass
+{
+  public:
+    PlacementPass() : TracePass("placement", kPassPlacement) {}
+
+    void
+    apply(TraceSegment &seg, PassContext &ctx) override
+    {
+        placeInstructions(seg, kSegmentMaxInsts, 4, ctx.hints);
+        ++applied_;
+    }
+
+    void
+    applyDisabled(TraceSegment &seg, PassContext &) override
+    {
+        placeIdentity(seg);
+    }
+};
+
+} // namespace
+
+PassPipeline::PassPipeline(const ReassocOptions &reassoc)
+    : reassoc_(reassoc)
+{
+    passes_.push_back(std::make_unique<MarkMovesPass>());
+    passes_.push_back(std::make_unique<ReassociatePass>());
+    passes_.push_back(std::make_unique<ScaledAddsPass>());
+    passes_.push_back(std::make_unique<DeadWritePass>());
+    passes_.push_back(std::make_unique<PlacementPass>());
+}
+
+void
+PassPipeline::run(TraceSegment &seg, PassMask mask, PlacementHints *hints)
+{
+    markDependencies(seg);
+    PassContext ctx{reassoc_, hints};
+    for (auto &p : passes_) {
+        if (mask & p->bit())
+            p->apply(seg, ctx);
+        else
+            p->applyDisabled(seg, ctx);
+    }
+}
+
+const stats::Counter &PassPipeline::movesCounter() const
+{
+    return passes_[0]->applied();
+}
+
+const stats::Counter &PassPipeline::reassocCounter() const
+{
+    return passes_[1]->applied();
+}
+
+const stats::Counter &PassPipeline::scaledCounter() const
+{
+    return passes_[2]->applied();
+}
+
+const stats::Counter &PassPipeline::dceCounter() const
+{
+    return passes_[3]->applied();
+}
+
 bool
 depsConsistent(const TraceSegment &seg)
 {

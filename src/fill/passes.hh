@@ -11,7 +11,11 @@
 #define TCFILL_FILL_PASSES_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "common/stats.hh"
 #include "trace/segment.hh"
 
 namespace tcfill
@@ -41,6 +45,82 @@ struct ReassocOptions
      */
     bool foldMemDisplacement = true;
 };
+
+/** Which dynamic trace optimizations the fill unit performs. */
+struct FillOptimizations
+{
+    bool markMoves = false;
+    bool reassociate = false;
+    bool scaledAdds = false;
+    bool placement = false;
+    /**
+     * Extension (paper §5 future work): same-region dead-write
+     * elision. Not part of the paper's evaluated configuration, so
+     * not included in all().
+     */
+    bool deadCodeElim = false;
+    ReassocOptions reassocOptions{};
+
+    /** The paper's four evaluated optimizations. */
+    static FillOptimizations
+    all()
+    {
+        return {true, true, true, true, false, {}};
+    }
+
+    /** The four paper optimizations plus dead-write elision. */
+    static FillOptimizations
+    extended()
+    {
+        return {true, true, true, true, true, {}};
+    }
+
+    static FillOptimizations none() { return {}; }
+};
+
+// --------------------------------------------------------------------
+// Pass masks
+// --------------------------------------------------------------------
+
+/**
+ * Bitmask over the optional optimization passes, the unit a
+ * FillPolicy decides in (fill/policy.hh). markDependencies is the
+ * baseline pre-decode and has no bit: it always runs.
+ */
+using PassMask = std::uint8_t;
+
+constexpr PassMask kPassMaskNone = 0;
+constexpr PassMask kPassMarkMoves = 1u << 0;
+constexpr PassMask kPassReassociate = 1u << 1;
+constexpr PassMask kPassScaledAdds = 1u << 2;
+constexpr PassMask kPassDeadCodeElim = 1u << 3;
+constexpr PassMask kPassPlacement = 1u << 4;
+/** The paper's four evaluated optimizations (FillOptimizations::all). */
+constexpr PassMask kPassMaskAll =
+    kPassMarkMoves | kPassReassociate | kPassScaledAdds | kPassPlacement;
+/** all() plus dead-write elision (FillOptimizations::extended). */
+constexpr PassMask kPassMaskExtended = kPassMaskAll | kPassDeadCodeElim;
+/** Every pass bit that exists (bound for validation). */
+constexpr PassMask kPassMaskEvery = kPassMaskExtended;
+
+/** The mask equivalent of a legacy optimization-boolean struct. */
+PassMask passMaskFromOpts(const FillOptimizations &opts);
+
+/** The boolean struct a mask denotes (reassocOptions from @p opts). */
+FillOptimizations optsFromPassMask(PassMask mask,
+                                   const FillOptimizations &base = {});
+
+/**
+ * Canonical display name: "none", "all", "extended" or a '+'-joined
+ * list in pipeline order ("moves+scaled+placement").
+ */
+std::string passMaskName(PassMask mask);
+
+/**
+ * Parse a mask token: the names passMaskName() produces, the --opts
+ * keyword forms, or a decimal bit value. Fatals on unknown tokens.
+ */
+PassMask parsePassMask(const std::string &token);
 
 /**
  * Baseline dependency pre-decode (paper §4.1): computes srcDep[] /
@@ -139,6 +219,96 @@ void setSrcReg(Instruction &inst, unsigned slot, RegIndex reg);
  * builds.
  */
 bool depsConsistent(const TraceSegment &seg);
+
+// --------------------------------------------------------------------
+// Pass objects
+// --------------------------------------------------------------------
+
+/** Shared state a pass may need beyond the segment itself. */
+struct PassContext
+{
+    ReassocOptions reassoc{};
+    PlacementHints *hints = nullptr;
+};
+
+/**
+ * One optional fill-unit transformation, lifted into an object so a
+ * FillPolicy can enable or disable it per segment. A pass owns its
+ * applied-transform counter; the FillUnit registers it under the
+ * legacy fill.* stat name so existing output does not move.
+ */
+class TracePass
+{
+  public:
+    TracePass(std::string name, PassMask bit)
+        : name_(std::move(name)), bit_(bit)
+    {}
+
+    virtual ~TracePass() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** This pass's bit in a PassMask. */
+    PassMask bit() const { return bit_; }
+
+    /** Transformations applied across all segments (legacy stat). */
+    const stats::Counter &applied() const { return applied_; }
+
+    /** Run the transformation on a finalized segment. */
+    virtual void apply(TraceSegment &seg, PassContext &ctx) = 0;
+
+    /**
+     * Run when the pass is disabled. A no-op for every pass except
+     * placement, whose disabled form is identity slot routing.
+     */
+    virtual void applyDisabled(TraceSegment &seg, PassContext &ctx)
+    {
+        (void)seg;
+        (void)ctx;
+    }
+
+  protected:
+    stats::Counter applied_;
+
+  private:
+    std::string name_;
+    PassMask bit_;
+};
+
+/**
+ * The canonical pass sequence over a finalized segment. Always runs
+ * markDependencies first (it is the baseline pre-decode, not a
+ * policy choice), then each optional pass in the fixed legal order,
+ * gated by the mask bit. For any mask this performs exactly the same
+ * call sequence the legacy boolean dispatch performed, so static
+ * configurations stay bit-identical.
+ */
+class PassPipeline
+{
+  public:
+    explicit PassPipeline(const ReassocOptions &reassoc);
+
+    /** Transform @p seg in place with the passes enabled in @p mask. */
+    void run(TraceSegment &seg, PassMask mask, PlacementHints *hints);
+
+    std::size_t size() const { return passes_.size(); }
+    const TracePass &pass(std::size_t i) const { return *passes_[i]; }
+
+    // Legacy counter access (registered by FillUnit under fill.*).
+    const stats::Counter &movesCounter() const;
+    const stats::Counter &reassocCounter() const;
+    const stats::Counter &scaledCounter() const;
+    const stats::Counter &dceCounter() const;
+
+    std::uint64_t movesMarked() const { return movesCounter().value(); }
+    std::uint64_t reassociations() const { return reassocCounter().value(); }
+    std::uint64_t scaledAdds() const { return scaledCounter().value(); }
+    std::uint64_t deadElided() const { return dceCounter().value(); }
+
+  private:
+    ReassocOptions reassoc_;
+    std::vector<std::unique_ptr<TracePass>> passes_;
+};
 
 } // namespace tcfill
 

@@ -67,4 +67,16 @@ JsonlPipeTracer::fillEvent(const FillEvent &ev)
     ++events_;
 }
 
+void
+JsonlPipeTracer::policyEvent(const PolicyEvent &ev)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+        "{\"ev\":\"fill.policy\",\"cycle\":%" PRIu64
+        ",\"prevMask\":%u,\"newMask\":%u}",
+        ev.cycle, unsigned(ev.prevMask), unsigned(ev.newMask));
+    os_ << buf << "\n";
+    ++events_;
+}
+
 } // namespace tcfill::obs

@@ -82,6 +82,14 @@ struct FillEvent
     unsigned promotedBranches = 0;
 };
 
+/** A fill-policy pass-mask switch taking effect at a finalize. */
+struct PolicyEvent
+{
+    Cycle cycle = 0;
+    std::uint8_t prevMask = 0;
+    std::uint8_t newMask = 0;
+};
+
 /**
  * Tracer interface the pipeline hook points call. Implementations
  * must not mutate simulator state; events for one Processor arrive
@@ -101,6 +109,7 @@ class PipeTracer
 
     virtual void instEvent(const PipeEvent &ev) = 0;
     virtual void fillEvent(const FillEvent &) {}
+    virtual void policyEvent(const PolicyEvent &) {}
 };
 
 /**
@@ -116,6 +125,7 @@ class JsonlPipeTracer : public PipeTracer
 
     void instEvent(const PipeEvent &ev) override;
     void fillEvent(const FillEvent &ev) override;
+    void policyEvent(const PolicyEvent &ev) override;
 
     std::uint64_t events() const { return events_; }
 
@@ -130,9 +140,14 @@ class RecordingPipeTracer : public PipeTracer
   public:
     void instEvent(const PipeEvent &ev) override { insts.push_back(ev); }
     void fillEvent(const FillEvent &ev) override { fills.push_back(ev); }
+    void policyEvent(const PolicyEvent &ev) override
+    {
+        policies.push_back(ev);
+    }
 
     std::vector<PipeEvent> insts;
     std::vector<FillEvent> fills;
+    std::vector<PolicyEvent> policies;
 };
 
 } // namespace tcfill::obs

@@ -37,6 +37,8 @@ TimelineData::toJson(JsonWriter &w) const
                            : static_cast<double>(iv.insts) /
                                  static_cast<double>(iv.cycles));
         w.field("phase", static_cast<std::int64_t>(iv.phase));
+        if (maskTracked)
+            w.field("passMask", static_cast<std::int64_t>(iv.passMask));
         w.beginArray("deltas");
         for (std::uint64_t d : iv.deltas)
             w.value(d);
@@ -91,6 +93,8 @@ Timeline::closeInterval(Cycle boundary_cycle)
     iv.insts = insts_ - data_cut_inst_;
     iv.startCycle = last_cut_cycle_;
     iv.cycles = boundary_cycle - last_cut_cycle_;
+    if (mask_probe_)
+        iv.passMask = *mask_probe_;
 
     scratch_.clear();
     stats_.timingCounterValues(scratch_);

@@ -47,6 +47,12 @@ struct TimelineInterval
     Cycle cycles = 0;           ///< cycles the interval spanned
     /** BBV phase/cluster ID (first-appearance order); -1 untagged. */
     int phase = -1;
+    /**
+     * Fill-policy pass mask active at the interval boundary; -1 when
+     * no mask probe is attached (static-policy and legacy runs, whose
+     * serialized bytes must not change).
+     */
+    int passMask = -1;
     /** Per-counter increments, ordered like TimelineData::counters. */
     std::vector<std::uint64_t> deltas;
 };
@@ -59,6 +65,8 @@ struct TimelineData
 
     InstSeqNum interval = 0;    ///< configured interval length
     unsigned phases = 0;        ///< requested phase count (0 = off)
+    /** Whether intervals carry a passMask column (probe attached). */
+    bool maskTracked = false;
     /** Timing-counter column names, registration order. */
     std::vector<std::string> counters;
     std::vector<TimelineInterval> intervals;
@@ -109,6 +117,21 @@ class Timeline
     }
 
     /**
+     * Attach a fill-policy mask probe: each closed interval then
+     * records the mask active at its boundary (read through the
+     * pointer, which must outlive the Timeline). Null detaches.
+     * Observational only — wired by the Processor exactly when the
+     * run uses a non-static policy, so legacy timeline bytes never
+     * change.
+     */
+    void
+    setMaskProbe(const std::uint8_t *mask)
+    {
+        mask_probe_ = mask;
+        data_->maskTracked = mask != nullptr;
+    }
+
+    /**
      * Close the trailing partial interval (if any) against the run's
      * final cycle count, run phase clustering, and hand the finished
      * series over (the Timeline itself is done after this).
@@ -130,6 +153,7 @@ class Timeline
     InstSeqNum insts_ = 0;          ///< total retired so far
     InstSeqNum data_cut_inst_ = 0;  ///< retired count at last cut
     Cycle last_cut_cycle_ = 0;      ///< boundary cycle of last cut
+    const std::uint8_t *mask_probe_ = nullptr;
 
     /** Counter snapshot at the last cut (timing counters, in order). */
     std::vector<std::uint64_t> prev_;

@@ -299,6 +299,17 @@ TraceEventTracer::fillEvent(const FillEvent &ev)
 }
 
 void
+TraceEventTracer::policyEvent(const PolicyEvent &ev)
+{
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "\"prevMask\": %u, \"newMask\": %u",
+                  unsigned(ev.prevMask), unsigned(ev.newMask));
+    w_.instant(kTracePidSim, kTidFill, "policy switch",
+               static_cast<double>(ev.cycle), args);
+}
+
+void
 TraceEventTracer::finish()
 {
     flushSquashes();

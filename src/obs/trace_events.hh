@@ -118,6 +118,7 @@ class TraceEventTracer : public PipeTracer
 
     void instEvent(const PipeEvent &ev) override;
     void fillEvent(const FillEvent &ev) override;
+    void policyEvent(const PolicyEvent &ev) override;
 
     /** Flush pending per-cycle aggregates (squash + occupancy). */
     void finish();

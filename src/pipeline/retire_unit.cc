@@ -100,7 +100,7 @@ RetireUnit::tick(Cycle now)
         rec.inst = di->archInst;
         rec.taken = di->taken;
         rec.effAddr = di->effAddr;
-        fill_.retire(rec, now, di->missLineStart);
+        fill_.retire(rec, now, di->missLineStart, di->bypassDelayed);
         if (commit_hook_)
             commit_hook_(rec, now);
 

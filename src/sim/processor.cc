@@ -90,6 +90,11 @@ Processor::wireStages(const pipeline::StagePolicy &policy)
         timeline_ = std::make_unique<obs::Timeline>(
             stats_, cfg_.statsInterval, cfg_.statsPhases);
         retire_->setTimeline(timeline_.get());
+        // Record the active pass mask per interval, but only for
+        // adaptive policies: static runs must keep their serialized
+        // timeline bytes (golden fixtures pin them).
+        if (cfg_.fill.policy.kind != FillPolicyKind::Static)
+            timeline_->setMaskProbe(fill_.activeMaskPtr());
     }
 }
 
@@ -264,6 +269,12 @@ Processor::run()
         res.timeline = timeline_->finish(cycle_);
         retire_->setTimeline(nullptr);
         timeline_.reset();
+    }
+    // Policy decision record: only for non-static policies, so legacy
+    // result documents are byte-identical to the pre-policy code.
+    if (cfg_.fill.policy.kind != FillPolicyKind::Static) {
+        res.policy =
+            std::make_shared<const PolicySummary>(fill_.policySummary());
     }
     return res;
 }

@@ -73,6 +73,36 @@ SimResult::toJson(obs::JsonWriter &w, bool include_host) const
         w.key("timeline");
         timeline->toJson(w);
     }
+    if (policy) {
+        w.beginObject("policy");
+        w.field("kind", policy->kind);
+        w.field("finalMask",
+                static_cast<std::uint64_t>(policy->finalMask));
+        w.field("windows", policy->windows);
+        w.field("switches", policy->switches);
+        w.field("phasesSeen", policy->phasesSeen);
+        w.field("movesMarked", policy->movesMarked);
+        w.field("reassociations", policy->reassociations);
+        w.field("scaledAdds", policy->scaledAdds);
+        w.field("deadElided", policy->deadElided);
+        w.beginArray("phases");
+        for (const PolicyPhaseStat &ps : policy->phases) {
+            w.beginObject();
+            w.field("phase", static_cast<std::int64_t>(ps.phase));
+            w.field("mask", static_cast<std::uint64_t>(ps.mask));
+            w.field("windows", ps.windows);
+            w.field("insts", ps.insts);
+            w.field("cycles", ps.cycles);
+            // Derived from the two integers above (deterministic).
+            w.field("ipc", ps.cycles == 0
+                               ? 0.0
+                               : static_cast<double>(ps.insts) /
+                                     static_cast<double>(ps.cycles));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     if (include_host) {
         w.beginObject("host");
         w.field("hostSeconds", hostSeconds);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fill/policy.hh"
 #include "obs/timeline.hh"
 
 namespace tcfill
@@ -90,6 +91,17 @@ struct SimResult
      * SimRunner result-cache copies stay cheap.
      */
     std::shared_ptr<const obs::TimelineData> timeline;
+
+    /**
+     * Fill-policy decision record (non-static --fill-policy runs
+     * only; null otherwise, so legacy documents do not change).
+     * Deterministic simulation data — policy decisions are a function
+     * of the committed stream and cycle numbers, so this section is
+     * timing-affecting and byte-identical across -j1/-j8, schedulers
+     * and record/replay (tests/test_policy.cc pins this). Shared
+     * (immutable) for cheap result-cache copies.
+     */
+    std::shared_ptr<const PolicySummary> policy;
 
     /**
      * Host self-profiler rows (--stats-host with profiling only;

@@ -37,7 +37,10 @@ static_assert(sizeof(ReassocOptions) == 2,
               "ReassocOptions changed: update configCacheKey()");
 static_assert(sizeof(FillOptimizations) == 7,
               "FillOptimizations changed: update configCacheKey()");
-static_assert(sizeof(FillUnitConfig) == 32,
+static_assert(sizeof(FillPolicyParams) == sizeof(std::string) + 32,
+              "FillPolicyParams changed: update configCacheKey()");
+static_assert(sizeof(FillUnitConfig) ==
+                  sizeof(FillPolicyParams) + 32,
               "FillUnitConfig changed: update configCacheKey()");
 static_assert(sizeof(TraceCache::Params) == 24,
               "TraceCache::Params changed: update configCacheKey()");
@@ -53,7 +56,8 @@ static_assert(sizeof(BiasTable::Params) == 16,
               "BiasTable::Params changed: update configCacheKey()");
 static_assert(sizeof(ExecCoreParams) == 24,
               "ExecCoreParams changed: update configCacheKey()");
-static_assert(sizeof(SimConfig) == sizeof(std::string) + 376,
+static_assert(sizeof(SimConfig) ==
+                  sizeof(std::string) + sizeof(FillPolicyParams) + 376,
               "SimConfig changed: update configCacheKey()");
 #endif
 
@@ -83,6 +87,11 @@ configCacheKey(const SimConfig &cfg)
        << o.placement << o.deadCodeElim << ','
        << o.reassocOptions.crossBlockOnly
        << o.reassocOptions.foldMemDisplacement;
+    // Pass-selection policy.
+    const FillPolicyParams &p = f.policy;
+    os << "|policy=" << static_cast<unsigned>(p.kind) << ','
+       << p.maxPhases << ',' << p.windowInsts << ',' << p.newPhaseDist
+       << ',' << p.hysteresis << ',' << p.oracleMap;
     // Trace cache.
     os << "|tcache=" << cfg.tcache.entries << ',' << cfg.tcache.ways
        << ',' << cfg.tcache.moveBits << cfg.tcache.scaledBits

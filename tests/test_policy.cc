@@ -1,0 +1,778 @@
+/**
+ * @file
+ * Fill pass-selection policy tests (DESIGN.md §16): pass-mask helper
+ * round trips, PassPipeline equivalence with the legacy free-function
+ * dispatch for every mask, decision-window accounting, direct unit
+ * tests of the phase/feedback/oracle decision machinery, online
+ * phase-tracker labeling, and sim-level contracts — uniform-mask
+ * oracle runs bit-identical to the equivalent static configuration
+ * across the full 32-combo optimization matrix, and adaptive-policy
+ * determinism across thread counts and record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "fill/passes.hh"
+#include "fill/policy.hh"
+#include "sim/processor.hh"
+#include "sim/runner.hh"
+#include "tracefile/replay.hh"
+#include "tracefile/trace_io.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill
+{
+namespace
+{
+
+constexpr InstSeqNum kTestInsts = 20'000;
+
+// --------------------------------------------------------------------
+// Pass-mask helpers
+// --------------------------------------------------------------------
+
+TEST(PassMask, OptsRoundTripAllCombos)
+{
+    for (unsigned m = 0; m <= kPassMaskEvery; ++m) {
+        const PassMask mask = static_cast<PassMask>(m);
+        const FillOptimizations opts = optsFromPassMask(mask);
+        EXPECT_EQ(passMaskFromOpts(opts), mask);
+        EXPECT_EQ(parsePassMask(passMaskName(mask)), mask)
+            << "name '" << passMaskName(mask) << "'";
+        EXPECT_EQ(parsePassMask(std::to_string(m)), mask);
+    }
+}
+
+TEST(PassMask, NamedConfigurations)
+{
+    EXPECT_EQ(passMaskFromOpts(FillOptimizations::all()), kPassMaskAll);
+    EXPECT_EQ(passMaskFromOpts(FillOptimizations::extended()),
+              kPassMaskExtended);
+    EXPECT_EQ(passMaskFromOpts(FillOptimizations::none()), kPassMaskNone);
+    EXPECT_EQ(passMaskName(kPassMaskAll), "all");
+    EXPECT_EQ(passMaskName(kPassMaskExtended), "extended");
+    EXPECT_EQ(passMaskName(kPassMaskNone), "none");
+    EXPECT_EQ(passMaskName(kPassMarkMoves | kPassPlacement),
+              "moves+placement");
+}
+
+TEST(PassMask, OptsFromMaskPreservesReassocBase)
+{
+    FillOptimizations base;
+    base.reassocOptions.crossBlockOnly = false;
+    base.reassocOptions.foldMemDisplacement = false;
+    const FillOptimizations opts = optsFromPassMask(kPassMaskAll, base);
+    EXPECT_FALSE(opts.reassocOptions.crossBlockOnly);
+    EXPECT_FALSE(opts.reassocOptions.foldMemDisplacement);
+    EXPECT_TRUE(opts.placement);
+}
+
+TEST(PassMask, CandidateMaskDerivation)
+{
+    using V = std::vector<PassMask>;
+    EXPECT_EQ(policyCandidateMasks(kPassMaskAll),
+              (V{kPassMaskAll,
+                 static_cast<PassMask>(kPassMaskAll & ~kPassPlacement),
+                 kPassPlacement, kPassMaskNone}));
+    EXPECT_EQ(policyCandidateMasks(kPassPlacement),
+              (V{kPassPlacement, kPassMaskNone}));
+    EXPECT_EQ(policyCandidateMasks(kPassMaskNone), (V{kPassMaskNone}));
+    // Non-placement masks collapse the placement-only candidate away.
+    const PassMask scalar =
+        static_cast<PassMask>(kPassMaskAll & ~kPassPlacement);
+    EXPECT_EQ(policyCandidateMasks(scalar), (V{scalar, kPassMaskNone}));
+}
+
+// --------------------------------------------------------------------
+// PassPipeline vs. the legacy free-function dispatch
+// --------------------------------------------------------------------
+
+/** Append an instruction to a segment with synthetic PC/region. */
+TraceInst &
+append(TraceSegment &seg, Instruction in, unsigned cf_region = 0)
+{
+    TraceInst ti;
+    ti.inst = in;
+    ti.pc = 0x400000 + seg.size() * 4;
+    ti.origIdx = static_cast<std::uint8_t>(seg.size());
+    ti.slot = ti.origIdx;
+    ti.cfRegion = static_cast<std::uint8_t>(cf_region);
+    ti.blockNum = static_cast<std::uint8_t>(cf_region & 3);
+    seg.insts.push_back(ti);
+    return seg.insts.back();
+}
+
+/** Random instruction mix covering every pass's trigger patterns. */
+Instruction
+randomInst(Random &rng)
+{
+    Instruction in;
+    auto reg = [&rng]() {
+        return static_cast<RegIndex>(rng.below(12) + 1);
+    };
+    switch (rng.below(10)) {
+      case 0: case 1: case 2:
+        in.op = Op::ADDI;
+        in.dest = reg();
+        in.src1 = rng.percent(20) ? kRegZero : reg();
+        in.imm = static_cast<std::int32_t>(rng.range(-64, 64)) *
+                 (rng.percent(10) ? 0 : 1);
+        break;
+      case 3:
+        in.op = Op::SLLI;
+        in.dest = reg();
+        in.src1 = reg();
+        in.shamt = static_cast<std::uint8_t>(rng.below(5));
+        break;
+      case 4:
+        in.op = Op::ADD;
+        in.dest = reg();
+        in.src1 = reg();
+        in.src2 = rng.percent(25) ? kRegZero : reg();
+        break;
+      case 5:
+        in.op = Op::LW;
+        in.dest = reg();
+        in.src1 = reg();
+        in.imm = static_cast<std::int32_t>(rng.range(-32, 32)) * 4;
+        break;
+      case 6:
+        in.op = Op::LWX;
+        in.dest = reg();
+        in.src1 = reg();
+        in.src2 = reg();
+        break;
+      case 7:
+        in.op = Op::SW;
+        in.src1 = reg();
+        in.src3 = reg();
+        in.imm = static_cast<std::int32_t>(rng.range(-32, 32)) * 4;
+        break;
+      case 8:
+        in.op = rng.percent(50) ? Op::BEQ : Op::BNE;
+        in.src1 = reg();
+        in.src2 = reg();
+        in.imm = 4;
+        break;
+      default:
+        in.op = rng.percent(50) ? Op::XOR : Op::SUB;
+        in.dest = reg();
+        in.src1 = reg();
+        in.src2 = reg();
+        break;
+    }
+    return in;
+}
+
+TraceSegment
+randomSegment(Random &rng)
+{
+    TraceSegment seg;
+    unsigned region = 0;
+    const unsigned n = 4 + static_cast<unsigned>(rng.below(13));
+    for (unsigned i = 0; i < n; ++i) {
+        Instruction in = randomInst(rng);
+        append(seg, in, region);
+        if (in.isControl() || rng.percent(20))
+            ++region;
+    }
+    return seg;
+}
+
+void
+expectSameSegment(const TraceSegment &a, const TraceSegment &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("inst " + std::to_string(i));
+        const TraceInst &x = a.insts[i];
+        const TraceInst &y = b.insts[i];
+        EXPECT_EQ(x.inst, y.inst);
+        EXPECT_EQ(x.pc, y.pc);
+        for (int s = 0; s < 3; ++s)
+            EXPECT_EQ(x.srcDep[s], y.srcDep[s]);
+        EXPECT_EQ(x.liveOut, y.liveOut);
+        EXPECT_EQ(x.isMove, y.isMove);
+        EXPECT_EQ(x.moveSrc, y.moveSrc);
+        EXPECT_EQ(x.moveSrcDep, y.moveSrcDep);
+        EXPECT_EQ(x.scaledSrcIdx, y.scaledSrcIdx);
+        EXPECT_EQ(x.scaleAmt, y.scaleAmt);
+        EXPECT_EQ(x.slot, y.slot);
+        EXPECT_EQ(x.deadElided, y.deadElided);
+        EXPECT_EQ(x.reassociated, y.reassociated);
+    }
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * For every mask, PassPipeline::run must perform exactly the call
+ * sequence the pre-policy boolean dispatch performed — same segment
+ * rewrites, same placement-hint evolution. This is the unit-level
+ * form of the golden-fixture byte-identity contract.
+ */
+TEST_P(PipelineEquivalence, MatchesLegacyDispatchForEveryMask)
+{
+    for (unsigned m = 0; m <= kPassMaskEvery; ++m) {
+        const PassMask mask = static_cast<PassMask>(m);
+        Random rng(GetParam() * 2654435761u + m * 97 + 5);
+
+        FillOptimizations base;
+        base.reassocOptions.crossBlockOnly = rng.percent(50);
+        base.reassocOptions.foldMemDisplacement = rng.percent(50);
+        const FillOptimizations opts = optsFromPassMask(mask, base);
+
+        TraceSegment seg = randomSegment(rng);
+        TraceSegment legacy = seg;
+
+        // The pre-refactor FillUnit::finalize dispatch, verbatim.
+        PlacementHints legacy_hints;
+        markDependencies(legacy);
+        if (opts.markMoves)
+            markMoves(legacy);
+        if (opts.reassociate)
+            reassociate(legacy, opts.reassocOptions);
+        if (opts.scaledAdds)
+            createScaledAdds(legacy);
+        if (opts.deadCodeElim)
+            eliminateDeadWrites(legacy);
+        if (opts.placement)
+            placeInstructions(legacy, kSegmentMaxInsts, 4, &legacy_hints);
+        else
+            placeIdentity(legacy);
+
+        PassPipeline pipe(opts.reassocOptions);
+        PlacementHints hints;
+        pipe.run(seg, mask, &hints);
+
+        SCOPED_TRACE("mask " + std::to_string(m) + " seed " +
+                     std::to_string(GetParam()));
+        expectSameSegment(legacy, seg);
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            EXPECT_EQ(hints.cluster[r], legacy_hints.cluster[r])
+                << "hint r" << r;
+        EXPECT_TRUE(depsConsistent(seg));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineEquivalence,
+                         ::testing::Range(0u, 20u));
+
+// --------------------------------------------------------------------
+// Decision-window accounting
+// --------------------------------------------------------------------
+
+/** Exposes the windowing machinery's measurements to assertions. */
+class CapturePolicy final : public WindowedFillPolicy
+{
+  public:
+    struct Win
+    {
+        int phase;
+        double ipc;
+        double bypassFrac;
+    };
+
+    CapturePolicy(const FillPolicyParams &params, bool track)
+        : WindowedFillPolicy("capture", kPassMaskAll, params, track)
+    {}
+
+    void
+    onWindow(int phase, double ipc, double bypass_frac) override
+    {
+        wins.push_back({phase, ipc, bypass_frac});
+    }
+
+    std::vector<Win> wins;
+};
+
+TEST(WindowedPolicy, WindowIpcAndBypassFraction)
+{
+    FillPolicyParams params;
+    params.windowInsts = 100;
+    CapturePolicy p(params, /*track=*/false);
+
+    // First window: two retires per cycle (cycles 0..49), the first
+    // 25 commits bypass-delayed.
+    for (unsigned i = 0; i < 100; ++i) {
+        EXPECT_EQ(p.windows(), 0u);
+        p.onRetire(0x1000 + i * 4, (i % 10) == 9, /*now=*/i / 2, i < 25);
+    }
+    ASSERT_EQ(p.wins.size(), 1u);
+    EXPECT_EQ(p.windows(), 1u);
+    EXPECT_EQ(p.wins[0].phase, -1);    // tracking off
+    // Boundary convention: the window owns [0, 50) -> 100/50.
+    EXPECT_DOUBLE_EQ(p.wins[0].ipc, 2.0);
+    EXPECT_DOUBLE_EQ(p.wins[0].bypassFrac, 0.25);
+
+    // Second window: one retire per cycle starting where the first
+    // window's boundary left off (cycle 50), none bypass-delayed.
+    for (unsigned i = 0; i < 100; ++i)
+        p.onRetire(0x2000 + i * 4, false, 50 + i, false);
+    ASSERT_EQ(p.wins.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.wins[1].ipc, 1.0);
+    EXPECT_DOUBLE_EQ(p.wins[1].bypassFrac, 0.0);
+}
+
+TEST(WindowedPolicy, SummaryAggregatesWindows)
+{
+    FillPolicyParams params;
+    params.windowInsts = 50;
+    CapturePolicy p(params, /*track=*/false);
+    for (unsigned i = 0; i < 150; ++i)
+        p.onRetire(0x1000 + i * 4, false, i, false);
+
+    PolicySummary sum;
+    p.summarize(sum);
+    EXPECT_EQ(sum.kind, "capture");
+    EXPECT_EQ(sum.windows, 3u);
+    ASSERT_EQ(sum.phases.size(), 1u);
+    EXPECT_EQ(sum.phases[0].phase, -1);
+    EXPECT_EQ(sum.phases[0].windows, 3u);
+    EXPECT_EQ(sum.phases[0].insts, 150u);
+    EXPECT_EQ(sum.phases[0].cycles, 150u);
+}
+
+// --------------------------------------------------------------------
+// StaticPolicy
+// --------------------------------------------------------------------
+
+TEST(StaticFillPolicy, FixedMaskNoSignals)
+{
+    FillPolicyParams params;    // kind = Static
+    auto p = makeFillPolicy(params, FillOptimizations::all());
+    EXPECT_STREQ(p->kind(), "static");
+    EXPECT_FALSE(p->wantsRetireSignals());
+    EXPECT_EQ(p->mask(), kPassMaskAll);
+    EXPECT_EQ(*p->maskPtr(), kPassMaskAll);
+
+    PolicySummary sum;
+    p->summarize(sum);
+    EXPECT_EQ(sum.kind, "static");
+    EXPECT_EQ(sum.finalMask, kPassMaskAll);
+    EXPECT_EQ(sum.windows, 0u);
+    EXPECT_EQ(sum.switches, 0u);
+    EXPECT_TRUE(sum.phases.empty());
+}
+
+// --------------------------------------------------------------------
+// PhasePolicy decision machinery
+// --------------------------------------------------------------------
+
+TEST(PhaseFillPolicy, ExploreThenExploitPicksBestCandidate)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Phase;
+    PhasePolicy p(kPassMaskAll, params);
+    const std::vector<PassMask> &cand = p.candidates();
+    ASSERT_EQ(cand.size(), 4u);
+    EXPECT_EQ(p.mask(), kPassMaskAll);
+
+    // Explore: one window per candidate; the second (all-but-
+    // placement) measures best.
+    p.onWindow(0, 1.0, 0.0);
+    EXPECT_EQ(p.mask(), cand[1]);
+    p.onWindow(0, 1.5, 0.0);
+    EXPECT_EQ(p.mask(), cand[2]);
+    p.onWindow(0, 0.5, 0.0);
+    EXPECT_EQ(p.mask(), cand[3]);
+    p.onWindow(0, 0.8, 0.0);
+    // Exploit: locked to the best-IPC candidate.
+    EXPECT_EQ(p.mask(), cand[1]);
+    p.onWindow(0, 9.9, 0.0);
+    EXPECT_EQ(p.mask(), cand[1]);
+}
+
+TEST(PhaseFillPolicy, TransitionWindowNotCredited)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Phase;
+    PhasePolicy p(kPassMaskAll, params);
+    const std::vector<PassMask> &cand = p.candidates();
+
+    // Settle phase 0 on candidate 1 (as above).
+    p.onWindow(0, 1.0, 0.0);
+    p.onWindow(0, 1.5, 0.0);
+    p.onWindow(0, 0.5, 0.0);
+    p.onWindow(0, 0.8, 0.0);
+    ASSERT_EQ(p.mask(), cand[1]);
+
+    // First window of phase 1 ran under phase 0's mask: its (high)
+    // IPC must not be credited to phase 1's first candidate.
+    p.onWindow(1, 9.9, 0.0);
+    EXPECT_EQ(p.mask(), cand[0]);    // retry candidate 0 properly
+    p.onWindow(1, 0.1, 0.0);         // measured under cand[0] now
+    EXPECT_EQ(p.mask(), cand[1]);
+    p.onWindow(1, 0.2, 0.0);
+    p.onWindow(1, 0.05, 0.0);
+    p.onWindow(1, 0.06, 0.0);
+    // Best for phase 1 is cand[1] at 0.2 — not the discarded 9.9.
+    EXPECT_EQ(p.mask(), cand[1]);
+
+    // Phase 0's settled choice is remembered independently.
+    p.onWindow(0, 0.3, 0.0);
+    EXPECT_EQ(p.mask(), cand[1]);
+}
+
+TEST(PhaseFillPolicy, TiesPreferEarlierCandidate)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Phase;
+    PhasePolicy p(kPassMaskAll, params);
+    const std::vector<PassMask> &cand = p.candidates();
+    // All candidates measure identical IPC: the first one probed wins
+    // (strict-improvement comparison), keeping the configured mask.
+    p.onWindow(0, 1.0, 0.0);
+    p.onWindow(0, 1.0, 0.0);
+    p.onWindow(0, 1.0, 0.0);
+    p.onWindow(0, 1.0, 0.0);
+    EXPECT_EQ(p.mask(), cand[0]);
+    EXPECT_EQ(p.mask(), kPassMaskAll);
+}
+
+// --------------------------------------------------------------------
+// FeedbackPolicy decision machinery
+// --------------------------------------------------------------------
+
+TEST(FeedbackFillPolicy, TrialAdoptionNeedsHysteresisMargin)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Feedback;
+    params.hysteresis = 0.10;
+    FeedbackPolicy f(kPassMaskAll, params);
+    const PassMask no_place =
+        static_cast<PassMask>(kPassMaskAll & ~kPassPlacement);
+
+    // Stable windows build the EWMA baseline; no trial before
+    // kTrialEvery windows have passed.
+    for (unsigned i = 0; i < FeedbackPolicy::kTrialEvery - 1; ++i) {
+        f.onWindow(-1, 1.0, 0.0);
+        EXPECT_FALSE(f.inTrial());
+        EXPECT_EQ(f.mask(), kPassMaskAll);
+    }
+    EXPECT_DOUBLE_EQ(f.baselineIpc(), 1.0);
+
+    // Window kTrialEvery launches a trial of the next candidate.
+    f.onWindow(-1, 1.0, 0.0);
+    EXPECT_TRUE(f.inTrial());
+    EXPECT_EQ(f.mask(), no_place);
+
+    // +5% is inside the 10% hysteresis band: revert.
+    f.onWindow(-1, 1.05, 0.0);
+    EXPECT_FALSE(f.inTrial());
+    EXPECT_EQ(f.mask(), kPassMaskAll);
+    EXPECT_DOUBLE_EQ(f.baselineIpc(), 1.0);
+
+    // Build up to the next trial (rotation continues: placement-only).
+    for (unsigned i = 0; i < FeedbackPolicy::kTrialEvery; ++i)
+        f.onWindow(-1, 1.0, 0.0);
+    EXPECT_TRUE(f.inTrial());
+    EXPECT_EQ(f.mask(), kPassPlacement);
+
+    // +30% clears the margin: adopt the trial mask and re-baseline.
+    f.onWindow(-1, 1.3, 0.0);
+    EXPECT_FALSE(f.inTrial());
+    EXPECT_EQ(f.mask(), kPassPlacement);
+    EXPECT_DOUBLE_EQ(f.baselineIpc(), 1.3);
+}
+
+TEST(FeedbackFillPolicy, HighBypassFractionIndictsPlacement)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Feedback;
+    FeedbackPolicy f(kPassMaskAll, params);
+
+    for (unsigned i = 0; i < FeedbackPolicy::kTrialEvery - 1; ++i)
+        f.onWindow(-1, 1.0, 0.0);
+    // The trial-launching window sees a high bypass-delay fraction:
+    // the trial must drop placement rather than rotate.
+    f.onWindow(-1, 1.0, FeedbackPolicy::kBypassHigh + 0.1);
+    EXPECT_TRUE(f.inTrial());
+    EXPECT_EQ(f.mask(),
+              static_cast<PassMask>(kPassMaskAll & ~kPassPlacement));
+}
+
+// --------------------------------------------------------------------
+// OraclePolicy map handling
+// --------------------------------------------------------------------
+
+TEST(OracleFillPolicy, MapParsingAndPhaseLookup)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Oracle;
+    params.oracleMap = "0=all,2=none,*=moves";
+    OraclePolicy o(kPassMaskAll, params);
+
+    EXPECT_EQ(o.maskFor(0), kPassMaskAll);
+    EXPECT_EQ(o.maskFor(2), kPassMaskNone);
+    EXPECT_EQ(o.maskFor(1), kPassMarkMoves);    // falls to '*'
+    EXPECT_EQ(o.maskFor(7), kPassMarkMoves);
+
+    // Initial mask is the phase-0 prediction, not a runtime switch.
+    EXPECT_EQ(o.mask(), kPassMaskAll);
+    EXPECT_EQ(o.switches(), 0u);
+
+    o.onWindow(2, 1.0, 0.0);
+    EXPECT_EQ(o.mask(), kPassMaskNone);
+    EXPECT_EQ(o.switches(), 1u);
+    o.onWindow(0, 1.0, 0.0);
+    EXPECT_EQ(o.mask(), kPassMaskAll);
+    EXPECT_EQ(o.switches(), 2u);
+}
+
+TEST(OracleFillPolicy, UniformMapNeverSwitches)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Oracle;
+    params.oracleMap = "*=7";
+    OraclePolicy o(kPassMaskAll, params);
+    EXPECT_EQ(o.mask(), 7u);
+    for (int ph : {0, 1, 2, 0, 3})
+        o.onWindow(ph, 1.0, 0.0);
+    EXPECT_EQ(o.mask(), 7u);
+    EXPECT_EQ(o.switches(), 0u);
+}
+
+TEST(OracleFillPolicyDeathTest, RejectsMalformedMaps)
+{
+    FillPolicyParams params;
+    params.kind = FillPolicyKind::Oracle;
+    EXPECT_DEATH(makeFillPolicy(params, FillOptimizations::all()),
+                 "needs --policy-map");
+    params.oracleMap = "nokey";
+    EXPECT_DEATH(makeFillPolicy(params, FillOptimizations::all()),
+                 "not KEY=MASK");
+    params.oracleMap = "x=all";
+    EXPECT_DEATH(makeFillPolicy(params, FillOptimizations::all()),
+                 "not a phase id");
+    params.oracleMap = "0=bogus";
+    EXPECT_DEATH(makeFillPolicy(params, FillOptimizations::all()),
+                 "bogus");
+}
+
+// --------------------------------------------------------------------
+// Online phase tracker
+// --------------------------------------------------------------------
+
+/** Feed one window of a synthetic loop nest with blocks at @p base. */
+void
+feedPattern(OnlinePhaseTracker &t, Addr base)
+{
+    for (unsigned i = 0; i < 1000; ++i)
+        t.note(base + (i % 40) * 4, (i % 10) == 9);
+}
+
+TEST(PhaseTracker, RecurringPatternsKeepTheirLabel)
+{
+    OnlinePhaseTracker t(8, 0.05);
+    feedPattern(t, 0x1000);
+    EXPECT_EQ(t.closeWindow(1000), 0);
+    feedPattern(t, 0x1000);
+    EXPECT_EQ(t.closeWindow(1000), 0);
+    feedPattern(t, 0x80000);
+    EXPECT_EQ(t.closeWindow(1000), 1);
+    feedPattern(t, 0x1000);
+    EXPECT_EQ(t.closeWindow(1000), 0);
+    EXPECT_EQ(t.phases(), 2u);
+}
+
+TEST(PhaseTracker, PhaseCapFallsBackToNearest)
+{
+    OnlinePhaseTracker t(1, 1e-6);
+    feedPattern(t, 0x1000);
+    EXPECT_EQ(t.closeWindow(1000), 0);
+    // A very different window still labels 0 once the cap is hit.
+    feedPattern(t, 0x90000);
+    EXPECT_EQ(t.closeWindow(1000), 0);
+    EXPECT_EQ(t.phases(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Sim-level contracts
+// --------------------------------------------------------------------
+
+/**
+ * Deterministic timing fields two runs of the same point must share
+ * (mirrors test_runner.cc's expectIdentical).
+ */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.tcHits, b.tcHits);
+    EXPECT_EQ(a.tcMisses, b.tcMisses);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.inactiveRescues, b.inactiveRescues);
+    EXPECT_EQ(a.mispredictStallCycles, b.mispredictStallCycles);
+    EXPECT_EQ(a.segmentsBuilt, b.segmentsBuilt);
+    EXPECT_EQ(a.dynMoves, b.dynMoves);
+    EXPECT_EQ(a.dynReassoc, b.dynReassoc);
+    EXPECT_EQ(a.dynScaled, b.dynScaled);
+    EXPECT_EQ(a.dynElided, b.dynElided);
+    EXPECT_EQ(a.dynMoveIdioms, b.dynMoveIdioms);
+    EXPECT_EQ(a.bypassDelayed, b.bypassDelayed);
+}
+
+void
+expectSameSummary(const PolicySummary &a, const PolicySummary &b)
+{
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.finalMask, b.finalMask);
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.switches, b.switches);
+    EXPECT_EQ(a.phasesSeen, b.phasesSeen);
+    EXPECT_EQ(a.movesMarked, b.movesMarked);
+    EXPECT_EQ(a.reassociations, b.reassociations);
+    EXPECT_EQ(a.scaledAdds, b.scaledAdds);
+    EXPECT_EQ(a.deadElided, b.deadElided);
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    for (std::size_t i = 0; i < a.phases.size(); ++i) {
+        SCOPED_TRACE("phase row " + std::to_string(i));
+        EXPECT_EQ(a.phases[i].phase, b.phases[i].phase);
+        EXPECT_EQ(a.phases[i].mask, b.phases[i].mask);
+        EXPECT_EQ(a.phases[i].windows, b.phases[i].windows);
+        EXPECT_EQ(a.phases[i].insts, b.phases[i].insts);
+        EXPECT_EQ(a.phases[i].cycles, b.phases[i].cycles);
+    }
+}
+
+SimConfig
+policyCfg(FillPolicyKind kind, const std::string &name,
+          InstSeqNum window = 2'000)
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = name;
+    cfg.maxInsts = kTestInsts;
+    cfg.fill.policy.kind = kind;
+    cfg.fill.policy.windowInsts = window;
+    return cfg;
+}
+
+/**
+ * The seam's central identity: an oracle policy replaying a uniform
+ * map must be cycle-identical to the static configuration with that
+ * mask — for every one of the 32 optimization combinations. This is
+ * what makes per-phase best maps composable from uniform runs.
+ */
+TEST(PolicySim, UniformOracleMatchesStaticForEveryCombo)
+{
+    const char *names[] = {"compress", "li", "m88ksim"};
+    SimRunner pool(8);
+
+    std::vector<std::shared_future<SimResult>> sf, of;
+    for (const char *name : names) {
+        for (unsigned m = 0; m <= kPassMaskEvery; ++m) {
+            const FillOptimizations opts =
+                optsFromPassMask(static_cast<PassMask>(m));
+            SimConfig s = SimConfig::withOpts(opts);
+            s.name = "static";
+            s.maxInsts = kTestInsts;
+            SimConfig o = s;
+            o.name = "oracle";
+            o.fill.policy.kind = FillPolicyKind::Oracle;
+            o.fill.policy.windowInsts = 5'000;
+            o.fill.policy.oracleMap = "*=" + std::to_string(m);
+            sf.push_back(pool.submit(name, s));
+            of.push_back(pool.submit(name, o));
+        }
+    }
+
+    std::size_t i = 0;
+    for (const char *name : names) {
+        for (unsigned m = 0; m <= kPassMaskEvery; ++m, ++i) {
+            SCOPED_TRACE(std::string(name) + " mask " + std::to_string(m));
+            const SimResult s = sf[i].get();
+            const SimResult o = of[i].get();
+            expectIdentical(s, o);
+            EXPECT_EQ(s.policy, nullptr);
+            ASSERT_NE(o.policy, nullptr);
+            EXPECT_EQ(o.policy->kind, "oracle");
+            EXPECT_EQ(o.policy->finalMask, m);
+            EXPECT_EQ(o.policy->switches, 0u);
+            EXPECT_EQ(o.policy->windows, kTestInsts / 5'000);
+        }
+    }
+}
+
+TEST(PolicySim, PhaseDeterministicAcrossThreadCounts)
+{
+    for (const char *name : {"compress", "li"}) {
+        for (FillPolicyKind kind :
+             {FillPolicyKind::Phase, FillPolicyKind::Feedback}) {
+            const SimConfig cfg =
+                policyCfg(kind, fillPolicyKindName(kind));
+            SimRunner serial(1);
+            SimRunner parallel(8);
+            const SimResult a = serial.run(name, cfg);
+            const SimResult b = parallel.run(name, cfg);
+            SCOPED_TRACE(std::string(name) + "/" + cfg.name);
+            expectIdentical(a, b);
+            ASSERT_NE(a.policy, nullptr);
+            ASSERT_NE(b.policy, nullptr);
+            expectSameSummary(*a.policy, *b.policy);
+            EXPECT_EQ(a.policy->kind, fillPolicyKindName(kind));
+            EXPECT_GT(a.policy->windows, 0u);
+        }
+    }
+}
+
+/** Capture @p workload's committed stream into a string. */
+std::string
+captureWorkload(const std::string &workload, const SimConfig &cfg)
+{
+    std::ostringstream os;
+    const Program prog = workloads::build(workload, 1);
+    tracefile::TraceMeta meta;
+    meta.workload = prog.name;
+    meta.config = cfg.name;
+    meta.entryPc = prog.entry;
+    meta.maxInsts = cfg.maxInsts;
+    Executor exec(prog);
+    tracefile::TraceWriter writer(os, meta);
+    tracefile::RecordingSource source(exec, writer);
+    Processor proc(source, prog.name, prog.entry, cfg);
+    proc.run();
+    writer.finish();
+    return os.str();
+}
+
+/**
+ * Adaptive policies are deterministic functions of the committed
+ * stream and cycle counts, so a replayed trace reproduces not just
+ * the timing but the full decision record.
+ */
+TEST(PolicySim, AdaptivePoliciesIdenticalUnderReplay)
+{
+    for (FillPolicyKind kind :
+         {FillPolicyKind::Phase, FillPolicyKind::Feedback}) {
+        const SimConfig cfg = policyCfg(kind, fillPolicyKindName(kind));
+        const Program prog = workloads::build("compress", 1);
+        Processor live(prog, cfg);
+        const SimResult live_res = live.run();
+
+        const std::string bytes = captureWorkload("compress", cfg);
+        std::istringstream is(bytes);
+        tracefile::ReplayExecutor rx(is, "compress");
+        Processor replay(rx, rx.meta().workload, rx.meta().entryPc, cfg);
+        const SimResult replay_res = replay.run();
+
+        SCOPED_TRACE(cfg.name);
+        expectIdentical(live_res, replay_res);
+        ASSERT_NE(live_res.policy, nullptr);
+        ASSERT_NE(replay_res.policy, nullptr);
+        expectSameSummary(*live_res.policy, *replay_res.policy);
+    }
+}
+
+} // namespace
+} // namespace tcfill

@@ -178,6 +178,21 @@ TEST(SimRunner, ConfigKeyCoversEveryKnob)
          [](SimConfig &c) {
              c.fill.opts.reassocOptions.foldMemDisplacement = false;
          }},
+        // FillPolicyParams.
+        {"policy.kind",
+         [](SimConfig &c) {
+             c.fill.policy.kind = FillPolicyKind::Phase;
+         }},
+        {"policy.maxPhases",
+         [](SimConfig &c) { c.fill.policy.maxPhases = 4; }},
+        {"policy.windowInsts",
+         [](SimConfig &c) { c.fill.policy.windowInsts = 5000; }},
+        {"policy.newPhaseDist",
+         [](SimConfig &c) { c.fill.policy.newPhaseDist = 0.5; }},
+        {"policy.hysteresis",
+         [](SimConfig &c) { c.fill.policy.hysteresis = 0.5; }},
+        {"policy.oracleMap",
+         [](SimConfig &c) { c.fill.policy.oracleMap = "*=none"; }},
         // TraceCache::Params.
         {"tcache.entries", [](SimConfig &c) { c.tcache.entries = 64; }},
         {"tcache.ways", [](SimConfig &c) { c.tcache.ways = 2; }},

@@ -9,8 +9,11 @@ Usage:
         Optional sections are validated when present: the per-result
         `timeline` series (tcfill-timeline-v1: intervals must tile
         retired/cycles exactly, delta rows must match the counter
-        column set, phase labels must be in range), the sampled-run
-        host.sample accounting and the self-profiler's host.profile.
+        column set, phase labels must be in range, the passMask
+        column is all-or-nothing), the fill `policy` decision record
+        (non-static --fill-policy runs: per-phase window accounting
+        must sum, masks in range), the sampled-run host.sample
+        accounting and the self-profiler's host.profile.
 
     check_stats_json.py EVENTS.json --validate-trace-events
         Validate a Chrome/Perfetto trace-event export (--trace-events):
@@ -41,6 +44,9 @@ Usage:
         counter. Same volatile-key stripping as --compare-replay
         (host wall-clock and run provenance are not timing); on
         divergence, names the first differing counter per result.
+        The fill `policy` section is deliberately NOT stripped:
+        policy decisions feed back into segment construction, so they
+        are timing-affecting and must be identical too.
 
     check_stats_json.py BASELINE.json BENCH_OUT.json... --compare-perf
         Perf-smoke gate: BASELINE.json is the pinned
@@ -114,6 +120,29 @@ RATE_FIELDS = [
     "fracBypassDelayed",
 ]
 
+# Optional per-result `policy` section (non-static --fill-policy runs).
+# These are DECISION counters, not diagnostics: policy choices feed
+# back into segment construction and therefore into timing, so the
+# section deliberately stays in the deterministic document body where
+# --compare-timing and --compare-replay include it (unlike the
+# host.* wall-clock sections, which are stripped as volatile).
+POLICY_FIELDS = {
+    "kind": str,
+    "finalMask": int,
+    "windows": int,
+    "switches": int,
+    "phasesSeen": int,
+    "movesMarked": int,
+    "reassociations": int,
+    "scaledAdds": int,
+    "deadElided": int,
+}
+
+POLICY_KINDS = ("static", "phase", "feedback", "oracle")
+
+# Every pass bit that exists (fill/passes.hh kPassMaskEvery).
+POLICY_MASK_MAX = 31
+
 
 class Checker:
     def __init__(self, path):
@@ -170,8 +199,61 @@ class Checker:
                 self.error(where, f"'{f}' = {r[f]} outside [0, 1]")
         if "timeline" in r:
             self.check_timeline(where, r)
+        if "policy" in r:
+            self.check_policy(where, r)
         if "host" in r:
             self.check_host(where, r)
+
+    def check_policy(self, where, r):
+        p = r["policy"]
+        where = f"{where}.policy"
+        if not isinstance(p, dict):
+            self.error(where, "not an object")
+            return
+        for field, types in POLICY_FIELDS.items():
+            self.check_type(where, p, field, types)
+        phases = p.get("phases")
+        if not isinstance(phases, list):
+            self.error(where, "phases missing or not an array")
+            return
+        if self.errors:
+            return
+        if p["kind"] not in POLICY_KINDS:
+            self.error(where, f"unknown kind {p['kind']!r}")
+        if not 0 <= p["finalMask"] <= POLICY_MASK_MAX:
+            self.error(where, f"finalMask {p['finalMask']} outside "
+                              f"[0, {POLICY_MASK_MAX}]")
+        windows = 0
+        for i, ps in enumerate(phases):
+            w = f"{where}.phases[{i}]"
+            if not isinstance(ps, dict):
+                self.error(w, "not an object")
+                return
+            for f in ("phase", "mask", "windows", "insts", "cycles"):
+                if not self.check_type(w, ps, f, int):
+                    return
+            if not self.check_type(w, ps, "ipc", (int, float)):
+                return
+            if not 0 <= ps["mask"] <= POLICY_MASK_MAX:
+                self.error(w, f"mask {ps['mask']} outside "
+                              f"[0, {POLICY_MASK_MAX}]")
+            if ps["windows"] <= 0:
+                self.error(w, f"windows {ps['windows']} <= 0")
+            if ps["cycles"] > 0:
+                want = ps["insts"] / ps["cycles"]
+                if not math.isclose(ps["ipc"], want, rel_tol=1e-12):
+                    self.error(w, f"ipc {ps['ipc']} != "
+                                  f"insts/cycles {want}")
+            elif ps["ipc"] != 0:
+                self.error(w, "ipc nonzero with zero cycles")
+            windows += ps["windows"]
+        # Every closed window is attributed to exactly one phase (the
+        # feedback policy tracks no phases and uses one -1 bucket).
+        if phases and windows != p["windows"]:
+            self.error(where, f"phase windows sum to {windows}, "
+                              f"section reports {p['windows']}")
+        if p["windows"] > 0 and not phases:
+            self.error(where, "windows closed but phases array empty")
 
     def check_timeline(self, where, r):
         tl = r["timeline"]
@@ -198,6 +280,14 @@ class Checker:
         if tl["interval"] <= 0:
             self.error(where, f"interval {tl['interval']} <= 0")
         phases = tl["phases"]
+        # A mask probe is all-or-nothing: every interval carries
+        # passMask (adaptive fill policy attached) or none does
+        # (static/legacy runs — whose bytes must not change).
+        masked = sum(1 for iv in ivs
+                     if isinstance(iv, dict) and "passMask" in iv)
+        if masked not in (0, len(ivs)):
+            self.error(where, f"passMask on {masked} of {len(ivs)} "
+                              f"intervals (must be all or none)")
         next_inst, next_cycle = 0, 0
         for i, iv in enumerate(ivs):
             w = f"{where}.intervals[{i}]"
@@ -236,6 +326,12 @@ class Checker:
             elif iv["phase"] != -1:
                 self.error(w, f"phase {iv['phase']} with phase "
                               f"tagging off (expected -1)")
+            if "passMask" in iv:
+                if not self.check_type(w, iv, "passMask", int):
+                    return
+                if not 0 <= iv["passMask"] <= POLICY_MASK_MAX:
+                    self.error(w, f"passMask {iv['passMask']} "
+                                  f"outside [0, {POLICY_MASK_MAX}]")
             deltas = iv.get("deltas")
             if not isinstance(deltas, list) or \
                     len(deltas) != len(counters):

@@ -36,3 +36,10 @@ mkdir -p "$OUT"
 "$TCFILL" -j 1 --max-insts 20000 --opts all \
     --stats-interval 5000 --stats-phases 3 \
     --stats-json "$OUT/compress-timeline.json" compress > /dev/null
+
+# Adaptive fill policy (DESIGN.md §16): pins the policy decision
+# record (windows, switches, per-phase masks), the per-interval
+# passMask timeline column and the online phase tracker's labels.
+"$TCFILL" -j 1 --max-insts 20000 --opts all --fill-policy phase \
+    --stats-interval 5000 \
+    --stats-json "$OUT/compress-policy-phase.json" compress > /dev/null

@@ -149,6 +149,9 @@ usage()
         "  --opts LIST | --fill-latency N | --no-trace-cache\n"
         "  --no-inactive-issue | --no-promotion | --tc-entries N\n"
         "  --scheduler wakeup|scan\n"
+        "  --fill-policy KIND | --list-policies | --policy-window N\n"
+        "  --policy-phases K | --policy-threshold F\n"
+        "  --policy-hysteresis F | --policy-map SPEC\n"
         "  --stats | --stats-dump | --stats-json FILE | --stats-host\n"
         "  --stats-interval N | --stats-phases K | --trace-events FILE\n"
         "  --pipe-trace FILE | --progress\n"
@@ -186,6 +189,21 @@ help()
         "  --scheduler KIND       wakeup (default, event-driven) or\n"
         "                         scan (per-cycle rescan reference;\n"
         "                         identical timing)\n"
+        "\n"
+        "Fill pass-selection policy (DESIGN.md §16):\n"
+        "  --fill-policy KIND     static (default) | phase | feedback\n"
+        "                         | oracle — how the fill unit picks\n"
+        "                         the pass set per finalized segment\n"
+        "  --list-policies        describe the policies and exit\n"
+        "  --policy-window N      decision window in retired insts\n"
+        "                         (default 10000)\n"
+        "  --policy-phases K      online phase cap (default 8)\n"
+        "  --policy-threshold F   new-phase BBV distance^2 threshold\n"
+        "                         (default 0.05)\n"
+        "  --policy-hysteresis F  feedback: min relative IPC gain to\n"
+        "                         adopt a trial mask (default 0.02)\n"
+        "  --policy-map SPEC      oracle per-phase mask map, e.g.\n"
+        "                         \"*=all\" or \"0=none,1=all\"\n"
         "\n"
         "Statistics and telemetry (DESIGN.md §9, §15):\n"
         "  --stats                dump full component statistics\n"
@@ -293,6 +311,7 @@ main(int argc, char **argv)
     tracefile::SampleSpec sample_spec;
     bool do_sample = false;
     bool sample_reference = false;
+    std::string fill_policy;
     SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
     cfg.name = "opts=all";
 
@@ -332,6 +351,25 @@ main(int argc, char **argv)
             cfg.tcache.moveBits = cfg.fill.opts.markMoves;
             cfg.tcache.scaledBits = cfg.fill.opts.scaledAdds;
             cfg.tcache.placementBits = cfg.fill.opts.placement;
+        } else if (arg == "--fill-policy") {
+            fill_policy = next();
+            cfg.fill.policy.kind = parseFillPolicyKind(fill_policy);
+        } else if (arg == "--list-policies") {
+            std::cout << "fill policies (--fill-policy):\n"
+                      << listFillPolicies();
+            return 0;
+        } else if (arg == "--policy-window") {
+            cfg.fill.policy.windowInsts =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--policy-phases") {
+            cfg.fill.policy.maxPhases = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--policy-threshold") {
+            cfg.fill.policy.newPhaseDist = std::atof(next());
+        } else if (arg == "--policy-hysteresis") {
+            cfg.fill.policy.hysteresis = std::atof(next());
+        } else if (arg == "--policy-map") {
+            cfg.fill.policy.oracleMap = next();
         } else if (arg == "--fill-latency") {
             cfg.fill.latency = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--no-trace-cache") {
@@ -421,6 +459,16 @@ main(int argc, char **argv)
 
     fatal_if(cfg.statsPhases != 0 && cfg.statsInterval == 0,
              "--stats-phases requires --stats-interval");
+    fatal_if(cfg.fill.policy.kind == FillPolicyKind::Oracle &&
+                 cfg.fill.policy.oracleMap.empty(),
+             "--fill-policy oracle requires --policy-map");
+    fatal_if(cfg.fill.policy.kind != FillPolicyKind::Static &&
+                 cfg.fill.policy.windowInsts == 0,
+             "--policy-window must be positive");
+    // The policy is part of the configuration identity: distinguish
+    // sweep rows (and result-cache keys already differ).
+    if (cfg.fill.policy.kind != FillPolicyKind::Static)
+        cfg.name += "+policy=" + fill_policy;
     fatal_if(!trace_events.empty() && !pipe_trace.empty(),
              "--trace-events and --pipe-trace are mutually exclusive "
              "(both claim the pipeline tracer seam)");
