@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Host-performance benchmark for the simulation service (DESIGN.md
+ * §17): boots an in-process tcfilld Daemon on a throwaway socket +
+ * store, ships one 32-point sweep cold (every point simulated) and
+ * then the identical sweep warm (every point served from the
+ * persistent store), and reports both as sim-insts-per-host-second
+ * rates plus per-point hit-path latency percentiles.
+ *
+ * This is NOT a google-benchmark binary: the cold measurement is
+ * only cold once per store, so the usual keep-iterating-until-stable
+ * loop would measure the warm path 99% of the time. Instead the cold
+ * sweep is timed exactly once against a fresh store and the warm
+ * sweep is repeated --warm-reps times; --out still writes a
+ * google-benchmark-shaped --benchmark_out document so the BM_* rows
+ * feed the same CI perf gate as the real benchmark binaries
+ * (tools/check_stats_json.py --compare-perf vs BENCH_baseline.json).
+ *
+ * The committed BENCH_baseline.json rows pin the warm/cold split the
+ * service shipped with; --min-speedup additionally gates the ratio
+ * directly (the acceptance bar is warm >= 10x cold).
+ *
+ * Usage:
+ *   perf_service [--out FILE] [--warm-reps N] [--min-speedup X]
+ *                [--max-insts N] [--shards N] [--keep]
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "sim/config.hh"
+
+using namespace tcfill;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * The 32-config geometry: {compress, li} x 8 optimization specs x
+ * fill latency {1, 5}. Small instruction budget per point — the cold
+ * path's cost is the simulations, the warm path's cost is framing +
+ * store reads, and the ratio between them is what this benchmark
+ * exists to measure.
+ */
+std::vector<service::ServiceClient::Point>
+sweepPoints(std::uint64_t max_insts)
+{
+    static const char *kWorkloads[] = {"compress", "li"};
+    struct OptSpec
+    {
+        const char *name;
+        FillOptimizations opts;
+    };
+    const OptSpec kSpecs[] = {
+        {"none", FillOptimizations::none()},
+        {"moves", [] {
+             FillOptimizations o;
+             o.markMoves = true;
+             return o;
+         }()},
+        {"reassoc", [] {
+             FillOptimizations o;
+             o.reassociate = true;
+             return o;
+         }()},
+        {"scaled", [] {
+             FillOptimizations o;
+             o.scaledAdds = true;
+             return o;
+         }()},
+        {"placement", [] {
+             FillOptimizations o;
+             o.placement = true;
+             return o;
+         }()},
+        {"dce", [] {
+             FillOptimizations o;
+             o.deadCodeElim = true;
+             return o;
+         }()},
+        {"all", FillOptimizations::all()},
+        {"extended", FillOptimizations::extended()},
+    };
+
+    std::vector<service::ServiceClient::Point> points;
+    for (const char *w : kWorkloads) {
+        for (const OptSpec &spec : kSpecs) {
+            for (Cycle lat : {Cycle(1), Cycle(5)}) {
+                service::ServiceClient::Point p;
+                p.workload = w;
+                p.scale = 1;
+                SimConfig cfg = SimConfig::withOpts(spec.opts, lat);
+                cfg.name = std::string("opts=") + spec.name +
+                           "+lat=" + std::to_string(lat);
+                cfg.maxInsts = max_insts;
+                p.config = cfg;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    return points;
+}
+
+struct SweepTiming
+{
+    double seconds = 0;
+    std::uint64_t simInsts = 0;
+    service::ServiceClient::SweepSummary summary;
+};
+
+SweepTiming
+timedSweep(service::ServiceClient &client,
+           const std::vector<service::ServiceClient::Point> &points)
+{
+    std::vector<SimResult> results;
+    SweepTiming t;
+    std::string err;
+    Clock::time_point t0 = Clock::now();
+    fatal_if(!client.sweep(points, results, t.summary, err),
+             "sweep failed: %s", err.c_str());
+    t.seconds = secondsSince(t0);
+    for (const SimResult &r : results)
+        t.simInsts += r.retired;
+    return t;
+}
+
+/** One google-benchmark-shaped row for --compare-perf. */
+struct BenchRow
+{
+    std::string name;
+    double seconds = 0;
+    double rate = 0;
+};
+
+void
+writeBenchOut(const std::string &path,
+              const std::vector<BenchRow> &rows)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open '%s'", path.c_str());
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.beginObject("context");
+    w.field("executable", "perf_service");
+    w.endObject();
+    w.beginArray("benchmarks");
+    for (const BenchRow &row : rows) {
+        w.beginObject();
+        w.field("name", row.name);
+        w.field("run_name", row.name);
+        w.field("run_type", "iteration");
+        w.field("iterations", std::uint64_t(1));
+        w.field("real_time", row.seconds * 1e3);
+        w.field("cpu_time", row.seconds * 1e3);
+        w.field("time_unit", "ms");
+        w.field("sim_insts_per_s", row.rate);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.finish();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: perf_service [--out FILE] [--warm-reps N]\n"
+        "                    [--min-speedup X] [--max-insts N]\n"
+        "                    [--shards N] [--keep]\n"
+        "  --out FILE        google-benchmark-shaped JSON for the CI\n"
+        "                    perf gate (BM_ServiceCold/BM_ServiceWarm)\n"
+        "  --warm-reps N     warm-sweep repetitions (default 5)\n"
+        "  --min-speedup X   exit 1 unless warm rate >= X * cold rate\n"
+        "  --max-insts N     per-point instruction budget (default\n"
+        "                    20000)\n"
+        "  --shards N        shard worker processes (default 2)\n"
+        "  --keep            keep the scratch socket/store directory\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    unsigned warm_reps = 5;
+    double min_speedup = 0;
+    std::uint64_t max_insts = 20'000;
+    unsigned shards = 2;
+    bool keep = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--warm-reps") {
+            warm_reps = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            fatal_if(warm_reps == 0, "--warm-reps must be >= 1");
+        } else if (arg == "--min-speedup") {
+            min_speedup = std::strtod(next(), nullptr);
+        } else if (arg == "--max-insts") {
+            max_insts = std::strtoull(next(), nullptr, 10);
+            fatal_if(max_insts == 0, "--max-insts must be >= 1");
+        } else if (arg == "--shards") {
+            shards = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            fatal_if(shards == 0, "--shards must be >= 1");
+        } else if (arg == "--keep") {
+            keep = true;
+        } else {
+            usage();
+        }
+    }
+
+    char scratch[] = "/tmp/tcfill_perf_service_XXXXXX";
+    fatal_if(!mkdtemp(scratch), "mkdtemp: %s", std::strerror(errno));
+    const std::string dir = scratch;
+
+    service::DaemonOptions opts;
+    opts.socketPath = dir + "/sock";
+    opts.storeDir = dir + "/store";
+    opts.shards = shards;
+    opts.shardThreads = 1;
+
+    // start() forks the shard workers, so the Daemon must boot before
+    // this process creates any thread (including its own serve loop).
+    service::Daemon daemon(opts);
+    std::string err;
+    fatal_if(!daemon.start(err), "%s", err.c_str());
+    std::thread server([&daemon] { daemon.serve(); });
+
+    int rc = 0;
+    {
+        service::ServiceClient client;
+        fatal_if(!client.connect(opts.socketPath, err),
+                 "%s", err.c_str());
+
+        const auto points = sweepPoints(max_insts);
+        const std::uint64_t n = points.size();
+
+        // Cold: fresh store, every point simulated on a shard.
+        SweepTiming cold = timedSweep(client, points);
+        fatal_if(cold.summary.computed != n,
+                 "cold sweep computed %llu of %llu points "
+                 "(stale store?)",
+                 static_cast<unsigned long long>(cold.summary.computed),
+                 static_cast<unsigned long long>(n));
+
+        // Warm: identical sweep, now 100% persistent-store hits.
+        double warm_seconds = 0;
+        std::uint64_t warm_insts = 0;
+        for (unsigned rep = 0; rep < warm_reps; ++rep) {
+            SweepTiming warm = timedSweep(client, points);
+            fatal_if(warm.summary.storeHits != n,
+                     "warm sweep rep %u: %llu of %llu store hits",
+                     rep,
+                     static_cast<unsigned long long>(
+                         warm.summary.storeHits),
+                     static_cast<unsigned long long>(n));
+            warm_seconds += warm.seconds;
+            warm_insts += warm.simInsts;
+        }
+
+        // Hit-path latency: one point per sweep, sequentially, so
+        // each sample is a full request->store-read->reply round trip.
+        std::vector<double> lat_us;
+        for (const auto &p : points) {
+            std::vector<service::ServiceClient::Point> one{p};
+            SweepTiming t = timedSweep(client, one);
+            fatal_if(t.summary.storeHits != 1,
+                     "latency probe for %s/%s missed the store",
+                     p.workload.c_str(), p.config.name.c_str());
+            lat_us.push_back(t.seconds * 1e6);
+        }
+        std::sort(lat_us.begin(), lat_us.end());
+        auto pct = [&lat_us](double p) {
+            std::size_t i = static_cast<std::size_t>(
+                p * static_cast<double>(lat_us.size() - 1));
+            return lat_us[i];
+        };
+
+        const double cold_rate =
+            static_cast<double>(cold.simInsts) / cold.seconds;
+        const double warm_rate =
+            static_cast<double>(warm_insts) / warm_seconds;
+        const double speedup = warm_rate / cold_rate;
+
+        std::printf("service perf: %llu points x %llu insts, "
+                    "%u shard%s\n",
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(max_insts),
+                    shards, shards == 1 ? "" : "s");
+        std::printf("  cold sweep: %8.1f ms  (%.3g sim insts/s)\n",
+                    cold.seconds * 1e3, cold_rate);
+        std::printf("  warm sweep: %8.1f ms/rep over %u reps "
+                    "(%.3g sim insts/s)\n",
+                    warm_seconds * 1e3 / warm_reps, warm_reps,
+                    warm_rate);
+        std::printf("  warm/cold speedup: %.1fx\n", speedup);
+        std::printf("  hit latency per point: p50 %.0f us, "
+                    "p95 %.0f us, max %.0f us\n",
+                    pct(0.50), pct(0.95), pct(1.0));
+
+        if (!out_path.empty()) {
+            std::vector<BenchRow> rows;
+            rows.push_back({"BM_ServiceCold", cold.seconds, cold_rate});
+            rows.push_back({"BM_ServiceWarm",
+                            warm_seconds / warm_reps, warm_rate});
+            writeBenchOut(out_path, rows);
+            std::printf("  wrote %s\n", out_path.c_str());
+        }
+
+        if (min_speedup > 0 && speedup < min_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: warm/cold speedup %.1fx below "
+                         "--min-speedup %.1f\n",
+                         speedup, min_speedup);
+            rc = 1;
+        }
+        client.close();
+    }
+
+    daemon.requestShutdown();
+    server.join();
+    if (!keep) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    } else {
+        std::printf("  scratch kept: %s\n", dir.c_str());
+    }
+    return rc;
+}

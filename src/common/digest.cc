@@ -1,8 +1,8 @@
-#include "tracefile/format.hh"
+#include "common/digest.hh"
 
 #include <array>
 
-namespace tcfill::tracefile
+namespace tcfill::digest
 {
 
 namespace
@@ -34,4 +34,16 @@ crc32(const void *data, std::size_t len, std::uint32_t seed)
     return c ^ 0xffffffffu;
 }
 
-} // namespace tcfill::tracefile
+std::string
+hex64(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace tcfill::digest

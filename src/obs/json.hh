@@ -286,6 +286,162 @@ struct JsonValue
     }
 };
 
+/**
+ * Strict member-by-member reader over one parsed JSON object: every
+ * accessor marks its member consumed, reports missing/mistyped
+ * members through a caller-owned error string (never by aborting),
+ * and finish() rejects members no accessor touched. The deserializers
+ * of wire payloads (sim/config_io, sim/result_io) are built from
+ * nested ObjectReaders so a schema drift in either direction — a
+ * field the reader does not know, or one the writer stopped emitting
+ * — fails loudly instead of silently dropping data.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const JsonValue &v, const std::string &path,
+                 std::string &err)
+        : v_(v), path_(path), err_(err)
+    {
+        if (!v.isObject()) {
+            fail("expected an object");
+            return;
+        }
+        seen_.assign(v.obj.size(), false);
+    }
+
+    bool ok() const { return ok_; }
+
+    /** Look up (and consume) a member; error + nullptr when absent. */
+    const JsonValue *
+    member(const char *name)
+    {
+        if (!ok_)
+            return nullptr;
+        for (std::size_t i = 0; i < v_.obj.size(); ++i) {
+            if (v_.obj[i].first == name) {
+                seen_[i] = true;
+                return &v_.obj[i].second;
+            }
+        }
+        fail(std::string("missing member '") + name + "'");
+        return nullptr;
+    }
+
+    /** Consume a member without reading it (writer-derived fields). */
+    void
+    skip(const char *name)
+    {
+        member(name);
+    }
+
+    /** Like member(), but absence is not an error (optional fields). */
+    const JsonValue *
+    optional(const char *name)
+    {
+        if (!ok_)
+            return nullptr;
+        for (std::size_t i = 0; i < v_.obj.size(); ++i) {
+            if (v_.obj[i].first == name) {
+                seen_[i] = true;
+                return &v_.obj[i].second;
+            }
+        }
+        return nullptr;
+    }
+
+    bool
+    boolean(const char *name, bool &out)
+    {
+        const JsonValue *m = member(name);
+        if (!m)
+            return false;
+        if (!m->isBool())
+            return fail(std::string("member '") + name +
+                        "' is not a boolean");
+        out = m->boolean;
+        return true;
+    }
+
+    template <typename T>
+    bool
+    integer(const char *name, T &out)
+    {
+        const JsonValue *m = member(name);
+        if (!m)
+            return false;
+        if (!m->isNumber())
+            return fail(std::string("member '") + name +
+                        "' is not a number");
+        out = static_cast<T>(m->u64());
+        return true;
+    }
+
+    bool
+    real(const char *name, double &out)
+    {
+        const JsonValue *m = member(name);
+        if (!m)
+            return false;
+        if (!m->isNumber())
+            return fail(std::string("member '") + name +
+                        "' is not a number");
+        out = m->number;
+        return true;
+    }
+
+    bool
+    string(const char *name, std::string &out)
+    {
+        const JsonValue *m = member(name);
+        if (!m)
+            return false;
+        if (!m->isString())
+            return fail(std::string("member '") + name +
+                        "' is not a string");
+        out = m->str;
+        return true;
+    }
+
+    /** Report a semantic error at this reader's path. */
+    bool
+    error(const std::string &what)
+    {
+        return fail(what);
+    }
+
+    /** Reject members no accessor consumed. */
+    bool
+    finish()
+    {
+        if (!ok_)
+            return false;
+        for (std::size_t i = 0; i < v_.obj.size(); ++i) {
+            if (!seen_[i])
+                return fail("unknown member '" + v_.obj[i].first +
+                            "'");
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (ok_) {
+            ok_ = false;
+            err_ = path_ + ": " + what;
+        }
+        return false;
+    }
+
+    const JsonValue &v_;
+    std::string path_;
+    std::string &err_;
+    std::vector<bool> seen_;
+    bool ok_ = true;
+};
+
 namespace detail
 {
 

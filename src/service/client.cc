@@ -1,0 +1,297 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "service/protocol.hh"
+#include "sim/config_io.hh"
+#include "sim/result_io.hh"
+
+namespace tcfill::service
+{
+
+namespace
+{
+
+std::string
+typedPayload(const char *type)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", type);
+    w.endObject();
+    return os.str();
+}
+
+/** The "message" of an error frame, or a generic fallback. */
+std::string
+errorText(const obs::JsonValue &v)
+{
+    const obs::JsonValue *msg = v.find("message");
+    return msg && msg->isString() ? msg->str : "server error";
+}
+
+} // namespace
+
+bool
+ServiceClient::connect(const std::string &socketPath, std::string &err)
+{
+    close();
+    sockaddr_un addr{};
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        err = "socket path '" + socketPath + "' is too long";
+        return false;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        err = "socket failed: " + std::string(std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "cannot connect to '" + socketPath + "': " +
+            std::string(std::strerror(errno));
+        close();
+        return false;
+    }
+
+    std::string reply;
+    if (!request(typedPayload("hello"), reply, err)) {
+        close();
+        return false;
+    }
+    auto v = obs::JsonValue::tryParse(reply);
+    const obs::JsonValue *schema = v ? v->find("schema") : nullptr;
+    if (!schema || !schema->isString() || schema->str != kSvcSchema) {
+        err = "server does not speak " + std::string(kSvcSchema);
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServiceClient::request(const std::string &payload, std::string &reply,
+                       std::string &err)
+{
+    if (fd_ < 0) {
+        err = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, payload)) {
+        err = "cannot write to server";
+        return false;
+    }
+    WireStatus st = readFrame(fd_, reply);
+    if (st != WireStatus::Ok) {
+        err = std::string("server connection ") + wireStatusName(st);
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::ping(std::string &err)
+{
+    std::string reply;
+    if (!request(typedPayload("ping"), reply, err))
+        return false;
+    auto v = obs::JsonValue::tryParse(reply);
+    const obs::JsonValue *type = v ? v->find("type") : nullptr;
+    if (!type || !type->isString() || type->str != "pong") {
+        err = v ? errorText(*v) : "malformed pong";
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::serverStats(std::string &payload, std::string &err)
+{
+    if (!request(typedPayload("stats"), payload, err))
+        return false;
+    auto v = obs::JsonValue::tryParse(payload);
+    const obs::JsonValue *type = v ? v->find("type") : nullptr;
+    if (!type || !type->isString() || type->str != "stats") {
+        err = v ? errorText(*v) : "malformed stats reply";
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::shutdownServer(std::string &err)
+{
+    std::string reply;
+    if (!request(typedPayload("shutdown"), reply, err))
+        return false;
+    auto v = obs::JsonValue::tryParse(reply);
+    const obs::JsonValue *type = v ? v->find("type") : nullptr;
+    if (!type || !type->isString() || type->str != "ok") {
+        err = v ? errorText(*v) : "malformed shutdown reply";
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::sweep(const std::vector<Point> &points,
+                     std::vector<SimResult> &out, SweepSummary &summary,
+                     std::string &err, obs::ProgressFn progress)
+{
+    out.clear();
+    summary = SweepSummary{};
+    if (fd_ < 0) {
+        err = "not connected";
+        return false;
+    }
+    if (points.empty()) {
+        err = "sweep has no points";
+        return false;
+    }
+
+    std::uint64_t id = nextId_++;
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", "sweep");
+    w.field("id", id);
+    w.beginArray("points");
+    for (const Point &p : points) {
+        w.beginObject();
+        w.field("workload", p.workload);
+        w.field("scale", p.scale);
+        w.key("config");
+        configToJson(w, p.config);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (!writeFrame(fd_, os.str())) {
+        err = "cannot write to server";
+        return false;
+    }
+
+    out.resize(points.size());
+    std::string payload;
+    for (;;) {
+        WireStatus st = readFrame(fd_, payload);
+        if (st != WireStatus::Ok) {
+            err = std::string("server connection ") +
+                wireStatusName(st);
+            return false;
+        }
+        auto v = obs::JsonValue::tryParse(payload);
+        if (!v || !v->isObject()) {
+            err = "malformed server frame";
+            return false;
+        }
+        const obs::JsonValue *type = v->find("type");
+        std::string t =
+            type && type->isString() ? type->str : "";
+        if (t == "error") {
+            err = errorText(*v);
+            return false;
+        }
+        if (t == "result") {
+            const obs::JsonValue *idx = v->find("index");
+            const obs::JsonValue *hit = v->find("cacheHit");
+            const obs::JsonValue *rec = v->find("record");
+            if (!idx || !idx->isNumber() || !rec ||
+                !rec->isString()) {
+                err = "malformed result frame";
+                return false;
+            }
+            std::size_t i = static_cast<std::size_t>(idx->u64());
+            if (i >= out.size()) {
+                err = "result index out of range";
+                return false;
+            }
+            SimResult &res = out[i];
+            if (!resultFromRecordText(rec->str, res, err))
+                return false;
+            // Provenance and the cosmetic config label are
+            // client-side facts: the record itself is normalized.
+            res.cacheHit = hit && hit->isString() ? hit->str
+                                                  : "computed";
+            res.config = points[i].config.name;
+            continue;
+        }
+        if (t == "progress") {
+            if (progress) {
+                obs::SweepProgress p;
+                const obs::JsonValue *m = nullptr;
+                if ((m = v->find("points")) && m->isNumber())
+                    p.points = m->u64();
+                if ((m = v->find("done")) && m->isNumber())
+                    p.done = m->u64();
+                std::uint64_t stored = 0, memory = 0, computed = 0;
+                if ((m = v->find("storeHits")) && m->isNumber())
+                    stored = m->u64();
+                if ((m = v->find("memoryHits")) && m->isNumber())
+                    memory = m->u64();
+                if ((m = v->find("computed")) && m->isNumber())
+                    computed = m->u64();
+                p.cacheHits = stored + memory;
+                p.liveRuns = computed;
+                p.liveDone = computed;
+                progress(p);
+            }
+            continue;
+        }
+        if (t == "done") {
+            const obs::JsonValue *m = nullptr;
+            if ((m = v->find("points")) && m->isNumber())
+                summary.points = m->u64();
+            if ((m = v->find("storeHits")) && m->isNumber())
+                summary.storeHits = m->u64();
+            if ((m = v->find("memoryHits")) && m->isNumber())
+                summary.memoryHits = m->u64();
+            if ((m = v->find("computed")) && m->isNumber())
+                summary.computed = m->u64();
+            return true;
+        }
+        err = "unexpected server frame '" + t + "'";
+        return false;
+    }
+}
+
+SimResult
+RemoteSource::fetch(const std::string &workload, unsigned scale,
+                    const SimConfig &cfg)
+{
+    std::vector<ServiceClient::Point> pts(1);
+    pts[0].workload = workload;
+    pts[0].scale = scale;
+    pts[0].config = cfg;
+    std::vector<SimResult> out;
+    ServiceClient::SweepSummary summary;
+    std::string err;
+    if (!client_.sweep(pts, out, summary, err))
+        fatal("service: %s", err.c_str());
+    return out.at(0);
+}
+
+} // namespace tcfill::service

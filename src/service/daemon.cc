@@ -1,0 +1,743 @@
+#include "service/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/digest.hh"
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "service/protocol.hh"
+#include "service/source.hh"
+#include "sim/config_io.hh"
+#include "sim/runner.hh"
+#include "workloads/suite.hh"
+
+namespace tcfill::service
+{
+
+namespace
+{
+
+std::string
+errorPayload(const std::string &message, std::uint64_t id,
+             bool hasId)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", "error");
+    if (hasId)
+        w.field("id", id);
+    w.field("message", message);
+    w.endObject();
+    return os.str();
+}
+
+std::string
+simplePayload(const char *type)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", type);
+    w.endObject();
+    return os.str();
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const workloads::Workload &w : workloads::suite()) {
+        if (w.name == name || w.shortName == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Shard worker (forked child process)
+// ---------------------------------------------------------------------
+
+void
+shardWorkerMain(int fd, unsigned threads)
+{
+    SimRunner pool(threads);
+
+    // All frames leave through the responder thread, in submission
+    // order: results stay deterministic per shard and the socket never
+    // sees interleaved writes.
+    struct Pending
+    {
+        std::uint64_t id = 0;
+        std::string name;       ///< config label to restore
+        bool hit = false;       ///< pool result-cache hit
+        std::shared_future<SimResult> fut;
+        std::string error;      ///< when set, reply is a jobError
+    };
+    std::mutex qmu;
+    std::condition_variable qcv;
+    std::deque<Pending> queue;
+    bool eof = false;
+
+    std::thread responder([&] {
+        for (;;) {
+            Pending p;
+            {
+                std::unique_lock<std::mutex> lk(qmu);
+                qcv.wait(lk, [&] { return eof || !queue.empty(); });
+                if (queue.empty())
+                    return;
+                p = std::move(queue.front());
+                queue.pop_front();
+            }
+            std::ostringstream os;
+            obs::JsonWriter w(os);
+            w.beginObject();
+            if (!p.error.empty()) {
+                w.field("type", "error");
+                w.field("id", p.id);
+                w.field("message", p.error);
+            } else {
+                SimResult res = p.fut.get();
+                res.config = p.name;
+                w.field("type", "result");
+                w.field("id", p.id);
+                w.field("cacheHit", p.hit ? "memory" : "computed");
+                w.field("record", normalizedRecordText(res));
+            }
+            w.endObject();
+            if (!writeFrame(fd, os.str()))
+                return;
+        }
+    });
+
+    std::string payload;
+    for (;;) {
+        WireStatus st = readFrame(fd, payload);
+        if (st != WireStatus::Ok)
+            break;
+        auto v = obs::JsonValue::tryParse(payload);
+        Pending p;
+        std::string workload;
+        unsigned scale = 1;
+        SimConfig cfg;
+        std::string perr;
+        bool ok = false;
+        if (v && v->isObject()) {
+            obs::ObjectReader r(*v, "job", perr);
+            std::string type;
+            r.string("type", type);
+            r.integer("id", p.id);
+            r.string("workload", workload);
+            r.integer("scale", scale);
+            const obs::JsonValue *c = r.member("config");
+            ok = c && type == "job" && configFromJson(*c, cfg, perr) &&
+                r.finish();
+        } else {
+            perr = "malformed job frame";
+        }
+        if (ok) {
+            p.name = cfg.name;
+            p.fut = pool.submit(workload, cfg, scale, &p.hit);
+        } else {
+            p.error = perr;
+        }
+        {
+            std::lock_guard<std::mutex> lk(qmu);
+            queue.push_back(std::move(p));
+        }
+        qcv.notify_one();
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(qmu);
+        eof = true;
+    }
+    qcv.notify_one();
+    responder.join();
+}
+
+// ---------------------------------------------------------------------
+// Daemon (parent process)
+// ---------------------------------------------------------------------
+
+Daemon::Daemon(DaemonOptions opts)
+    : opts_(std::move(opts)), stats_("service")
+{
+    if (opts_.shards == 0)
+        opts_.shards = 1;
+    stats_.addCounter("connections", connCount_,
+                      "client connections accepted");
+    stats_.addCounter("sweeps", sweepCount_, "sweep requests served");
+    stats_.addCounter("points", pointCount_,
+                      "simulation points requested");
+    stats_.addCounter("storeHits", storeHitCount_,
+                      "points served from the persistent store");
+    stats_.addCounter("memoryHits", memoryHitCount_,
+                      "points served from memory (coalesced or pool)");
+    stats_.addCounter("computed", computedCount_,
+                      "points freshly simulated");
+    stats_.addCounter("coalesced", coalescedCount_,
+                      "points attached to an in-flight duplicate");
+    stats_.addCounter("dispatched", dispatchedCount_,
+                      "jobs sent to shard workers");
+    stats_.addCounter("completed", completedCount_,
+                      "jobs answered by shard workers");
+    stats_.addCounter("errors", errorCount_,
+                      "error replies sent to clients");
+    stats_.addFormula("inFlight",
+                      [this] {
+                          return static_cast<double>(
+                              dispatchedCount_.value() -
+                              completedCount_.value());
+                      },
+                      "jobs currently queued at shard workers");
+}
+
+Daemon::~Daemon()
+{
+    // Half-close towards each shard: the child sees EOF, drains its
+    // queue (writing any remaining results), and exits; the reader
+    // thread then sees EOF in turn.
+    for (auto &s : shards_) {
+        if (s->fd >= 0)
+            ::shutdown(s->fd, SHUT_WR);
+    }
+    for (auto &s : shards_) {
+        if (s->reader.joinable())
+            s->reader.join();
+        if (s->fd >= 0)
+            ::close(s->fd);
+        if (s->pid > 0) {
+            int status = 0;
+            ::waitpid(s->pid, &status, 0);
+        }
+    }
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+}
+
+bool
+Daemon::start(std::string &err)
+{
+    if (opts_.socketPath.empty()) {
+        err = "daemon requires a socket path";
+        return false;
+    }
+    sockaddr_un addr{};
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        err = "socket path '" + opts_.socketPath + "' is too long";
+        return false;
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Fork every shard before any thread exists in this process.
+    for (unsigned i = 0; i < opts_.shards; ++i) {
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+            err = "socketpair failed: " +
+                std::string(std::strerror(errno));
+            return false;
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            err = "fork failed: " + std::string(std::strerror(errno));
+            ::close(sv[0]);
+            ::close(sv[1]);
+            return false;
+        }
+        if (pid == 0) {
+            ::close(sv[0]);
+            for (auto &s : shards_)
+                ::close(s->fd);
+            shardWorkerMain(sv[1], opts_.shardThreads);
+            ::close(sv[1]);
+            std::_Exit(0);
+        }
+        ::close(sv[1]);
+        auto s = std::make_unique<Shard>();
+        s->pid = pid;
+        s->fd = sv[0];
+        shards_.push_back(std::move(s));
+    }
+    for (auto &s : shards_)
+        s->reader = std::thread([this, sp = s.get()] {
+            shardReaderLoop(*sp);
+        });
+
+    if (!opts_.storeDir.empty()) {
+        store_ = std::make_unique<ResultStore>(opts_.storeDir,
+                                               opts_.maxStoreBytes);
+        if (!store_->load(err))
+            return false;
+    }
+
+    ::unlink(opts_.socketPath.c_str());
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        err = "socket failed: " + std::string(std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "cannot bind '" + opts_.socketPath + "': " +
+            std::string(std::strerror(errno));
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        err = "listen failed: " + std::string(std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::requestShutdown()
+{
+    stop_.store(true);
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void
+Daemon::serve()
+{
+    while (!stop_.load()) {
+        int cfd = ::accept(listenFd_, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++connCount_;
+        }
+        std::lock_guard<std::mutex> lk(connMu_);
+        // Reap connections that already finished.
+        for (auto &c : connections_) {
+            if (c->done.load() && c->t.joinable()) {
+                c->t.join();
+                ::close(c->fd);
+                c->fd = -1;
+            }
+        }
+        connections_.erase(
+            std::remove_if(connections_.begin(), connections_.end(),
+                           [](const std::unique_ptr<ConnSlot> &c) {
+                               return c->fd < 0;
+                           }),
+            connections_.end());
+        auto slot = std::make_unique<ConnSlot>();
+        slot->fd = cfd;
+        ConnSlot *raw = slot.get();
+        connections_.push_back(std::move(slot));
+        raw->t = std::thread([this, raw] {
+            connectionLoop(raw->fd);
+            raw->done.store(true);
+        });
+    }
+
+    // Shutdown: unblock and join every remaining connection.
+    std::lock_guard<std::mutex> lk(connMu_);
+    for (auto &c : connections_) {
+        if (c->fd >= 0)
+            ::shutdown(c->fd, SHUT_RDWR);
+    }
+    for (auto &c : connections_) {
+        if (c->t.joinable())
+            c->t.join();
+        if (c->fd >= 0)
+            ::close(c->fd);
+    }
+    connections_.clear();
+}
+
+Daemon::Resolution
+Daemon::resolvePoint(const std::string &workload, unsigned scale,
+                     const SimConfig &cfg)
+{
+    std::string key = simPointKey(workload, scale, cfg);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    if (store_) {
+        std::string record;
+        if (store_->get(key, record)) {
+            auto fl = std::make_shared<Flight>();
+            fl->promise.set_value(
+                Outcome{true, "", "store", std::move(record)});
+            fl->future = fl->promise.get_future().share();
+            return {fl->future, ""};
+        }
+    }
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+        // Identical point already being simulated: attach. The waiter
+        // reports a memory hit — it cost no simulation.
+        ++coalescedCount_;
+        return {it->second->future, "memory"};
+    }
+
+    auto fl = std::make_shared<Flight>();
+    fl->future = fl->promise.get_future().share();
+    flights_[key] = fl;
+    std::uint64_t jid = nextJobId_++;
+    unsigned shard = static_cast<unsigned>(
+        digest::fnv64(key) % shards_.size());
+    pendingJobs_[jid] = PendingJob{key, fl, shard};
+    ++dispatchedCount_;
+    lk.unlock();
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", "job");
+    w.field("id", jid);
+    w.field("workload", workload);
+    w.field("scale", scale);
+    w.key("config");
+    configToJson(w, cfg);
+    w.endObject();
+
+    Shard &s = *shards_[shard];
+    bool sent = false;
+    {
+        std::lock_guard<std::mutex> wl(s.writeMu);
+        sent = writeFrame(s.fd, os.str());
+    }
+    if (!sent) {
+        std::lock_guard<std::mutex> lk2(mu_);
+        if (pendingJobs_.erase(jid) > 0) {
+            flights_.erase(key);
+            fl->promise.set_value(
+                Outcome{false, "shard worker unavailable", "", ""});
+        }
+    }
+    return {fl->future, ""};
+}
+
+void
+Daemon::shardReaderLoop(Shard &shard)
+{
+    std::string payload;
+    for (;;) {
+        WireStatus st = readFrame(shard.fd, payload);
+        if (st != WireStatus::Ok)
+            break;
+        auto v = obs::JsonValue::tryParse(payload);
+        if (!v || !v->isObject())
+            continue;
+        const obs::JsonValue *type = v->find("type");
+        const obs::JsonValue *idv = v->find("id");
+        if (!type || !type->isString() || !idv || !idv->isNumber())
+            continue;
+        std::uint64_t id = idv->u64();
+
+        std::shared_ptr<Flight> fl;
+        std::string key;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = pendingJobs_.find(id);
+            if (it == pendingJobs_.end())
+                continue;
+            key = it->second.key;
+            fl = it->second.flight;
+            pendingJobs_.erase(it);
+            flights_.erase(key);
+            ++completedCount_;
+        }
+        if (type->str == "result") {
+            const obs::JsonValue *hit = v->find("cacheHit");
+            const obs::JsonValue *rec = v->find("record");
+            std::string prov =
+                hit && hit->isString() ? hit->str : "computed";
+            std::string record = rec && rec->isString() ? rec->str : "";
+            if (store_ && !record.empty())
+                store_->put(key, record);
+            fl->promise.set_value(
+                Outcome{true, "", std::move(prov), std::move(record)});
+        } else {
+            const obs::JsonValue *msg = v->find("message");
+            fl->promise.set_value(Outcome{
+                false,
+                msg && msg->isString() ? msg->str : "shard error", "",
+                ""});
+        }
+    }
+
+    // EOF/corruption from this shard: during shutdown the pending set
+    // is empty; otherwise the worker died and its jobs must fail
+    // rather than hang their clients.
+    std::vector<std::shared_ptr<Flight>> orphans;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto it = pendingJobs_.begin();
+             it != pendingJobs_.end();) {
+            if (shards_[it->second.shard].get() == &shard) {
+                orphans.push_back(it->second.flight);
+                flights_.erase(it->second.key);
+                it = pendingJobs_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (!orphans.empty())
+        warn("service: shard worker exited with %zu jobs pending",
+             orphans.size());
+    for (auto &fl : orphans)
+        fl->promise.set_value(
+            Outcome{false, "shard worker exited", "", ""});
+}
+
+void
+Daemon::dumpStats(std::ostream &os)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.dump(os);
+}
+
+std::string
+Daemon::statsPayload()
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", "stats");
+    w.field("schema", kSvcSchema);
+    w.field("shards", opts_.shards);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        w.beginObject("service");
+        w.field("connections", connCount_.value());
+        w.field("sweeps", sweepCount_.value());
+        w.field("points", pointCount_.value());
+        w.field("storeHits", storeHitCount_.value());
+        w.field("memoryHits", memoryHitCount_.value());
+        w.field("computed", computedCount_.value());
+        w.field("coalesced", coalescedCount_.value());
+        w.field("dispatched", dispatchedCount_.value());
+        w.field("completed", completedCount_.value());
+        w.field("errors", errorCount_.value());
+        w.field("inFlight", dispatchedCount_.value() -
+                completedCount_.value());
+        w.endObject();
+    }
+    if (store_) {
+        StoreStats s = store_->stats();
+        w.beginObject("store");
+        w.field("puts", s.puts);
+        w.field("gets", s.gets);
+        w.field("hits", s.hits);
+        w.field("misses", s.misses);
+        w.field("evictions", s.evictions);
+        w.field("recoveredDrops", s.recoveredDrops);
+        w.field("corruptDrops", s.corruptDrops);
+        w.field("liveRecords", s.liveRecords);
+        w.field("liveBytes", s.liveBytes);
+        w.field("logBytes", s.logBytes);
+        w.endObject();
+    }
+    w.endObject();
+    return os.str();
+}
+
+void
+Daemon::connectionLoop(int fd)
+{
+    std::string payload;
+    for (;;) {
+        WireStatus st = readFrame(fd, payload);
+        if (st != WireStatus::Ok) {
+            if (st == WireStatus::Corrupt)
+                warn("service: dropping connection on corrupt frame");
+            return;
+        }
+        auto v = obs::JsonValue::tryParse(payload);
+        if (!v || !v->isObject()) {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++errorCount_;
+            }
+            writeFrame(fd, errorPayload("malformed message", 0, false));
+            continue;
+        }
+        const obs::JsonValue *type = v->find("type");
+        std::string t = type && type->isString() ? type->str : "";
+        if (t == "hello") {
+            std::ostringstream os;
+            obs::JsonWriter w(os);
+            w.beginObject();
+            w.field("type", "hello");
+            w.field("schema", kSvcSchema);
+            w.field("shards", opts_.shards);
+            w.endObject();
+            writeFrame(fd, os.str());
+        } else if (t == "ping") {
+            writeFrame(fd, simplePayload("pong"));
+        } else if (t == "stats") {
+            writeFrame(fd, statsPayload());
+        } else if (t == "shutdown") {
+            writeFrame(fd, simplePayload("ok"));
+            requestShutdown();
+            return;
+        } else if (t == "sweep") {
+            handleSweep(fd, *v);
+        } else {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++errorCount_;
+            }
+            writeFrame(fd, errorPayload(
+                "unknown message type '" + t + "'", 0, false));
+        }
+    }
+}
+
+void
+Daemon::handleSweep(int fd, const obs::JsonValue &v)
+{
+    const obs::JsonValue *idv = v.find("id");
+    std::uint64_t id = idv && idv->isNumber() ? idv->u64() : 0;
+    const obs::JsonValue *pts = v.find("points");
+    if (!pts || !pts->isArray() || pts->arr.empty()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++errorCount_;
+        writeFrame(fd, errorPayload("sweep has no points", id, true));
+        return;
+    }
+
+    // Parse and validate every point before dispatching any, so a
+    // malformed request costs no simulation.
+    struct Point
+    {
+        std::string workload;
+        unsigned scale = 1;
+        SimConfig cfg;
+    };
+    std::vector<Point> points;
+    points.reserve(pts->arr.size());
+    for (const obs::JsonValue &e : pts->arr) {
+        Point p;
+        std::string perr;
+        obs::ObjectReader r(e, "sweep.points", perr);
+        r.string("workload", p.workload);
+        r.integer("scale", p.scale);
+        const obs::JsonValue *c = r.member("config");
+        bool ok = c && configFromJson(*c, p.cfg, perr) && r.finish();
+        if (ok && p.scale == 0) {
+            ok = false;
+            perr = "sweep.points: scale must be >= 1";
+        }
+        if (ok && !knownWorkload(p.workload)) {
+            ok = false;
+            perr = "unknown workload '" + p.workload + "'";
+        }
+        if (!ok) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++errorCount_;
+            writeFrame(fd, errorPayload(perr, id, true));
+            return;
+        }
+        points.push_back(std::move(p));
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++sweepCount_;
+        pointCount_ += points.size();
+    }
+
+    std::vector<Resolution> res;
+    res.reserve(points.size());
+    for (const Point &p : points)
+        res.push_back(resolvePoint(p.workload, p.scale, p.cfg));
+
+    std::uint64_t storeHits = 0, memoryHits = 0, computed = 0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        Outcome out = res[i].future.get();
+        if (!out.ok) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++errorCount_;
+            writeFrame(fd, errorPayload(out.error, id, true));
+            return;
+        }
+        std::string prov = res[i].provenance.empty()
+            ? out.provenance
+            : res[i].provenance;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (prov == "store")
+                ++storeHitCount_;
+            else if (prov == "memory")
+                ++memoryHitCount_;
+            else
+                ++computedCount_;
+        }
+        if (prov == "store")
+            ++storeHits;
+        else if (prov == "memory")
+            ++memoryHits;
+        else
+            ++computed;
+
+        std::ostringstream os;
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.field("type", "result");
+        w.field("id", id);
+        w.field("index", static_cast<std::uint64_t>(i));
+        w.field("cacheHit", prov);
+        w.field("record", out.record);
+        w.endObject();
+        if (!writeFrame(fd, os.str()))
+            return;
+
+        std::ostringstream ps;
+        obs::JsonWriter pw(ps);
+        pw.beginObject();
+        pw.field("type", "progress");
+        pw.field("id", id);
+        pw.field("done", static_cast<std::uint64_t>(i + 1));
+        pw.field("points",
+                 static_cast<std::uint64_t>(points.size()));
+        pw.field("storeHits", storeHits);
+        pw.field("memoryHits", memoryHits);
+        pw.field("computed", computed);
+        pw.endObject();
+        if (!writeFrame(fd, ps.str()))
+            return;
+    }
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("type", "done");
+    w.field("id", id);
+    w.field("points", static_cast<std::uint64_t>(points.size()));
+    w.field("storeHits", storeHits);
+    w.field("memoryHits", memoryHits);
+    w.field("computed", computed);
+    w.endObject();
+    writeFrame(fd, os.str());
+}
+
+} // namespace tcfill::service

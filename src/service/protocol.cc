@@ -1,0 +1,172 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/digest.hh"
+
+namespace tcfill::service
+{
+
+namespace
+{
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]))
+         << 24);
+}
+
+bool
+readFully(int fd, char *dst, std::size_t n, bool &sawEof)
+{
+    std::size_t got = 0;
+    sawEof = false;
+    while (got < n) {
+        ssize_t r = ::read(fd, dst + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0) {
+            sawEof = true;
+            return got == 0;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFully(int fd, const char *src, std::size_t n)
+{
+    std::size_t put = 0;
+    while (put < n) {
+        ssize_t r = ::write(fd, src + put, n - put);
+        if (r > 0) {
+            put += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeFrame(std::string_view payload)
+{
+    std::string out;
+    out.reserve(payload.size() + kFrameOverhead);
+    putU32(out, kFrameMagic);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload.data(), payload.size());
+    putU32(out, digest::crc32(payload.data(), payload.size()));
+    return out;
+}
+
+const char *
+frameStatusName(FrameStatus s)
+{
+    switch (s) {
+      case FrameStatus::Ok: return "ok";
+      case FrameStatus::NeedMore: return "need-more";
+      case FrameStatus::BadMagic: return "bad-magic";
+      case FrameStatus::TooLarge: return "too-large";
+      case FrameStatus::BadCrc: return "bad-crc";
+    }
+    return "?";
+}
+
+FrameStatus
+decodeFrame(std::string_view buf, std::string &payload,
+            std::size_t &consumed)
+{
+    if (buf.size() < 8)
+        return FrameStatus::NeedMore;
+    if (getU32(buf.data()) != kFrameMagic)
+        return FrameStatus::BadMagic;
+    std::uint32_t len = getU32(buf.data() + 4);
+    if (len > kMaxFramePayload)
+        return FrameStatus::TooLarge;
+    std::size_t total = 8 + static_cast<std::size_t>(len) + 4;
+    if (buf.size() < total)
+        return FrameStatus::NeedMore;
+    std::uint32_t want = getU32(buf.data() + 8 + len);
+    if (digest::crc32(buf.data() + 8, len) != want)
+        return FrameStatus::BadCrc;
+    payload.assign(buf.data() + 8, len);
+    consumed = total;
+    return FrameStatus::Ok;
+}
+
+const char *
+wireStatusName(WireStatus s)
+{
+    switch (s) {
+      case WireStatus::Ok: return "ok";
+      case WireStatus::Eof: return "eof";
+      case WireStatus::Error: return "error";
+      case WireStatus::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    std::string frame = encodeFrame(payload);
+    return writeFully(fd, frame.data(), frame.size());
+}
+
+WireStatus
+readFrame(int fd, std::string &payload)
+{
+    char header[8];
+    bool sawEof = false;
+    if (!readFully(fd, header, sizeof(header), sawEof))
+        return WireStatus::Error;
+    if (sawEof)
+        return WireStatus::Eof;
+    if (getU32(header) != kFrameMagic)
+        return WireStatus::Corrupt;
+    std::uint32_t len = getU32(header + 4);
+    if (len > kMaxFramePayload)
+        return WireStatus::Corrupt;
+    payload.resize(len);
+    if (len > 0) {
+        if (!readFully(fd, payload.data(), len, sawEof) || sawEof)
+            return WireStatus::Error;
+    }
+    char trailer[4];
+    if (!readFully(fd, trailer, sizeof(trailer), sawEof) || sawEof)
+        return WireStatus::Error;
+    if (digest::crc32(payload.data(), payload.size()) !=
+        getU32(trailer))
+        return WireStatus::Corrupt;
+    return WireStatus::Ok;
+}
+
+} // namespace tcfill::service

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * tcfill-svc-v1: the framing layer of the simulation service. Every
+ * message — client↔daemon and daemon↔shard-worker alike — is one JSON
+ * object shipped in a length-prefixed, CRC-checked frame:
+ *
+ *   magic    u32 LE   kFrameMagic ("tsv1")
+ *   len      u32 LE   payload byte length (<= kMaxFramePayload)
+ *   payload  bytes    UTF-8 JSON object with a "type" member
+ *   crc      u32 LE   CRC-32 (IEEE) of payload — common/digest
+ *
+ * The CRC mirrors the tcfill-trace-v1 frame convention: a frame is
+ * either delivered intact or rejected as corrupt; there is no partial
+ * acceptance. Messages (by "type"):
+ *
+ *   client → daemon:  hello, ping, stats, sweep{id, points:[{workload,
+ *                     scale, config}]}, shutdown
+ *   daemon → client:  hello{schema}, pong, stats{service, store,
+ *                     shards}, result{id, index, cacheHit, record},
+ *                     progress{id, done, points, storeHits,
+ *                     memoryHits, computed}, done{id, points,
+ *                     storeHits, memoryHits, computed}, error{message
+ *                     [, id]}, ok
+ *   daemon → shard:   job{id, workload, scale, config}
+ *   shard → daemon:   result{id, cacheHit, record}, error{id, message}
+ *
+ * `config` objects are sim/config_io serializations; `record` strings
+ * are sim/result_io deterministic result records.
+ */
+
+#ifndef TCFILL_SERVICE_PROTOCOL_HH
+#define TCFILL_SERVICE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tcfill::service
+{
+
+/** Protocol schema tag exchanged in the hello handshake. */
+inline constexpr const char *kSvcSchema = "tcfill-svc-v1";
+
+/** Frame magic: "tsv1", little-endian. */
+inline constexpr std::uint32_t kFrameMagic = 0x31767374u;
+
+/** Upper bound on one frame's payload (sanity cap, not a target). */
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/** Bytes of framing around a payload (magic + len + crc). */
+inline constexpr std::size_t kFrameOverhead = 12;
+
+/** Wrap @p payload in one complete frame. */
+std::string encodeFrame(std::string_view payload);
+
+/** Outcome of decoding a frame from a byte buffer. */
+enum class FrameStatus : std::uint8_t
+{
+    Ok,         ///< one frame decoded; `consumed` bytes used
+    NeedMore,   ///< buffer holds only a frame prefix
+    BadMagic,   ///< leading bytes are not a frame
+    TooLarge,   ///< declared payload exceeds kMaxFramePayload
+    BadCrc,     ///< payload checksum mismatch
+};
+
+const char *frameStatusName(FrameStatus s);
+
+/**
+ * Try to decode one frame from the front of @p buf. On Ok, @p payload
+ * receives the payload and @p consumed the total frame size; on any
+ * other status both are unspecified.
+ */
+FrameStatus decodeFrame(std::string_view buf, std::string &payload,
+                        std::size_t &consumed);
+
+/** Outcome of reading one frame from a stream socket. */
+enum class WireStatus : std::uint8_t
+{
+    Ok,         ///< one intact frame read
+    Eof,        ///< clean end of stream at a frame boundary
+    Error,      ///< read/write syscall failure or mid-frame EOF
+    Corrupt,    ///< framing violation (magic/size/CRC)
+};
+
+const char *wireStatusName(WireStatus s);
+
+/** Write one complete frame to @p fd (retrying short writes). */
+bool writeFrame(int fd, std::string_view payload);
+
+/** Read one complete frame's payload from @p fd (blocking). */
+WireStatus readFrame(int fd, std::string &payload);
+
+} // namespace tcfill::service
+
+#endif // TCFILL_SERVICE_PROTOCOL_HH

@@ -32,7 +32,8 @@ SimResult::dump(std::ostream &os) const
        << "  host wall        " << hostSeconds << " s ("
        << std::setprecision(0) << simInstsPerSec()
        << std::setprecision(4) << " inst/s)"
-       << (cacheHit ? " [cached]" : "") << "\n";
+       << (cacheHit == "computed" ? "" : " [cached: " + cacheHit + "]")
+       << "\n";
 }
 
 void
@@ -44,6 +45,7 @@ SimResult::toJson(obs::JsonWriter &w, bool include_host) const
     w.field("mode", mode);
     w.field("maxInsts", maxInsts);
     w.field("cacheHit", cacheHit);
+    w.field("sourceDigest", sourceDigest);
     w.field("retired", retired);
     w.field("cycles", cycles);
     w.field("ipc", ipc());

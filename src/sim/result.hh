@@ -55,13 +55,26 @@ struct SimResult
     double hostSeconds = 0.0;
 
     /**
-     * Provenance: true when this copy was served from the SimRunner
-     * result cache rather than freshly simulated — in which case
-     * hostSeconds / simInstsPerSec describe the *original* run, not a
-     * new measurement. Set by SimRunner::run(); excluded from the
-     * determinism equality checks in tests/test_runner.cc.
+     * Result provenance: "computed" (freshly simulated), "memory"
+     * (served from a SimRunner in-process result cache — including
+     * attaching to an in-flight duplicate) or "store" (read back from
+     * a persistent service result store, src/service/store.hh). For
+     * the non-computed provenances hostSeconds / simInstsPerSec
+     * describe the *original* run, not a new measurement. Excluded
+     * from the determinism equality checks in tests/test_runner.cc
+     * and from --compare-replay in tools/check_stats_json.py.
      */
-    bool cacheHit = false;
+    std::string cacheHit = "computed";
+
+    /**
+     * Content digest of the simulation's input source: FNV-1a 64 (hex)
+     * of "workload:<name>@<scale>" for live/sample runs, of
+     * "trace:<crc>:<size>" (the tracefile content identity) for
+     * record/replay runs. Together with the exhaustive config key this
+     * is the service store key's identity half; recorded per result so
+     * store-served documents carry their own provenance.
+     */
+    std::string sourceDigest;
 
     /**
      * Sampled-run mechanics accounting (mode == "sample" only; all

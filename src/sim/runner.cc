@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 #include "sim/processor.hh"
 #include "workloads/suite.hh"
@@ -28,10 +29,16 @@ keyCache(std::ostream &os, const CacheParams &c)
 // Tripwire: configCacheKey() must serialize every behavior-affecting
 // field, so any growth of SimConfig or a nested params struct has to
 // pass through here. If one of these fires, you added (or removed) a
-// field: extend configCacheKey() below AND the exhaustive knob test in
-// tests/test_runner.cc (ConfigKeyCoversEveryKnob), then update the
-// expected size. Sizes assume the LP64 Itanium ABI both CI and the dev
-// containers use; other ABIs skip the check (the unit test still runs).
+// field: extend configCacheKey() below, the exhaustive knob test in
+// tests/test_runner.cc (ConfigKeyCoversEveryKnob), AND the service
+// wire serialization in sim/config_io.cc (configToJson +
+// configFromJson; round-trip-tested against this key in
+// tests/test_service.cc) — the persistent result store and the
+// tcfill-svc-v1 protocol both key off this serialization, so a field
+// the key misses would silently alias distinct configs on disk. Then
+// update the expected size. Sizes assume the LP64 Itanium ABI both CI
+// and the dev containers use; other ABIs skip the check (the unit
+// test still runs).
 #if defined(__x86_64__) || defined(__aarch64__)
 static_assert(sizeof(ReassocOptions) == 2,
               "ReassocOptions changed: update configCacheKey()");
@@ -117,6 +124,21 @@ configCacheKey(const SimConfig &cfg)
        << cfg.core.crossClusterDelay << ','
        << static_cast<unsigned>(cfg.core.scheduler);
     return os.str();
+}
+
+std::string
+workloadDigest(const std::string &workload, unsigned scale)
+{
+    return digest::hex64(digest::fnv64(
+        "workload:" + workload + '@' + std::to_string(scale)));
+}
+
+std::string
+simPointKey(const std::string &workload, unsigned scale,
+            const SimConfig &cfg)
+{
+    return workload + '@' + std::to_string(scale) + '#' +
+        configCacheKey(cfg);
 }
 
 // --------------------------------------------------------------------
@@ -234,13 +256,15 @@ std::shared_future<SimResult>
 SimRunner::submit(const std::string &workload, const SimConfig &cfg,
                   unsigned scale, bool *cache_hit)
 {
-    const std::string key = workload + '@' + std::to_string(scale) +
-        '#' + configCacheKey(cfg);
+    const std::string key = simPointKey(workload, scale, cfg);
     return submitKeyed(key,
                        [this, workload, scale, cfg]() -> SimResult {
                            auto prog = program(workload, scale);
                            Processor proc(*prog, cfg);
-                           return proc.run();
+                           SimResult res = proc.run();
+                           res.sourceDigest =
+                               workloadDigest(workload, scale);
+                           return res;
                        },
                        cache_hit);
 }
@@ -312,7 +336,7 @@ SimRunner::run(const std::string &workload, const SimConfig &cfg,
     bool hit = false;
     SimResult res = submit(workload, cfg, scale, &hit).get();
     res.config = cfg.name;
-    res.cacheHit = hit;
+    res.cacheHit = hit ? "memory" : "computed";
     return res;
 }
 

@@ -56,6 +56,23 @@ namespace tcfill
  */
 std::string configCacheKey(const SimConfig &cfg);
 
+/**
+ * FNV-1a 64 (hex) content digest of a live workload source identity
+ * ("workload:<name>@<scale>") — the SimResult::sourceDigest of every
+ * live/sample run and the identity half of the service store key.
+ */
+std::string workloadDigest(const std::string &workload, unsigned scale);
+
+/**
+ * The SimRunner result-cache key of a (workload, scale, config)
+ * point: "<workload>@<scale>#<configCacheKey>". Also the persistent
+ * service store key (src/service/store.hh), so the in-memory cache,
+ * the on-disk store and the daemon's coalescing table all address
+ * results identically by construction.
+ */
+std::string simPointKey(const std::string &workload, unsigned scale,
+                        const SimConfig &cfg);
+
 /** Worker-thread pool with result and program caches. */
 class SimRunner
 {

@@ -8,7 +8,8 @@ namespace tcfill
 void
 writeStatsJson(std::ostream &os, const std::string &generator,
                const std::vector<SimResult> &results,
-               const obs::SweepProgress *sweep, bool include_host)
+               const obs::SweepProgress *sweep, bool include_host,
+               const ServiceSweepSummary *service)
 {
     obs::JsonWriter w(os);
     w.beginObject();
@@ -18,6 +19,14 @@ writeStatsJson(std::ostream &os, const std::string &generator,
     for (const auto &r : results)
         r.toJson(w, include_host);
     w.endArray();
+    if (service) {
+        w.beginObject("service");
+        w.field("points", service->points);
+        w.field("storeHits", service->storeHits);
+        w.field("memoryHits", service->memoryHits);
+        w.field("computed", service->computed);
+        w.endObject();
+    }
     if (sweep) {
         w.beginObject("sweep");
         w.field("points", sweep->points);

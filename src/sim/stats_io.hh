@@ -9,6 +9,8 @@
  *     "schema": "tcfill-stats-v1",
  *     "generator": "<tool name>",
  *     "results": [ <SimResult::toJson records, submission order> ],
+ *     "service": { points, storeHits, memoryHits,         // optional:
+ *                  computed },                            // tcfilld runs
  *     "sweep":   { points, done, cacheHits, liveRuns },   // optional
  *     "host":    { workers, wallSeconds, busySeconds,     // optional,
  *                  utilization, pointsPerSec }            // wall-clock
@@ -37,6 +39,19 @@ namespace tcfill
 inline constexpr const char *kStatsJsonSchema = "tcfill-stats-v1";
 
 /**
+ * Provenance totals of a sweep served by the simulation service
+ * (tools/tcfill_client): where each requested point's result came
+ * from. points == storeHits + memoryHits + computed.
+ */
+struct ServiceSweepSummary
+{
+    std::uint64_t points = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t memoryHits = 0;
+    std::uint64_t computed = 0;
+};
+
+/**
  * Write one stats document.
  * @param generator tool name recorded in the document.
  * @param results   per-point records, in submission order.
@@ -46,11 +61,16 @@ inline constexpr const char *kStatsJsonSchema = "tcfill-stats-v1";
  * @param include_host include wall-clock sections (hostSeconds,
  *        worker utilization...). Leave false when byte-identical
  *        reruns matter more than throughput trajectories.
+ * @param service   optional service provenance totals (sweeps served
+ *        by a tcfilld daemon). Deterministic for a warm or cold
+ *        store, but run-order dependent — replay comparisons strip
+ *        the section (REPLAY_VOLATILE_DOC_KEYS).
  */
 void writeStatsJson(std::ostream &os, const std::string &generator,
                     const std::vector<SimResult> &results,
                     const obs::SweepProgress *sweep = nullptr,
-                    bool include_host = false);
+                    bool include_host = false,
+                    const ServiceSweepSummary *service = nullptr);
 
 } // namespace tcfill
 

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/digest.hh"
 #include "common/types.hh"
 
 namespace tcfill::tracefile
@@ -58,9 +59,17 @@ inline constexpr std::uint8_t kFrameEnd = 0xfe;
 /** Records buffered per frame by TraceWriter. */
 inline constexpr std::size_t kFrameRecordCap = 4096;
 
-/** CRC-32 (IEEE 802.3, poly 0xedb88320, init/final xor ~0). */
-std::uint32_t crc32(const void *data, std::size_t len,
-                    std::uint32_t seed = 0);
+/**
+ * CRC-32 (IEEE 802.3, poly 0xedb88320, init/final xor ~0) — the
+ * shared common/digest implementation, re-exported under the historic
+ * tracefile name so frame checksums and the service store/wire CRCs
+ * are one algorithm by construction.
+ */
+inline std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t seed = 0)
+{
+    return digest::crc32(data, len, seed);
+}
 
 /** Map a signed value onto unsigned LEB128 space (zigzag). */
 inline std::uint64_t

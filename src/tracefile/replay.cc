@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 #include "sim/processor.hh"
 #include "workloads/suite.hh"
@@ -75,6 +76,12 @@ traceIdentity(const std::string &path)
     return os.str();
 }
 
+std::string
+traceDigest(const std::string &identity)
+{
+    return digest::hex64(digest::fnv64("trace:" + identity));
+}
+
 SimResult
 recordTrace(const std::string &workload, unsigned scale,
             const SimConfig &cfg, const std::string &path)
@@ -100,6 +107,7 @@ recordTrace(const std::string &workload, unsigned scale,
     if (!os)
         fatal("write error on trace file '%s'", path.c_str());
     res.mode = "record";
+    res.sourceDigest = workloadDigest(workload, scale);
     return res;
 }
 
@@ -131,6 +139,7 @@ replayTrace(const std::string &path, const SimConfig &cfg)
                    source.meta().entryPc, run_cfg);
     SimResult res = proc.run();
     res.mode = "replay";
+    res.sourceDigest = traceDigest(traceIdentity(path));
     return res;
 }
 

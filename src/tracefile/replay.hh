@@ -72,6 +72,13 @@ class ReplayExecutor : public CommitSource
 std::string traceIdentity(const std::string &path);
 
 /**
+ * FNV-1a 64 (hex) digest of a trace content identity
+ * ("trace:<crc>:<size>") — the SimResult::sourceDigest of replayed
+ * runs, parallel to workloadDigest() for live ones.
+ */
+std::string traceDigest(const std::string &identity);
+
+/**
  * Run @p workload at @p scale under @p cfg while capturing the
  * committed stream to @p path. Timing is identical to an unrecorded
  * run; the result's mode is "record". Fatal on unknown workload or

@@ -362,6 +362,7 @@ runSampled(const std::string &workload, unsigned scale,
 
     SimResult::SampleHost sample = res.sample;
     res = assembleEstimate(cfg, prog, total, est_cpi);
+    res.sourceDigest = workloadDigest(workload, scale);
     res.sample = sample;
     if (spec.profiler) {
         for (const obs::HostProfiler::Row &row :
@@ -411,6 +412,7 @@ runSampledReference(const std::string &workload, unsigned scale,
     }
 
     SimResult res = assembleEstimate(cfg, prog, total, est_cpi);
+    res.sourceDigest = workloadDigest(workload, scale);
     res.hostSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
     return res;

@@ -192,7 +192,7 @@ TEST(SimResultJson, RoundTripMatchesRun)
     EXPECT_EQ(v.at("tcHitRate").num(), r.tcHitRate());
     EXPECT_EQ(v.at("dynMoves").u64(), r.dynMoves);
     EXPECT_EQ(v.at("fracTransformed").num(), r.fracTransformed());
-    EXPECT_FALSE(v.at("cacheHit").boolean);
+    EXPECT_EQ(v.at("cacheHit").str, "computed");
     EXPECT_EQ(v.at("host").at("hostSeconds").num(), r.hostSeconds);
 
     // Deterministic mode omits the wall-clock section.
@@ -418,8 +418,8 @@ TEST(StatsJson, ByteIdenticalAcrossThreadCounts)
     EXPECT_EQ(sweep.at("cacheHits").u64(), 1u);
     EXPECT_EQ(sweep.at("liveRuns").u64(), 4u);
     // Provenance: the repeat is flagged, the first run is not.
-    EXPECT_FALSE(v.at("results").arr[0].at("cacheHit").boolean);
-    EXPECT_TRUE(v.at("results").arr[4].at("cacheHit").boolean);
+    EXPECT_EQ(v.at("results").arr[0].at("cacheHit").str, "computed");
+    EXPECT_EQ(v.at("results").arr[4].at("cacheHit").str, "memory");
 }
 
 // --------------------------------------------------------------------
@@ -598,9 +598,12 @@ TEST(Timeline, RecordReplayIdentical)
     SimResult replay = tracefile::replayTrace(path, cfg);
     ASSERT_TRUE(live.timeline);
     ASSERT_TRUE(replay.timeline);
-    // The body differs only in mode provenance; neutralize it and
-    // require byte identity (timeline included).
+    // The body differs only in provenance: mode, and sourceDigest
+    // (record digests the workload source, replay digests the trace
+    // file). Neutralize both and require byte identity (timeline
+    // included).
     live.mode = replay.mode = "x";
+    live.sourceDigest = replay.sourceDigest = "x";
     EXPECT_EQ(bodyJson(live), bodyJson(replay));
     std::remove(path.c_str());
 }

@@ -268,9 +268,10 @@ TEST(SimRunner, CacheHitProvenanceIsRecorded)
     SimConfig cfg = cfgAt(FillOptimizations::all(), "all");
 
     SimResult first = pool.run("compress", cfg);
-    EXPECT_FALSE(first.cacheHit);
+    EXPECT_EQ(first.cacheHit, "computed");
     SimResult second = pool.run("compress", cfg);
-    EXPECT_TRUE(second.cacheHit);
+    EXPECT_EQ(second.cacheHit, "memory");
+    EXPECT_EQ(first.sourceDigest, workloadDigest("compress", 1));
     // Provenance never changes the simulated outcome.
     expectIdentical(first, second);
 }

@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Simulation-service tests: the digest primitives every
+ * content-addressed identity derives from (pinned to published test
+ * vectors so an accidental algorithm change orphans no store), the
+ * tcfill-svc-v1 frame codec, the persistent ResultStore (round trips,
+ * reopen, LRU eviction, compaction, corruption recovery), the
+ * ResultSource composition seam, and the daemon end to end: request
+ * coalescing, provenance accounting, and byte-identical records
+ * across every provenance path and shard count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/digest.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "service/source.hh"
+#include "service/store.hh"
+#include "sim/runner.hh"
+
+using namespace tcfill;
+using namespace tcfill::service;
+
+namespace
+{
+
+/** Fresh scratch directory per test (TempDir is per-test-binary). */
+std::string
+scratchDir(const std::string &tag)
+{
+    std::string dir = ::testing::TempDir() + "tcfill_svc_" + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+SimConfig
+tinyConfig(const std::string &name = "tiny")
+{
+    SimConfig cfg = SimConfig::withOpts(FillOptimizations::all());
+    cfg.name = name;
+    cfg.maxInsts = 2'000;
+    return cfg;
+}
+
+// ---- digest vectors -----------------------------------------------------
+
+// The store, the trace format and the wire frames all checksum with
+// this one CRC-32; the published check value pins the polynomial.
+TEST(Digest, Crc32CheckVector)
+{
+    const char kCheck[] = "123456789";
+    EXPECT_EQ(digest::crc32(kCheck, 9), 0xcbf43926u);
+    EXPECT_EQ(digest::crc32("", 0), 0u);
+}
+
+TEST(Digest, Crc32Seeding)
+{
+    // Chained CRC over two chunks equals the one-shot CRC.
+    const std::string a = "hello, ", b = "world";
+    std::uint32_t chained =
+        digest::crc32(b.data(), b.size(),
+                      digest::crc32(a.data(), a.size()));
+    const std::string ab = a + b;
+    EXPECT_EQ(chained, digest::crc32(ab.data(), ab.size()));
+}
+
+TEST(Digest, Fnv64Vectors)
+{
+    EXPECT_EQ(digest::fnv64(""), digest::kFnv64Offset);
+    EXPECT_EQ(digest::fnv64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(digest::fnv64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Digest, Fnv64Incremental)
+{
+    digest::Fnv64 h;
+    h.update("foo").update("bar");
+    EXPECT_EQ(h.value(), digest::fnv64("foobar"));
+}
+
+TEST(Digest, Hex64)
+{
+    EXPECT_EQ(digest::hex64(0), "0000000000000000");
+    EXPECT_EQ(digest::hex64(0xdeadbeefcafef00dull),
+              "deadbeefcafef00d");
+}
+
+// ---- simulation-point keys ----------------------------------------------
+
+TEST(PointKey, NameIsCosmetic)
+{
+    SimConfig a = tinyConfig("one");
+    SimConfig b = tinyConfig("two");
+    EXPECT_EQ(configCacheKey(a), configCacheKey(b));
+    EXPECT_EQ(simPointKey("compress", 1, a),
+              simPointKey("compress", 1, b));
+}
+
+TEST(PointKey, KnobsAreNot)
+{
+    const SimConfig base = tinyConfig();
+    SimConfig t = base;
+    t.maxInsts = 3'000;
+    EXPECT_NE(configCacheKey(base), configCacheKey(t));
+    t = base;
+    t.tcache.entries /= 2;
+    EXPECT_NE(configCacheKey(base), configCacheKey(t));
+    t = base;
+    t.fill.opts.markMoves = !t.fill.opts.markMoves;
+    EXPECT_NE(configCacheKey(base), configCacheKey(t));
+    EXPECT_NE(simPointKey("compress", 1, base),
+              simPointKey("compress", 2, base));
+    EXPECT_NE(simPointKey("compress", 1, base),
+              simPointKey("li", 1, base));
+}
+
+// ---- frame codec --------------------------------------------------------
+
+TEST(Frame, RoundTrip)
+{
+    const std::string payload = "{\"type\": \"ping\"}";
+    const std::string frame = encodeFrame(payload);
+    EXPECT_EQ(frame.size(), payload.size() + kFrameOverhead);
+
+    std::string out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(frame, out, consumed), FrameStatus::Ok);
+    EXPECT_EQ(out, payload);
+    EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(Frame, EmptyPayload)
+{
+    const std::string frame = encodeFrame("");
+    std::string out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(frame, out, consumed), FrameStatus::Ok);
+    EXPECT_EQ(out, "");
+    EXPECT_EQ(consumed, kFrameOverhead);
+}
+
+TEST(Frame, BackToBackFrames)
+{
+    const std::string two = encodeFrame("first") + encodeFrame("second");
+    std::string out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decodeFrame(two, out, consumed), FrameStatus::Ok);
+    EXPECT_EQ(out, "first");
+    ASSERT_EQ(decodeFrame(std::string_view(two).substr(consumed), out,
+                          consumed),
+              FrameStatus::Ok);
+    EXPECT_EQ(out, "second");
+}
+
+TEST(Frame, EveryTruncationNeedsMore)
+{
+    const std::string frame = encodeFrame("truncate me");
+    for (std::size_t n = 0; n < frame.size(); ++n) {
+        std::string out;
+        std::size_t consumed = 0;
+        EXPECT_EQ(decodeFrame(std::string_view(frame).substr(0, n),
+                              out, consumed),
+                  FrameStatus::NeedMore)
+            << "prefix length " << n;
+    }
+}
+
+TEST(Frame, BadMagic)
+{
+    std::string frame = encodeFrame("x");
+    frame[0] ^= 0xff;
+    std::string out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(frame, out, consumed), FrameStatus::BadMagic);
+}
+
+TEST(Frame, PayloadCorruptionIsBadCrc)
+{
+    std::string frame = encodeFrame("payload bytes");
+    frame[8] ^= 0x01; // first payload byte
+    std::string out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(frame, out, consumed), FrameStatus::BadCrc);
+}
+
+TEST(Frame, ForgedLengthIsTooLarge)
+{
+    std::string frame = encodeFrame("x");
+    // Overwrite the length word with kMaxFramePayload + 1 (LE).
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    for (int i = 0; i < 4; ++i)
+        frame[4 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+    std::string out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(frame, out, consumed), FrameStatus::TooLarge);
+}
+
+// ---- persistent result store --------------------------------------------
+
+TEST(Store, PutGetRoundTrip)
+{
+    const std::string dir = scratchDir("roundtrip");
+    ResultStore store(dir);
+    std::string err;
+    ASSERT_TRUE(store.load(err)) << err;
+
+    EXPECT_TRUE(store.put("key-a", "value-a"));
+    EXPECT_TRUE(store.put("key-b", "value-b"));
+    std::string v;
+    EXPECT_TRUE(store.get("key-a", v));
+    EXPECT_EQ(v, "value-a");
+    EXPECT_TRUE(store.get("key-b", v));
+    EXPECT_EQ(v, "value-b");
+    EXPECT_FALSE(store.get("key-c", v));
+    EXPECT_EQ(store.size(), 2u);
+
+    // Overwrite: last put wins.
+    EXPECT_TRUE(store.put("key-a", "value-a2"));
+    EXPECT_TRUE(store.get("key-a", v));
+    EXPECT_EQ(v, "value-a2");
+    EXPECT_EQ(store.size(), 2u);
+
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.puts, 3u);
+    EXPECT_EQ(s.hits, 3u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.liveRecords, 2u);
+}
+
+TEST(Store, PersistsAcrossReopen)
+{
+    const std::string dir = scratchDir("reopen");
+    std::string err;
+    {
+        ResultStore store(dir);
+        ASSERT_TRUE(store.load(err)) << err;
+        EXPECT_TRUE(store.put("k1", "v1"));
+        EXPECT_TRUE(store.put("k2", "v2"));
+        EXPECT_TRUE(store.erase("k1"));
+    }
+    ResultStore store(dir);
+    ASSERT_TRUE(store.load(err)) << err;
+    EXPECT_EQ(store.size(), 1u);
+    std::string v;
+    EXPECT_FALSE(store.get("k1", v));
+    EXPECT_TRUE(store.get("k2", v));
+    EXPECT_EQ(v, "v2");
+}
+
+TEST(Store, LruEvictionUnderCap)
+{
+    const std::string dir = scratchDir("evict");
+    // Each entry is 2 + 6 = 8 live bytes; cap at two entries' worth.
+    ResultStore store(dir, 16);
+    std::string err;
+    ASSERT_TRUE(store.load(err)) << err;
+
+    EXPECT_TRUE(store.put("k1", "aaaaaa"));
+    EXPECT_TRUE(store.put("k2", "bbbbbb"));
+    std::string v;
+    EXPECT_TRUE(store.get("k1", v)); // k1 now most recent
+    EXPECT_TRUE(store.put("k3", "cccccc"));
+
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_TRUE(store.get("k1", v));
+    EXPECT_FALSE(store.get("k2", v)) << "LRU entry should be evicted";
+    EXPECT_TRUE(store.get("k3", v));
+    EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(Store, TouchPersistsLruOrderAcrossReopen)
+{
+    const std::string dir = scratchDir("touch");
+    std::string err;
+    {
+        ResultStore store(dir, 16);
+        ASSERT_TRUE(store.load(err)) << err;
+        EXPECT_TRUE(store.put("k1", "aaaaaa"));
+        EXPECT_TRUE(store.put("k2", "bbbbbb"));
+        std::string v;
+        EXPECT_TRUE(store.get("k1", v)); // TOUCH k1 in the log
+    }
+    ResultStore store(dir, 16);
+    ASSERT_TRUE(store.load(err)) << err;
+    // Replayed order must remember the touch: k2 is the LRU victim.
+    EXPECT_TRUE(store.put("k3", "cccccc"));
+    std::string v;
+    EXPECT_TRUE(store.get("k1", v));
+    EXPECT_FALSE(store.get("k2", v));
+}
+
+TEST(Store, CompactPreservesContentAndShrinksLog)
+{
+    const std::string dir = scratchDir("compact");
+    std::string err;
+    ResultStore store(dir);
+    ASSERT_TRUE(store.load(err)) << err;
+    // Churn: overwrites, touches and an erase leave dead log bytes.
+    for (int round = 0; round < 4; ++round)
+        for (int k = 0; k < 4; ++k)
+            EXPECT_TRUE(store.put("key" + std::to_string(k),
+                                  "round" + std::to_string(round)));
+    std::string v;
+    EXPECT_TRUE(store.get("key0", v));
+    EXPECT_TRUE(store.erase("key3"));
+
+    const std::uint64_t before = store.stats().logBytes;
+    ASSERT_TRUE(store.compact(err)) << err;
+    EXPECT_LT(store.stats().logBytes, before);
+    EXPECT_EQ(store.size(), 3u);
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_TRUE(store.get("key" + std::to_string(k), v));
+        EXPECT_EQ(v, "round3");
+    }
+    EXPECT_FALSE(store.get("key3", v));
+
+    // And the compacted log replays.
+    ResultStore reopened(dir);
+    ASSERT_TRUE(reopened.load(err)) << err;
+    EXPECT_EQ(reopened.size(), 3u);
+}
+
+TEST(Store, TornTailIsTruncatedOnLoad)
+{
+    const std::string dir = scratchDir("torn");
+    std::string err;
+    std::string path;
+    {
+        ResultStore store(dir);
+        ASSERT_TRUE(store.load(err)) << err;
+        EXPECT_TRUE(store.put("good", "value"));
+        path = store.path();
+    }
+    // Simulate a crash mid-append: half a record at the tail.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const char torn[] = {0x01, 0x04, 'p', 'a'};
+        ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+        std::fclose(f);
+    }
+    ResultStore store(dir);
+    ASSERT_TRUE(store.load(err)) << err;
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_GE(store.stats().recoveredDrops, 1u);
+    std::string v;
+    EXPECT_TRUE(store.get("good", v));
+    EXPECT_EQ(v, "value");
+    // The truncated log accepts appends again.
+    EXPECT_TRUE(store.put("after", "recovery"));
+    EXPECT_TRUE(store.get("after", v));
+}
+
+TEST(Store, OnDiskBitFlipDegradesToMiss)
+{
+    const std::string dir = scratchDir("bitflip");
+    std::string err;
+    ResultStore store(dir);
+    ASSERT_TRUE(store.load(err)) << err;
+    const std::string value(64, 'x');
+    EXPECT_TRUE(store.put("fragile", value));
+    EXPECT_TRUE(store.put("sturdy", "ok"));
+
+    // Flip one byte inside "fragile"'s stored value, behind the
+    // store's back. The value is 64 'x' bytes; find and damage one.
+    {
+        std::FILE *f = std::fopen(store.path().c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::string log;
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            log.push_back(static_cast<char>(c));
+        std::size_t at = log.find(std::string(8, 'x'));
+        ASSERT_NE(at, std::string::npos);
+        ASSERT_EQ(std::fseek(f, static_cast<long>(at), SEEK_SET), 0);
+        ASSERT_EQ(std::fputc('y', f), 'y');
+        std::fclose(f);
+    }
+
+    std::string v;
+    EXPECT_FALSE(store.get("fragile", v))
+        << "corrupt record must degrade to a miss, not a wrong value";
+    EXPECT_GE(store.stats().corruptDrops, 1u);
+    EXPECT_TRUE(store.get("sturdy", v));
+    EXPECT_EQ(v, "ok");
+    // The key is invalidated, not wedged: a fresh put repairs it.
+    EXPECT_TRUE(store.put("fragile", value));
+    EXPECT_TRUE(store.get("fragile", v));
+    EXPECT_EQ(v, value);
+}
+
+// ---- result sources -----------------------------------------------------
+
+TEST(Source, StoreDecoratorRoundTrips)
+{
+    const std::string dir = scratchDir("source");
+    ResultStore store(dir);
+    std::string err;
+    ASSERT_TRUE(store.load(err)) << err;
+
+    SimRunner runner(1);
+    RunnerSource leaf(runner);
+    StoreSource src(store, leaf);
+    const SimConfig cfg = tinyConfig();
+
+    SimResult first = src.fetch("compress", 1, cfg);
+    EXPECT_EQ(first.cacheHit, "computed");
+    EXPECT_EQ(store.size(), 1u);
+
+    SimResult second = src.fetch("compress", 1, cfg);
+    EXPECT_EQ(second.cacheHit, "store");
+    // Byte-identical physics regardless of provenance.
+    EXPECT_EQ(normalizedRecordText(first),
+              normalizedRecordText(second));
+
+    // A fresh store + runner stack (cold memory cache) serves the
+    // persisted record instead of re-simulating.
+    SimRunner runner2(1);
+    RunnerSource leaf2(runner2);
+    StoreSource src2(store, leaf2);
+    SimResult third = src2.fetch("compress", 1, cfg);
+    EXPECT_EQ(third.cacheHit, "store");
+    EXPECT_EQ(normalizedRecordText(first),
+              normalizedRecordText(third));
+}
+
+TEST(Source, NormalizedRecordStripsProvenance)
+{
+    SimRunner runner(1);
+    RunnerSource leaf(runner);
+    SimResult r = leaf.fetch("compress", 1, tinyConfig());
+    SimResult again = leaf.fetch("compress", 1, tinyConfig());
+    EXPECT_EQ(r.cacheHit, "computed");
+    EXPECT_EQ(again.cacheHit, "memory");
+    EXPECT_EQ(normalizedRecordText(r), normalizedRecordText(again));
+}
+
+// ---- daemon end to end --------------------------------------------------
+
+/** An in-process daemon plus its serve() thread. */
+class DaemonHarness
+{
+  public:
+    DaemonHarness(const std::string &tag, unsigned shards,
+                  bool with_store = true)
+    {
+        dir_ = scratchDir(tag);
+        DaemonOptions opts;
+        opts.socketPath = dir_ + "/sock";
+        if (with_store)
+            opts.storeDir = dir_ + "/store";
+        opts.shards = shards;
+        opts.shardThreads = 1;
+        daemon_ = std::make_unique<Daemon>(opts);
+        std::string err;
+        started_ = daemon_->start(err);
+        EXPECT_TRUE(started_) << err;
+        if (started_)
+            server_ = std::thread([this] { daemon_->serve(); });
+    }
+
+    ~DaemonHarness()
+    {
+        if (started_) {
+            daemon_->requestShutdown();
+            server_.join();
+        }
+    }
+
+    const std::string &socketPath() const
+    {
+        return daemon_->options().socketPath;
+    }
+
+    bool started() const { return started_; }
+
+  private:
+    std::string dir_;
+    std::unique_ptr<Daemon> daemon_;
+    std::thread server_;
+    bool started_ = false;
+};
+
+ServiceClient::Point
+point(const std::string &workload, const SimConfig &cfg)
+{
+    ServiceClient::Point p;
+    p.workload = workload;
+    p.scale = 1;
+    p.config = cfg;
+    return p;
+}
+
+TEST(Daemon, PingAndSweepProvenance)
+{
+    DaemonHarness harness("e2e", 1);
+    ASSERT_TRUE(harness.started());
+
+    ServiceClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(harness.socketPath(), err)) << err;
+    EXPECT_TRUE(client.ping(err)) << err;
+
+    std::vector<ServiceClient::Point> pts{
+        point("compress", tinyConfig()),
+        point("li", tinyConfig()),
+    };
+    std::vector<SimResult> cold;
+    ServiceClient::SweepSummary summary;
+    ASSERT_TRUE(client.sweep(pts, cold, summary, err)) << err;
+    ASSERT_EQ(cold.size(), 2u);
+    EXPECT_EQ(summary.points, 2u);
+    EXPECT_EQ(summary.computed, 2u);
+    EXPECT_EQ(cold[0].cacheHit, "computed");
+    EXPECT_EQ(cold[0].workload, "compress");
+    EXPECT_EQ(cold[1].workload, "li");
+    EXPECT_EQ(cold[0].config, "tiny");
+
+    // Same sweep again: everything from the persistent store.
+    std::vector<SimResult> warm;
+    ASSERT_TRUE(client.sweep(pts, warm, summary, err)) << err;
+    EXPECT_EQ(summary.storeHits, 2u);
+    EXPECT_EQ(summary.computed, 0u);
+    ASSERT_EQ(warm.size(), 2u);
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_EQ(warm[i].cacheHit, "store");
+        EXPECT_EQ(normalizedRecordText(cold[i]),
+                  normalizedRecordText(warm[i]));
+    }
+}
+
+TEST(Daemon, DuplicatePointsCoalesce)
+{
+    DaemonHarness harness("coalesce", 1, /*with_store=*/false);
+    ASSERT_TRUE(harness.started());
+
+    ServiceClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(harness.socketPath(), err)) << err;
+
+    // Two identical points in one batch: one simulation, the
+    // duplicate attaches to the in-flight future as a memory hit.
+    std::vector<ServiceClient::Point> pts{
+        point("compress", tinyConfig("dup-a")),
+        point("compress", tinyConfig("dup-b")),
+    };
+    std::vector<SimResult> out;
+    ServiceClient::SweepSummary summary;
+    ASSERT_TRUE(client.sweep(pts, out, summary, err)) << err;
+    EXPECT_EQ(summary.points, 2u);
+    EXPECT_EQ(summary.computed, 1u);
+    EXPECT_EQ(summary.memoryHits, 1u);
+    ASSERT_EQ(out.size(), 2u);
+    // Each result is relabeled with its requested config name.
+    EXPECT_EQ(out[0].config, "dup-a");
+    EXPECT_EQ(out[1].config, "dup-b");
+    SimResult b = out[1];
+    b.config = out[0].config;
+    EXPECT_EQ(normalizedRecordText(out[0]), normalizedRecordText(b));
+}
+
+TEST(Daemon, RecordsIdenticalAcrossShardCounts)
+{
+    std::vector<ServiceClient::Point> pts;
+    for (const char *w : {"compress", "li"}) {
+        SimConfig all = tinyConfig("all");
+        pts.push_back(point(w, all));
+        SimConfig none = SimConfig::withOpts(FillOptimizations::none());
+        none.name = "none";
+        none.maxInsts = 2'000;
+        pts.push_back(point(w, none));
+    }
+
+    auto runAt = [&pts](const std::string &tag, unsigned shards) {
+        DaemonHarness harness(tag, shards);
+        EXPECT_TRUE(harness.started());
+        ServiceClient client;
+        std::string err;
+        EXPECT_TRUE(client.connect(harness.socketPath(), err)) << err;
+        std::vector<SimResult> out;
+        ServiceClient::SweepSummary summary;
+        EXPECT_TRUE(client.sweep(pts, out, summary, err)) << err;
+        EXPECT_EQ(summary.computed, pts.size());
+        std::vector<std::string> records;
+        for (const SimResult &r : out)
+            records.push_back(normalizedRecordText(r));
+        return records;
+    };
+
+    const auto one = runAt("shards1", 1);
+    const auto four = runAt("shards4", 4);
+    ASSERT_EQ(one.size(), pts.size());
+    EXPECT_EQ(one, four);
+}
+
+TEST(Daemon, RejectsUnknownWorkloadWithoutKillingTheSweep)
+{
+    DaemonHarness harness("badwl", 1, /*with_store=*/false);
+    ASSERT_TRUE(harness.started());
+
+    ServiceClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(harness.socketPath(), err)) << err;
+
+    std::vector<ServiceClient::Point> pts{
+        point("no-such-workload", tinyConfig()),
+    };
+    std::vector<SimResult> out;
+    ServiceClient::SweepSummary summary;
+    EXPECT_FALSE(client.sweep(pts, out, summary, err));
+    EXPECT_NE(err.find("workload"), std::string::npos) << err;
+
+    // The connection (and daemon) survive a rejected sweep.
+    std::vector<ServiceClient::Point> good{
+        point("compress", tinyConfig()),
+    };
+    ASSERT_TRUE(client.sweep(good, out, summary, err)) << err;
+    EXPECT_EQ(summary.computed, 1u);
+}
+
+} // namespace

@@ -13,7 +13,10 @@ Usage:
         column is all-or-nothing), the fill `policy` decision record
         (non-static --fill-policy runs: per-phase window accounting
         must sum, masks in range), the sampled-run host.sample
-        accounting and the self-profiler's host.profile.
+        accounting, the self-profiler's host.profile, and the
+        top-level `service` provenance section tcfill_client sweeps
+        carry (store + memory + computed must equal points; every
+        result's cacheHit must name a known source).
 
     check_stats_json.py EVENTS.json --validate-trace-events
         Validate a Chrome/Perfetto trace-event export (--trace-events):
@@ -79,6 +82,11 @@ SAMPLE_HOST_FIELDS = (
     "ffInsts", "simpoints", "jobs",
 )
 
+# Where a result came from: simulated fresh, served by an in-memory
+# cache (SimRunner pool or daemon coalescing), or read back from the
+# persistent service result store.
+CACHE_HIT_VALUES = ("computed", "memory", "store")
+
 # field name -> required type(s). bool is checked before int because
 # bool is a subclass of int in Python.
 RESULT_FIELDS = {
@@ -86,7 +94,8 @@ RESULT_FIELDS = {
     "workload": str,
     "mode": str,
     "maxInsts": int,
-    "cacheHit": bool,
+    "cacheHit": str,
+    "sourceDigest": str,
     "retired": int,
     "cycles": int,
     "ipc": (int, float),
@@ -181,6 +190,8 @@ class Checker:
             return
         if r["mode"] not in ("live", "record", "replay", "sample"):
             self.error(where, f"unknown mode {r['mode']!r}")
+        if r["cacheHit"] not in CACHE_HIT_VALUES:
+            self.error(where, f"unknown cacheHit {r['cacheHit']!r}")
         # Internal consistency.
         if r["cycles"] > 0:
             want = r["retired"] / r["cycles"]
@@ -396,6 +407,20 @@ class Checker:
             return
         for i, r in enumerate(results):
             self.check_result(i, r)
+        if "service" in doc:
+            s = doc["service"]
+            where = "service"
+            if not isinstance(s, dict):
+                self.error(where, "not an object")
+                return
+            for f in ("points", "storeHits", "memoryHits", "computed"):
+                self.check_type(where, s, f, int)
+            if not self.errors:
+                served = (s["storeHits"] + s["memoryHits"] +
+                          s["computed"])
+                if served != s["points"]:
+                    self.error(where, "storeHits + memoryHits + "
+                                      "computed != points")
         if "sweep" in doc:
             s = doc["sweep"]
             where = "sweep"
@@ -462,10 +487,11 @@ def diff(old_path, old, new_path, new, tol):
 
 
 # Keys whose values legitimately differ between a live/recording run
-# and a replay of its trace: run-mode provenance, cache provenance and
-# anything derived from host wall-clock time.
-REPLAY_VOLATILE_RESULT_KEYS = ("mode", "cacheHit", "host")
-REPLAY_VOLATILE_DOC_KEYS = ("generator", "sweep", "host")
+# and a replay of its trace: run-mode provenance, cache/source
+# provenance and anything derived from host wall-clock time.
+REPLAY_VOLATILE_RESULT_KEYS = ("mode", "cacheHit", "sourceDigest",
+                               "host")
+REPLAY_VOLATILE_DOC_KEYS = ("generator", "sweep", "service", "host")
 
 
 def canonical_replay_view(doc):

@@ -622,6 +622,7 @@ main(int argc, char **argv)
             proc.setHostProfiler(&host_prof);
 
         SimResult res = proc.run();
+        res.sourceDigest = workloadDigest(names[0], scale);
         if (events_tracer) {
             events_tracer->finish();
             events->close();
@@ -670,7 +671,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < futs.size(); ++i) {
         SimResult res = futs[i].get();
         res.config = cfg.name;
-        res.cacheHit = hits[i];
+        res.cacheHit = hits[i] ? "memory" : "computed";
         results.push_back(std::move(res));
     }
     if (show_progress) {
