@@ -13,10 +13,12 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -270,7 +272,19 @@ struct JsonValue
     }
 
     double num() const { return number; }
-    std::uint64_t u64() const { return static_cast<std::uint64_t>(number); }
+
+    /**
+     * Number as an unsigned 64-bit integer; 0 when negative, NaN or
+     * >= 2^64, where the raw cast would be undefined behavior
+     * (untrusted wire payloads reach this accessor).
+     */
+    std::uint64_t
+    u64() const
+    {
+        if (!(number >= 0.0) || number >= 18446744073709551616.0)
+            return 0;
+        return static_cast<std::uint64_t>(number);
+    }
 
     /** Parse @p text; nullopt on malformed input. */
     static std::optional<JsonValue> tryParse(std::string_view text);
@@ -373,7 +387,12 @@ class ObjectReader
         if (!m->isNumber())
             return fail(std::string("member '") + name +
                         "' is not a number");
-        out = static_cast<T>(m->u64());
+        const double d = m->number;
+        if (!(d >= 0.0) || d != std::floor(d) ||
+            d >= std::ldexp(1.0, std::numeric_limits<T>::digits))
+            return fail(std::string("member '") + name +
+                        "' is not an unsigned integer in range");
+        out = static_cast<T>(d);
         return true;
     }
 

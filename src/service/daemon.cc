@@ -483,6 +483,12 @@ Daemon::shardReaderLoop(Shard &shard)
         }
     }
 
+    // No more replies will ever be read from this shard, even if the
+    // worker is still alive (e.g. this loop ended on a corrupt frame).
+    // Shut the socket down so later dispatches hashed here fail fast
+    // in resolvePoint() instead of hanging their flights forever.
+    ::shutdown(shard.fd, SHUT_RDWR);
+
     // EOF/corruption from this shard: during shutdown the pending set
     // is empty; otherwise the worker died and its jobs must fail
     // rather than hang their clients.

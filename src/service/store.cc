@@ -7,6 +7,7 @@
 #include <utility>
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "common/digest.hh"
@@ -111,6 +112,16 @@ ResultStore::load(std::string &err)
     if (fd_ < 0) {
         err = "cannot open '" + path_ + "': " +
             std::string(std::strerror(errno));
+        return false;
+    }
+    // One process owns the log at a time: a daemon and an offline
+    // --compact racing on the same dir would rename a fresh inode
+    // under the other's open fd and silently drop its appends.
+    if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+        err = "'" + path_ + "' is locked by another process "
+            "(a running tcfilld or --compact); refusing to open";
+        ::close(fd_);
+        fd_ = -1;
         return false;
     }
     off_t end = ::lseek(fd_, 0, SEEK_END);
@@ -378,10 +389,13 @@ ResultStore::put(const std::string &key, const std::string &value)
     stats_.puts++;
 
     // Size cap: shed least-recently-used entries, always keeping the
-    // entry just written.
+    // entry just written. Copy the victim key: dropLocked() erases the
+    // list node lru_.back() refers into, then logs an ERASE record
+    // built from the key.
     while (maxBytes_ != 0 && stats_.liveBytes > maxBytes_ &&
            lru_.size() > 1) {
-        dropLocked(lru_.back(), /*logErase=*/true);
+        std::string victim = lru_.back();
+        dropLocked(victim, /*logErase=*/true);
         stats_.evictions++;
     }
     return true;
@@ -437,6 +451,12 @@ ResultStore::compact(std::string &err)
     fd_ = ::open(path_.c_str(), O_RDWR, 0644);
     if (fd_ < 0) {
         err = "cannot reopen compacted '" + path_ + "'";
+        return false;
+    }
+    if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+        err = "cannot re-lock compacted '" + path_ + "'";
+        ::close(fd_);
+        fd_ = -1;
         return false;
     }
     return replayLog(fresh, err);

@@ -34,6 +34,7 @@ namespace
 
 using obs::JsonValue;
 using obs::JsonWriter;
+using obs::ObjectReader;
 
 /** Counted loop with loads, stores and a bit of arithmetic. */
 Program
@@ -106,6 +107,41 @@ TEST(Json, ParserRejectsMalformedInput)
     EXPECT_FALSE(JsonValue::tryParse("\"unterminated").has_value());
     EXPECT_FALSE(JsonValue::tryParse("{} trailing").has_value());
     EXPECT_TRUE(JsonValue::tryParse("  {\"a\": [1, 2]}  ").has_value());
+}
+
+// Untrusted wire payloads (client sweep points, job frames) funnel
+// numbers through u64()/ObjectReader::integer(); negative, fractional
+// or out-of-range doubles must parse-error, not cast (UB).
+TEST(Json, IntegerReaderRejectsHostileNumbers)
+{
+    for (const char *doc :
+         {"{\"n\": -1}", "{\"n\": 1.5}", "{\"n\": 1e300}",
+          "{\"n\": 4294967296}"}) {
+        auto v = JsonValue::tryParse(doc);
+        ASSERT_TRUE(v.has_value()) << doc;
+        std::string err;
+        ObjectReader r(*v, "doc", err);
+        std::uint32_t n = 0;
+        EXPECT_FALSE(r.integer("n", n)) << doc;
+        EXPECT_NE(err.find("'n'"), std::string::npos) << err;
+    }
+    // In-range values still read back exactly, including u64's top end.
+    auto v = JsonValue::parse("{\"small\": 7, \"big\": 4294967295, "
+                              "\"zero\": 0}");
+    std::string err;
+    ObjectReader r(v, "doc", err);
+    std::uint32_t small = 0, big = 0;
+    std::uint64_t zero = 9;
+    EXPECT_TRUE(r.integer("small", small));
+    EXPECT_TRUE(r.integer("big", big));
+    EXPECT_TRUE(r.integer("zero", zero));
+    EXPECT_TRUE(r.finish()) << err;
+    EXPECT_EQ(small, 7u);
+    EXPECT_EQ(big, 4294967295u);
+    EXPECT_EQ(zero, 0u);
+    // Raw u64() degrades to 0 instead of UB on hostile values.
+    EXPECT_EQ(JsonValue::parse("{\"n\": -3}").at("n").u64(), 0u);
+    EXPECT_EQ(JsonValue::parse("{\"n\": 1e300}").at("n").u64(), 0u);
 }
 
 TEST(Json, NumberFormattingRoundTrips)

@@ -302,31 +302,83 @@ TEST(Store, CompactPreservesContentAndShrinksLog)
 {
     const std::string dir = scratchDir("compact");
     std::string err;
-    ResultStore store(dir);
-    ASSERT_TRUE(store.load(err)) << err;
-    // Churn: overwrites, touches and an erase leave dead log bytes.
-    for (int round = 0; round < 4; ++round)
-        for (int k = 0; k < 4; ++k)
-            EXPECT_TRUE(store.put("key" + std::to_string(k),
-                                  "round" + std::to_string(round)));
-    std::string v;
-    EXPECT_TRUE(store.get("key0", v));
-    EXPECT_TRUE(store.erase("key3"));
+    {
+        ResultStore store(dir);
+        ASSERT_TRUE(store.load(err)) << err;
+        // Churn: overwrites, touches and an erase leave dead log bytes.
+        for (int round = 0; round < 4; ++round)
+            for (int k = 0; k < 4; ++k)
+                EXPECT_TRUE(store.put("key" + std::to_string(k),
+                                      "round" + std::to_string(round)));
+        std::string v;
+        EXPECT_TRUE(store.get("key0", v));
+        EXPECT_TRUE(store.erase("key3"));
 
-    const std::uint64_t before = store.stats().logBytes;
-    ASSERT_TRUE(store.compact(err)) << err;
-    EXPECT_LT(store.stats().logBytes, before);
-    EXPECT_EQ(store.size(), 3u);
-    for (int k = 0; k < 3; ++k) {
-        EXPECT_TRUE(store.get("key" + std::to_string(k), v));
-        EXPECT_EQ(v, "round3");
+        const std::uint64_t before = store.stats().logBytes;
+        ASSERT_TRUE(store.compact(err)) << err;
+        EXPECT_LT(store.stats().logBytes, before);
+        EXPECT_EQ(store.size(), 3u);
+        for (int k = 0; k < 3; ++k) {
+            EXPECT_TRUE(store.get("key" + std::to_string(k), v));
+            EXPECT_EQ(v, "round3");
+        }
+        EXPECT_FALSE(store.get("key3", v));
     }
-    EXPECT_FALSE(store.get("key3", v));
 
-    // And the compacted log replays.
+    // And the compacted log replays (first holder must release its
+    // lock before a second opener may load).
     ResultStore reopened(dir);
     ASSERT_TRUE(reopened.load(err)) << err;
     EXPECT_EQ(reopened.size(), 3u);
+}
+
+// Regression: eviction used to pass lru_.back() by reference into
+// dropLocked(), which erased that exact list node and then built the
+// ERASE record from the dangling key. A garbage ERASE record reads as
+// a torn tail on reload, silently truncating every later record.
+TEST(Store, EvictionLogsWellFormedEraseRecords)
+{
+    const std::string dir = scratchDir("evictlog");
+    std::string err;
+    {
+        // 8 live bytes per small entry; cap so one put evicts two.
+        ResultStore store(dir, 30);
+        ASSERT_TRUE(store.load(err)) << err;
+        EXPECT_TRUE(store.put("k1", "aaaaaa"));
+        EXPECT_TRUE(store.put("k2", "bbbbbb"));
+        EXPECT_TRUE(store.put("k3", "cccccc"));
+        EXPECT_TRUE(store.put("k4", std::string(18, 'd')));
+        EXPECT_EQ(store.stats().evictions, 2u);
+        // Records appended after the evictions must survive reload.
+        EXPECT_TRUE(store.put("k5", "eeeeee"));
+        EXPECT_EQ(store.stats().evictions, 3u);
+    }
+    ResultStore store(dir, 30);
+    ASSERT_TRUE(store.load(err)) << err;
+    EXPECT_EQ(store.stats().recoveredDrops, 0u)
+        << "eviction ERASE records must replay cleanly";
+    EXPECT_EQ(store.size(), 2u);
+    std::string v;
+    EXPECT_FALSE(store.get("k1", v));
+    EXPECT_FALSE(store.get("k2", v));
+    EXPECT_FALSE(store.get("k3", v));
+    EXPECT_TRUE(store.get("k4", v));
+    EXPECT_EQ(v, std::string(18, 'd'));
+    EXPECT_TRUE(store.get("k5", v));
+    EXPECT_EQ(v, "eeeeee");
+}
+
+TEST(Store, SecondOpenerIsLockedOut)
+{
+    const std::string dir = scratchDir("lock");
+    std::string err;
+    ResultStore first(dir);
+    ASSERT_TRUE(first.load(err)) << err;
+    // A second daemon or an offline --compact against a live store
+    // would rename a new inode under the holder's fd; refuse instead.
+    ResultStore second(dir);
+    EXPECT_FALSE(second.load(err));
+    EXPECT_NE(err.find("locked"), std::string::npos) << err;
 }
 
 TEST(Store, TornTailIsTruncatedOnLoad)
